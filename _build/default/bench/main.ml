@@ -1,0 +1,297 @@
+(* Benchmark executable.
+
+   Part 1 (bechamel): wall-clock micro-benchmarks of the substrate — one
+   Test.make per operation class, including one per paper figure (the
+   cost of simulating a figure cell).
+
+   Part 2 (figure harness): regenerates every figure/experiment series of
+   the paper in simulated time and prints measured-vs-paper shape.  The
+   per-driver record count defaults to 2000 (1/16 of the paper's 32000)
+   so the full suite runs in minutes; set PMODS_BENCH_RECORDS=32000 for
+   paper scale. *)
+
+open Bechamel
+open Toolkit
+
+let records =
+  match Sys.getenv_opt "PMODS_BENCH_RECORDS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2_000)
+  | None -> 2_000
+
+(* --- Part 1: micro-benchmarks --- *)
+
+let bench_crc32 =
+  let buf = Bytes.create 4096 in
+  Test.make ~name:"crc32/4KiB" (Staged.stage (fun () -> Pm.Crc32.bytes buf))
+
+let bench_audit_encode =
+  let record =
+    Tp.Audit.Update
+      { txn = 1; file = 0; partition = 3; key = 42; payload_len = 4096; payload_crc = 7; before_len = 0 }
+  in
+  Test.make ~name:"audit/encode-4K-update" (Staged.stage (fun () -> Tp.Audit.encode_to_bytes record))
+
+let bench_audit_decode =
+  let bytes =
+    Tp.Audit.encode_to_bytes
+      (Tp.Audit.Update
+         { txn = 1; file = 0; partition = 3; key = 42; payload_len = 4096; payload_crc = 7; before_len = 0 })
+  in
+  Test.make ~name:"audit/decode-4K-update" (Staged.stage (fun () -> Tp.Audit.decode bytes ~pos:0))
+
+let bench_heap =
+  Test.make ~name:"heap/push-pop-256"
+    (Staged.stage (fun () ->
+         let h = Simkit.Heap.create () in
+         for i = 0 to 255 do
+           Simkit.Heap.push h ~key:((i * 37) mod 97) ~seq:i i
+         done;
+         let rec drain () = match Simkit.Heap.pop h with Some _ -> drain () | None -> () in
+         drain ()))
+
+let bench_rng =
+  let rng = Simkit.Rng.create 1L in
+  Test.make ~name:"rng/int" (Staged.stage (fun () -> Simkit.Rng.int rng 1000))
+
+let bench_event_loop =
+  Test.make ~name:"sim/1000-sleep-wakeups"
+    (Staged.stage (fun () ->
+         let sim = Simkit.Sim.create () in
+         let (_ : Simkit.Sim.pid) =
+           Simkit.Sim.spawn sim ~name:"sleeper" (fun () ->
+               for _ = 1 to 1000 do
+                 Simkit.Sim.sleep 100
+               done)
+         in
+         Simkit.Sim.run sim))
+
+let bench_rdma =
+  Test.make ~name:"fabric/setup+rdma-write-4K"
+    (Staged.stage (fun () ->
+         let sim = Simkit.Sim.create () in
+         let fabric = Servernet.Fabric.create sim () in
+         let host =
+           Servernet.Fabric.attach fabric ~name:"h" ~store:(Servernet.Fabric.byte_store 64)
+         in
+         let dev =
+           Servernet.Fabric.attach fabric ~name:"d" ~store:(Servernet.Fabric.byte_store 8192)
+         in
+         (match
+            Servernet.Avt.map (Servernet.Fabric.avt dev) ~net_base:0 ~length:8192 ~phys_base:0
+              ~access:(Servernet.Avt.read_write Servernet.Avt.Any_initiator)
+          with
+         | Ok () -> ()
+         | Error e -> failwith e);
+         let (_ : Simkit.Sim.pid) =
+           Simkit.Sim.spawn sim ~name:"w" (fun () ->
+               match
+                 Servernet.Fabric.rdma_write fabric ~src:host ~dst:(Servernet.Fabric.id dev)
+                   ~addr:0 ~data:(Bytes.create 4096)
+               with
+               | Ok () -> ()
+               | Error _ -> failwith "rdma")
+         in
+         Simkit.Sim.run sim))
+
+(* One Test.make per paper figure: the wall-clock cost of simulating a
+   small cell of that figure. *)
+let bench_figure1_cell =
+  Test.make ~name:"FIGURE-1/cell-disk-1driver-64txn"
+    (Staged.stage (fun () ->
+         ignore
+           (Workloads.Figures.run_cell ~mode:Tp.System.Disk_audit ~drivers:1 ~inserts_per_txn:8
+              ~records_per_driver:64 ())))
+
+let bench_figure2_cell =
+  Test.make ~name:"FIGURE-2/cell-pm-1driver-64txn"
+    (Staged.stage (fun () ->
+         ignore
+           (Workloads.Figures.run_cell ~mode:Tp.System.Pm_audit
+              ~config:
+                { Tp.System.pm_config with Tp.System.pm_capacity = 8 * 1024 * 1024; pm_region_bytes = 1024 * 1024 }
+              ~drivers:1 ~inserts_per_txn:8 ~records_per_driver:64 ())))
+
+let bench_btree =
+  Test.make ~name:"btree/insert-find-1k"
+    (Staged.stage (fun () ->
+         let t = Tp.Btree.create ~degree:8 () in
+         for i = 0 to 999 do
+           ignore (Tp.Btree.insert t ~key:((i * 2654435761) land 0xFFFFF) i)
+         done;
+         for i = 0 to 999 do
+           ignore (Tp.Btree.find t ~key:((i * 2654435761) land 0xFFFFF))
+         done))
+
+let micro_tests =
+  Test.make_grouped ~name:"pmods"
+    [
+      bench_btree;
+      bench_crc32;
+      bench_audit_encode;
+      bench_audit_decode;
+      bench_heap;
+      bench_rng;
+      bench_event_loop;
+      bench_rdma;
+      bench_figure1_cell;
+      bench_figure2_cell;
+    ]
+
+let run_micro () =
+  print_endline "== micro-benchmarks (wall clock, bechamel OLS ns/run) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+          if est > 1e6 then Printf.printf "  %-42s %12.3f ms/run\n" name (est /. 1e6)
+          else if est > 1e3 then Printf.printf "  %-42s %12.3f us/run\n" name (est /. 1e3)
+          else Printf.printf "  %-42s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+    rows
+
+(* --- Part 2: figure harness --- *)
+
+let hr = String.make 74 '-'
+
+let scale_note () =
+  Printf.printf "records/driver = %d%s\n" records
+    (if records = 32_000 then " (paper scale)"
+     else Printf.sprintf " (paper: 32000; set PMODS_BENCH_RECORDS=32000 for full scale)")
+
+let figure1 () =
+  print_endline "";
+  print_endline "== FIGURE 1: response-time speedup with PM vs transaction size ==";
+  print_endline "paper shape: up to 3.5x, greatest with 1-2 drivers, declining with";
+  print_endline "boxcar size and with 3-4 drivers";
+  scale_note ();
+  print_endline hr;
+  Printf.printf "%8s %8s %12s %12s %10s %18s\n" "drivers" "txnsize" "disk RT(ms)" "PM RT(ms)"
+    "speedup" "paper(approx)";
+  let expected = function
+    | 1, 8 -> "3.3" | 1, 16 -> "2.4" | 1, 32 -> "1.6"
+    | 2, 8 -> "3.4" | 2, 16 -> "2.5" | 2, 32 -> "1.7"
+    | 3, 8 -> "2.6" | 3, 16 -> "2.0" | 3, 32 -> "1.5"
+    | 4, 8 -> "2.2" | 4, 16 -> "1.8" | 4, 32 -> "1.4"
+    | _ -> "-"
+  in
+  List.iter
+    (fun p ->
+      Printf.printf "%8d %8s %12.2f %12.2f %10.2f %18s\n" p.Workloads.Figures.f1_drivers
+        p.Workloads.Figures.txn_size
+        (p.Workloads.Figures.rt_disk_us /. 1e3)
+        (p.Workloads.Figures.rt_pm_us /. 1e3)
+        p.Workloads.Figures.speedup
+        (expected (p.Workloads.Figures.f1_drivers, p.Workloads.Figures.f1_boxcar)))
+    (Workloads.Figures.figure1 ~records_per_driver:records ());
+  print_endline hr
+
+let figure2 () =
+  print_endline "";
+  print_endline "== FIGURE 2: elapsed time vs transaction size ==";
+  print_endline "paper shape: no-PM elapsed rises sharply as boxcarring shrinks";
+  print_endline "(~40s at 128k to ~120-140s at 32k); PM is nearly flat (~20-40s)";
+  scale_note ();
+  print_endline hr;
+  Printf.printf "%8s %8s %16s %14s %8s\n" "drivers" "txnsize" "disk elapsed(s)" "PM elapsed(s)"
+    "ratio";
+  List.iter
+    (fun p ->
+      Printf.printf "%8d %8s %16.2f %14.2f %8.2f\n" p.Workloads.Figures.f2_drivers
+        p.Workloads.Figures.f2_txn_size p.Workloads.Figures.elapsed_disk_s
+        p.Workloads.Figures.elapsed_pm_s
+        (p.Workloads.Figures.elapsed_disk_s /. p.Workloads.Figures.elapsed_pm_s))
+    (Workloads.Figures.figure2 ~records_per_driver:records ());
+  print_endline hr
+
+let ablations () =
+  let small = min records 4_000 in
+  print_endline "";
+  print_endline "== E3: PM write-latency sweep (where the advantage dies) ==";
+  List.iter
+    (fun p ->
+      Printf.printf "  penalty %10s  RT %8.2f ms  speedup-vs-disk %6.2f\n"
+        (Simkit.Time.to_string p.Workloads.Figures.penalty)
+        (p.Workloads.Figures.rt_us /. 1e3)
+        p.Workloads.Figures.speedup_vs_disk)
+    (Workloads.Figures.latency_sweep ~records_per_driver:small ());
+  print_endline "";
+  print_endline "== E4: mirrored vs unmirrored PM writes ==";
+  List.iter
+    (fun p ->
+      Printf.printf "  mirrored=%-5b RT %8.2f ms  elapsed %8.2f s\n" p.Workloads.Figures.mirrored
+        (p.Workloads.Figures.rt_us /. 1e3)
+        p.Workloads.Figures.elapsed_s)
+    (Workloads.Figures.mirror_ablation ~records_per_driver:small ());
+  print_endline "";
+  print_endline "== E5: crash-recovery time (MTTR) ==";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-5s %s\n"
+        (match p.Workloads.Figures.m_mode with
+        | Tp.System.Disk_audit -> "disk"
+        | Tp.System.Pm_audit -> "pm")
+        (Format.asprintf "%a" Tp.Recovery.pp_report p.Workloads.Figures.report))
+    (Workloads.Figures.mttr ~records_per_driver:(min records 2_000) ());
+  print_endline "";
+  print_endline "== E6: throughput vs ADPs per node ==";
+  List.iter
+    (fun p ->
+      Printf.printf "  adps=%d %-5s %8.1f txn/s\n" p.Workloads.Figures.adps
+        (match p.Workloads.Figures.a_mode with
+        | Tp.System.Disk_audit -> "disk"
+        | Tp.System.Pm_audit -> "pm")
+        p.Workloads.Figures.tps)
+    (Workloads.Figures.adp_scaling ~records_per_driver:small ());
+  print_endline "";
+  print_endline "== E9: process-pair checkpoint traffic (ADPs + MAT) ==";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-5s txns=%d audit=%d B, checkpoints=%d B (%0.0f B/txn)\n"
+        (match p.Workloads.Figures.c_mode with
+        | Tp.System.Disk_audit -> "disk"
+        | Tp.System.Pm_audit -> "pm")
+        p.Workloads.Figures.committed_txns p.Workloads.Figures.audit_bytes
+        p.Workloads.Figures.checkpoint_bytes p.Workloads.Figures.ckpt_bytes_per_txn)
+    (Workloads.Figures.checkpoint_traffic ~records_per_driver:(min records 2_000) ());
+  print_endline "";
+  print_endline "== E8: shared-nothing scale-out ==";
+  List.iter
+    (fun p ->
+      Printf.printf "  nodes=%d %-5s aggregate %8.1f txn/s (per node %6.1f)\n"
+        p.Workloads.Figures.s_nodes
+        (match p.Workloads.Figures.s_mode with
+        | Tp.System.Disk_audit -> "disk"
+        | Tp.System.Pm_audit -> "pm")
+        p.Workloads.Figures.aggregate_tps p.Workloads.Figures.per_node_tps)
+    (Workloads.Figures.scaleout ~records_per_driver:(min records 1_000) ~nodes_list:[ 1; 2 ] ());
+  print_endline "";
+  print_endline "== E10: distributed transactions (two-phase commit, 2 nodes) ==";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-5s local %6.2f ms, 2PC %6.2f ms (protocol %6.2f ms)\n"
+        (match p.Workloads.Figures.d_mode with
+        | Tp.System.Disk_audit -> "disk"
+        | Tp.System.Pm_audit -> "pm")
+        p.Workloads.Figures.local_rt_ms p.Workloads.Figures.dtx_rt_ms
+        p.Workloads.Figures.protocol_overhead_ms)
+    (Workloads.Figures.dtx_latency ~transfers:10 ());
+  print_endline "";
+  print_endline "== E7: ADP process-pair failover under load ==";
+  let r = Workloads.Figures.failover_under_load ~records_per_driver:400 () in
+  Printf.printf "  committed before/total %d/%d, takeovers %d, lost transactions %d\n"
+    r.Workloads.Figures.committed_before r.Workloads.Figures.committed_total
+    r.Workloads.Figures.adp_takeovers r.Workloads.Figures.lost_transactions
+
+let () =
+  run_micro ();
+  figure1 ();
+  figure2 ();
+  ablations ();
+  print_endline "";
+  print_endline "bench: done"

@@ -1,0 +1,407 @@
+(* odsbench: run any experiment of the reproduction from the command line.
+
+   Every sub-command prints a small table to stdout.  --records scales the
+   per-driver record count down from the paper's 32 000 for quick runs. *)
+
+open Cmdliner
+open Simkit
+open Workloads
+
+let records_arg default =
+  let doc = "Records inserted per driver (paper: 32000)." in
+  Arg.(value & opt int default & info [ "records" ] ~docv:"N" ~doc)
+
+let mode_to_string = function
+  | Tp.System.Disk_audit -> "disk"
+  | Tp.System.Pm_audit -> "pm"
+
+let hr () = print_endline (String.make 72 '-')
+
+(* --- fig1 --- *)
+
+let fig1 records =
+  Printf.printf "FIGURE 1: response-time speedup with PM vs transaction size\n";
+  Printf.printf "(paper: up to 3.5x, best at small boxcars and 1-2 drivers)\n";
+  hr ();
+  Printf.printf "%8s %8s %12s %12s %10s\n" "drivers" "txnsize" "disk RT(ms)" "PM RT(ms)" "speedup";
+  let points = Figures.figure1 ~records_per_driver:records () in
+  List.iter
+    (fun p ->
+      Printf.printf "%8d %8s %12.2f %12.2f %10.2f\n" p.Figures.f1_drivers p.Figures.txn_size
+        (p.Figures.rt_disk_us /. 1e3) (p.Figures.rt_pm_us /. 1e3) p.Figures.speedup)
+    points;
+  hr ()
+
+let fig1_cmd =
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Reproduce Figure 1 (response-time speedup vs boxcarring)")
+    Term.(const fig1 $ records_arg 32_000)
+
+(* --- fig2 --- *)
+
+let fig2 records =
+  Printf.printf "FIGURE 2: elapsed time vs transaction size (PM eliminates boxcarring)\n";
+  Printf.printf "(paper: no-PM rises sharply as boxcarring shrinks; PM nearly flat)\n";
+  hr ();
+  Printf.printf "%8s %8s %16s %14s\n" "drivers" "txnsize" "disk elapsed(s)" "PM elapsed(s)";
+  let points = Figures.figure2 ~records_per_driver:records () in
+  List.iter
+    (fun p ->
+      Printf.printf "%8d %8s %16.2f %14.2f\n" p.Figures.f2_drivers p.Figures.f2_txn_size
+        p.Figures.elapsed_disk_s p.Figures.elapsed_pm_s)
+    points;
+  hr ()
+
+let fig2_cmd =
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Reproduce Figure 2 (elapsed time vs boxcarring)")
+    Term.(const fig2 $ records_arg 32_000)
+
+(* --- single cell --- *)
+
+let cell mode device drivers boxcar records verbose =
+  let mode = if mode = "pm" then Tp.System.Pm_audit else Tp.System.Disk_audit in
+  let config =
+    if device = "pmp" then
+      { Tp.System.pm_config with Tp.System.pm_device_kind = Tp.System.Prototype_pmp }
+    else Tp.System.default_config
+  in
+  let sim = Sim.create ~seed:0xF19L () in
+  let cfg = if mode = Tp.System.Pm_audit && device <> "pmp" then
+      { config with Tp.System.log_mode = Tp.System.Pm_audit; txn_state_in_pm = true }
+    else if mode = Tp.System.Pm_audit then config
+    else { config with Tp.System.log_mode = Tp.System.Disk_audit }
+  in
+  let out = ref None in
+  let (_ : Sim.pid) =
+    Sim.spawn sim ~name:"cell" (fun () ->
+        let system = Tp.System.build sim cfg in
+        let params =
+          { Hot_stock.drivers; records_per_driver = records; record_bytes = 4096;
+            inserts_per_txn = boxcar }
+        in
+        out := Some (system, Hot_stock.run system params))
+  in
+  Sim.run sim;
+  let system, result = match !out with Some v -> v | None -> failwith "cell incomplete" in
+  let c = { Figures.mode; drivers; inserts_per_txn = boxcar; result } in
+  if verbose then Format.printf "%a" Tp.System.report system;
+  let r = c.Figures.result in
+  Printf.printf "hot-stock: mode=%s drivers=%d boxcar=%d records=%d\n" (mode_to_string mode)
+    drivers boxcar records;
+  hr ();
+  Printf.printf "elapsed          %.3f s\n" (Time.to_sec r.Hot_stock.elapsed);
+  Printf.printf "transactions     %d (committed %d)\n" r.Hot_stock.txns r.Hot_stock.committed;
+  Printf.printf "throughput       %.1f txn/s\n" r.Hot_stock.throughput_tps;
+  Printf.printf "response mean    %.2f ms\n" (r.Hot_stock.response.Stat.mean /. 1e6);
+  Printf.printf "response p50     %.2f ms\n" (r.Hot_stock.response.Stat.p50 /. 1e6);
+  Printf.printf "response p99     %.2f ms\n" (r.Hot_stock.response.Stat.p99 /. 1e6);
+  Printf.printf "audit bytes      %d\n" r.Hot_stock.audit_bytes;
+  Printf.printf "checkpoint bytes %d\n" r.Hot_stock.checkpoint_bytes;
+  hr ()
+
+let cell_cmd =
+  let mode =
+    Arg.(value & opt string "disk" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+  in
+  let device =
+    Arg.(
+      value & opt string "npmu"
+      & info [ "device" ] ~docv:"npmu|pmp" ~doc:"PM device kind (hardware NPMU or prototype PMP).")
+  in
+  let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
+  let boxcar =
+    Arg.(value & opt int 8 & info [ "boxcar" ] ~docv:"N" ~doc:"Inserts per transaction.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "report" ] ~doc:"Print the per-subsystem operator report.")
+  in
+  Cmd.v
+    (Cmd.info "hot-stock" ~doc:"Run one hot-stock configuration and print details")
+    Term.(const cell $ mode $ device $ drivers $ boxcar $ records_arg 4_000 $ verbose)
+
+(* --- E3 latency sweep --- *)
+
+let sweep_latency records =
+  Printf.printf "E3: PM write-latency sweep (1 driver, boxcar 8)\n";
+  Printf.printf "(the PM advantage should die as the device approaches disk speed)\n";
+  hr ();
+  Printf.printf "%14s %12s %18s\n" "penalty" "RT (ms)" "speedup vs disk";
+  List.iter
+    (fun p ->
+      Printf.printf "%14s %12.2f %18.2f\n" (Time.to_string p.Figures.penalty)
+        (p.Figures.rt_us /. 1e3) p.Figures.speedup_vs_disk)
+    (Figures.latency_sweep ~records_per_driver:records ());
+  hr ()
+
+let sweep_latency_cmd =
+  Cmd.v
+    (Cmd.info "sweep-latency" ~doc:"E3: sweep extra PM device write latency")
+    Term.(const sweep_latency $ records_arg 4_000)
+
+(* --- E4 mirror ablation --- *)
+
+let sweep_mirror records =
+  Printf.printf "E4: mirrored vs unmirrored PM writes (2 drivers, boxcar 8)\n";
+  hr ();
+  Printf.printf "%10s %12s %14s\n" "mirrored" "RT (ms)" "elapsed (s)";
+  List.iter
+    (fun p ->
+      Printf.printf "%10b %12.2f %14.2f\n" p.Figures.mirrored (p.Figures.rt_us /. 1e3)
+        p.Figures.elapsed_s)
+    (Figures.mirror_ablation ~records_per_driver:records ());
+  hr ()
+
+let sweep_mirror_cmd =
+  Cmd.v
+    (Cmd.info "sweep-mirror" ~doc:"E4: mirroring-cost ablation")
+    Term.(const sweep_mirror $ records_arg 4_000)
+
+(* --- E5 MTTR --- *)
+
+let mttr records =
+  Printf.printf "E5: crash-recovery time (MTTR), disk scan vs PM fine-grained state\n";
+  hr ();
+  List.iter
+    (fun p ->
+      Printf.printf "%-5s %s\n" (mode_to_string p.Figures.m_mode)
+        (Format.asprintf "%a" Tp.Recovery.pp_report p.Figures.report))
+    (Figures.mttr ~records_per_driver:records ());
+  hr ()
+
+let mttr_cmd =
+  Cmd.v (Cmd.info "mttr" ~doc:"E5: MTTR comparison") Term.(const mttr $ records_arg 2_000)
+
+(* --- E6 ADP scaling --- *)
+
+let scale_adp records =
+  Printf.printf "E6: audit throughput vs ADPs per node (4 drivers, boxcar 8)\n";
+  hr ();
+  Printf.printf "%6s %6s %12s\n" "adps" "mode" "txn/s";
+  List.iter
+    (fun p ->
+      Printf.printf "%6d %6s %12.1f\n" p.Figures.adps (mode_to_string p.Figures.a_mode)
+        p.Figures.tps)
+    (Figures.adp_scaling ~records_per_driver:records ());
+  hr ()
+
+let scale_adp_cmd =
+  Cmd.v
+    (Cmd.info "scale-adp" ~doc:"E6: multiple ADPs per node")
+    Term.(const scale_adp $ records_arg 4_000)
+
+(* --- E7 failover --- *)
+
+let failover records =
+  Printf.printf "E7: ADP process-pair failover under load (disk mode)\n";
+  hr ();
+  let r = Figures.failover_under_load ~records_per_driver:records () in
+  Printf.printf "committed before failure  %d\n" r.Figures.committed_before;
+  Printf.printf "committed total           %d\n" r.Figures.committed_total;
+  Printf.printf "ADP takeovers             %d\n" r.Figures.adp_takeovers;
+  Printf.printf "takeover delay            %s\n" (Time.to_string r.Figures.outage);
+  Printf.printf "lost transactions         %d\n" r.Figures.lost_transactions;
+  hr ()
+
+let failover_cmd =
+  Cmd.v
+    (Cmd.info "failover" ~doc:"E7: process-pair takeover under load")
+    Term.(const failover $ records_arg 400)
+
+(* --- domain workloads --- *)
+
+let run_in_system cfg seed f =
+  let sim = Sim.create ~seed () in
+  let out = ref None in
+  let (_ : Sim.pid) =
+    Sim.spawn sim ~name:"main" (fun () ->
+        let system = Tp.System.build sim cfg in
+        out := Some (f system))
+  in
+  Sim.run sim;
+  match !out with Some v -> v | None -> failwith "run did not complete"
+
+let cfg_of_mode = function
+  | "pm" -> Tp.System.pm_config
+  | _ -> Tp.System.default_config
+
+let telco mode records rate =
+  let params =
+    { Telco_cdr.default_params with
+      Telco_cdr.cdrs_per_switch = records;
+      arrival = (if rate > 0.0 then Telco_cdr.Open_poisson rate else Telco_cdr.Closed) }
+  in
+  let r = run_in_system (cfg_of_mode mode) 0x7E1C0L (fun s -> Telco_cdr.run s params) in
+  Printf.printf "telco CDR ingest: mode=%s switches=%d cdrs/switch=%d\n" mode
+    params.Telco_cdr.switches records;
+  hr ();
+  Printf.printf "elapsed        %.3f s\n" (Time.to_sec r.Telco_cdr.elapsed);
+  Printf.printf "ingest rate    %.0f CDR/s\n" r.Telco_cdr.cdrs_per_sec;
+  Printf.printf "txn p50        %.2f ms\n" (r.Telco_cdr.txn_response.Stat.p50 /. 1e6);
+  Printf.printf "txn p99        %.2f ms\n" (r.Telco_cdr.txn_response.Stat.p99 /. 1e6);
+  Printf.printf "fraud lookups  %d (%d hits)\n" r.Telco_cdr.lookups r.Telco_cdr.lookup_hits;
+  hr ()
+
+let telco_cmd =
+  let mode =
+    Arg.(value & opt string "disk" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"CDR/s" ~doc:"Open-loop offered load (0 = closed loop).")
+  in
+  Cmd.v
+    (Cmd.info "telco" ~doc:"Telco CDR ingest workload (paper section 1)")
+    Term.(const telco $ mode $ records_arg 1_000 $ rate)
+
+let orders mode trades =
+  let params = { Order_match.default_params with Order_match.trades_per_stream = trades } in
+  let r = run_in_system (cfg_of_mode mode) 0x570CL (fun s -> Order_match.run s params) in
+  Printf.printf "order matching: mode=%s streams=%d trades/stream=%d hot-share=%.0f%%\n" mode
+    params.Order_match.streams trades (params.Order_match.hot_symbol_share *. 100.);
+  hr ();
+  Printf.printf "elapsed        %.3f s\n" (Time.to_sec r.Order_match.elapsed);
+  Printf.printf "hot symbol     %.1f trades/s (%d trades)\n" r.Order_match.hot_tps
+    r.Order_match.hot_trades;
+  Printf.printf "cold symbols   %.1f trades/s\n" r.Order_match.cold_tps;
+  Printf.printf "trade RT p50   %.2f ms\n" (r.Order_match.trade_response.Stat.p50 /. 1e6);
+  Printf.printf "lock conflicts %d\n" r.Order_match.lock_waits;
+  hr ()
+
+let orders_cmd =
+  let mode =
+    Arg.(value & opt string "disk" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+  in
+  let trades =
+    Arg.(value & opt int 500 & info [ "trades" ] ~docv:"N" ~doc:"Trades per stream.")
+  in
+  Cmd.v
+    (Cmd.info "orders" ~doc:"Hot-stock order matching workload (paper section 2)")
+    Term.(const orders $ mode $ trades)
+
+let dtx_cmd_impl transfers =
+  Printf.printf "E10: cross-node transfers under two-phase commit (2 nodes)\n";
+  hr ();
+  Printf.printf "%6s %14s %14s %16s\n" "mode" "local RT(ms)" "2PC RT(ms)" "protocol(ms)";
+  List.iter
+    (fun p ->
+      Printf.printf "%6s %14.2f %14.2f %16.2f\n"
+        (mode_to_string p.Figures.d_mode) p.Figures.local_rt_ms p.Figures.dtx_rt_ms
+        p.Figures.protocol_overhead_ms)
+    (Figures.dtx_latency ~transfers ());
+  hr ()
+
+let dtx_cmd =
+  let transfers =
+    Arg.(value & opt int 20 & info [ "transfers" ] ~docv:"N" ~doc:"Transfers to average over.")
+  in
+  Cmd.v (Cmd.info "dtx" ~doc:"E10: distributed-commit latency") Term.(const dtx_cmd_impl $ transfers)
+
+let ckpt_traffic records =
+  Printf.printf "E9: process-pair checkpoint traffic (2 drivers, boxcar 8)\n";
+  hr ();
+  List.iter
+    (fun p ->
+      Printf.printf "%-5s txns=%-6d audit=%-10d B  checkpoints=%-10d B  (%.0f B/txn)\n"
+        (mode_to_string p.Figures.c_mode) p.Figures.committed_txns p.Figures.audit_bytes
+        p.Figures.checkpoint_bytes p.Figures.ckpt_bytes_per_txn)
+    (Figures.checkpoint_traffic ~records_per_driver:records ());
+  hr ()
+
+let ckpt_traffic_cmd =
+  Cmd.v
+    (Cmd.info "ckpt-traffic" ~doc:"E9: checkpoint traffic, disk vs PM")
+    Term.(const ckpt_traffic $ records_arg 2_000)
+
+let scaleout records =
+  Printf.printf "E8: shared-nothing scale-out (2 drivers/node, boxcar 8)\n";
+  hr ();
+  Printf.printf "%6s %6s %16s %14s\n" "nodes" "mode" "aggregate txn/s" "per-node txn/s";
+  List.iter
+    (fun p ->
+      Printf.printf "%6d %6s %16.1f %14.1f\n" p.Figures.s_nodes
+        (mode_to_string p.Figures.s_mode) p.Figures.aggregate_tps p.Figures.per_node_tps)
+    (Figures.scaleout ~records_per_driver:records ());
+  hr ()
+
+let scaleout_cmd =
+  Cmd.v
+    (Cmd.info "scale-out" ~doc:"E8: aggregate throughput vs node count")
+    Term.(const scaleout $ records_arg 2_000)
+
+let bank mode txns =
+  let params = { Bank.default_params with Bank.txns_per_client = txns } in
+  let r = run_in_system (cfg_of_mode mode) 0xBA22L (fun s -> Bank.run s params) in
+  Printf.printf "bank (TPC-B-style): mode=%s clients=%d txns/client=%d\n" mode
+    params.Bank.clients txns;
+  hr ();
+  Printf.printf "elapsed          %.3f s\n" (Time.to_sec r.Bank.elapsed);
+  Printf.printf "throughput       %.1f txn/s\n" r.Bank.tps;
+  Printf.printf "response p50     %.2f ms\n" (r.Bank.response.Stat.p50 /. 1e6);
+  Printf.printf "response p99     %.2f ms\n" (r.Bank.response.Stat.p99 /. 1e6);
+  Printf.printf "branch conflicts %d\n" r.Bank.branch_conflicts;
+  hr ()
+
+let bank_cmd =
+  let mode =
+    Arg.(value & opt string "disk" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+  in
+  let txns =
+    Arg.(value & opt int 250 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per client.")
+  in
+  Cmd.v
+    (Cmd.info "bank" ~doc:"TPC-B-style update-heavy banking workload")
+    Term.(const bank $ mode $ txns)
+
+(* --- everything at a glance --- *)
+
+let all records =
+  Printf.printf "pmods: full experiment sweep at %d records/driver\n\n" records;
+  fig1 records;
+  print_newline ();
+  fig2 records;
+  print_newline ();
+  sweep_latency (min records 4_000);
+  print_newline ();
+  sweep_mirror (min records 4_000);
+  print_newline ();
+  mttr (min records 2_000);
+  print_newline ();
+  scale_adp (min records 4_000);
+  print_newline ();
+  ckpt_traffic (min records 2_000);
+  print_newline ();
+  scaleout (min records 1_000);
+  print_newline ();
+  dtx_cmd_impl 20;
+  print_newline ();
+  failover 400
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment at reduced scale and print the summary")
+    Term.(const all $ records_arg 2_000)
+
+let main_cmd =
+  let doc = "Reproduction experiments for 'Fast and Flexible Persistence' (IPDPS 2004)" in
+  Cmd.group (Cmd.info "odsbench" ~version:"1.0" ~doc)
+    [
+      all_cmd;
+      fig1_cmd;
+      fig2_cmd;
+      cell_cmd;
+      sweep_latency_cmd;
+      sweep_mirror_cmd;
+      mttr_cmd;
+      scale_adp_cmd;
+      failover_cmd;
+      telco_cmd;
+      orders_cmd;
+      bank_cmd;
+      scaleout_cmd;
+      ckpt_traffic_cmd;
+      dtx_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

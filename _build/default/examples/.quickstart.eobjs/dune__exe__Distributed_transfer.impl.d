@@ -1,0 +1,1 @@
+examples/distributed_transfer.ml: Array Cluster Dp2 Dtx Format Sim Simkit System Time Tp Txclient

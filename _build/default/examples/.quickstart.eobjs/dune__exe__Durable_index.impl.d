@@ -1,0 +1,1 @@
+examples/durable_index.ml: Format List Node Npmu Nsk Pm Pm_client Pm_index Pm_types Pmm Printf Sim Simkit String Time

@@ -1,0 +1,1 @@
+examples/entity_store.ml: Dp2 Entity Format List Printf Sim Simkit System Time Tp

@@ -1,0 +1,1 @@
+examples/entity_store.mli:

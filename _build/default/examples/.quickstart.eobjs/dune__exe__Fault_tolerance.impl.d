@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Bytes Cpu Format Node Npmu Nsk Pm Pm_client Pm_types Pmm Sim Simkit Time Workloads

@@ -1,0 +1,1 @@
+examples/hot_stock_demo.ml: Figures Format Hot_stock List Simkit Stat String Time Tp Workloads

@@ -1,0 +1,1 @@
+examples/hot_symbols.ml: Format Order_match Sim Simkit Stat Time Tp Workloads

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Bytes Format Node Npmu Nsk Pm Pm_client Pm_kv Pm_types Pmm Printf Sim Simkit Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Node Npmu Nsk Pm Pm_client Pm_types Pmm Sim Simkit Time

@@ -1,0 +1,1 @@
+examples/telco_ingest.ml: Format Sim Simkit Stat Telco_cdr Time Tp Workloads

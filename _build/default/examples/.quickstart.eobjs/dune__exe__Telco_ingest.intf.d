@@ -1,0 +1,1 @@
+examples/telco_ingest.mli:

@@ -1,0 +1,1 @@
+lib/core/npmu.ml: Bytes Servernet

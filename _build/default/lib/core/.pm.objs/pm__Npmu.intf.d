@@ -1,0 +1,1 @@
+lib/core/npmu.mli: Bytes Servernet Sim Simkit

@@ -1,0 +1,1 @@
+lib/core/pm_client.ml: Bytes Cpu Msgsys Nsk Pm_types Pmm Servernet Sim Simkit Stat Time

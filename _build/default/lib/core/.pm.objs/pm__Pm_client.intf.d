@@ -1,0 +1,1 @@
+lib/core/pm_client.mli: Bytes Cpu Nsk Pm_types Pmm Servernet Simkit Stat Time

@@ -1,0 +1,1 @@
+lib/core/pm_index.ml: Array Bytes Codec Crc32 Int32 List Pm_client Pm_types

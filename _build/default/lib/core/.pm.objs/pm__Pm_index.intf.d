@@ -1,0 +1,1 @@
+lib/core/pm_index.mli: Pm_client Pm_types

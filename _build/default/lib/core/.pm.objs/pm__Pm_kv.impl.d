@@ -1,0 +1,1 @@
+lib/core/pm_kv.ml: Bytes Codec Crc32 Int32 Pm_client Pm_index Pm_types

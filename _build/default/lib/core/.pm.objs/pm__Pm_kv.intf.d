@@ -1,0 +1,1 @@
+lib/core/pm_kv.mli: Bytes Pm_client Pm_types

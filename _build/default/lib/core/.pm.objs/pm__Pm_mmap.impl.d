@@ -1,0 +1,1 @@
+lib/core/pm_mmap.ml: Array Bytes Pm_client Pm_types Sim Simkit Stat

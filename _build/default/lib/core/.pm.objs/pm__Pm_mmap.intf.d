@@ -1,0 +1,1 @@
+lib/core/pm_mmap.mli: Bytes Pm_client Pm_types Simkit Stat

@@ -1,0 +1,1 @@
+lib/core/pm_queue.mli: Bytes Pm_client Pm_types

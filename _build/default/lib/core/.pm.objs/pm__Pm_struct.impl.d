@@ -1,0 +1,1 @@
+lib/core/pm_struct.ml: Bytes Codec List Pm_client Pm_types

@@ -1,0 +1,1 @@
+lib/core/pm_struct.mli: Bytes Pm_client Pm_types

@@ -1,0 +1,1 @@
+lib/core/pm_types.ml: Format

@@ -1,0 +1,1 @@
+lib/core/pm_types.mli: Format

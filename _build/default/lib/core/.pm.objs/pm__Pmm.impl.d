@@ -1,0 +1,1 @@
+lib/core/pmm.ml: Bytes Codec Cpu Crc32 Int32 List Msgsys Npmu Nsk Pm_types Pmp Procpair Servernet Sim Simkit String Time

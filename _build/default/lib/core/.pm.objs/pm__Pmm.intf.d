@@ -1,0 +1,1 @@
+lib/core/pmm.mli: Bytes Cpu Msgsys Npmu Nsk Pm_types Pmp Servernet Simkit Time

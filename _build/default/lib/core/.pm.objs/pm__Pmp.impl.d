@@ -1,0 +1,1 @@
+lib/core/pmp.ml: Bytes Cpu Mailbox Nsk Servernet Sim Simkit

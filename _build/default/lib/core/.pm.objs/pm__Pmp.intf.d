@@ -1,0 +1,1 @@
+lib/core/pmp.mli: Bytes Cpu Nsk Servernet

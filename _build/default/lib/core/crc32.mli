@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to checksum persistent-memory
+    metadata records and audit-trail records so that recovery can tell a
+    torn or corrupt record from a valid one. *)
+
+val bytes : Bytes.t -> int32
+
+val sub : Bytes.t -> pos:int -> len:int -> int32
+
+val string : string -> int32

@@ -1,0 +1,54 @@
+type t = {
+  npmu_name : string;
+  capacity : int;
+  mem : Bytes.t;
+  ep : Servernet.Fabric.endpoint;
+  mutable powered : bool;
+}
+
+let create sim fabric ~name ~capacity =
+  ignore sim;
+  if capacity <= 0 then invalid_arg "Npmu.create: capacity must be positive";
+  let mem = Bytes.make capacity '\000' in
+  let store =
+    {
+      Servernet.Fabric.size = capacity;
+      read = (fun ~off ~len -> Bytes.sub mem off len);
+      write = (fun ~off ~data -> Bytes.blit data 0 mem off (Bytes.length data));
+    }
+  in
+  let ep = Servernet.Fabric.attach fabric ~name ~store in
+  { npmu_name = name; capacity; mem; ep; powered = true }
+
+let name t = t.npmu_name
+
+let capacity t = t.capacity
+
+let endpoint t = t.ep
+
+let id t = Servernet.Fabric.id t.ep
+
+let avt t = Servernet.Fabric.avt t.ep
+
+let is_powered t = t.powered
+
+let power_loss t =
+  if t.powered then begin
+    t.powered <- false;
+    Servernet.Fabric.set_alive t.ep false
+  end
+
+let power_restore t =
+  if not t.powered then begin
+    t.powered <- true;
+    Servernet.Fabric.set_alive t.ep true
+  end
+
+let peek t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.capacity then invalid_arg "Npmu.peek: out of range";
+  Bytes.sub t.mem off len
+
+let poke t ~off ~data =
+  let len = Bytes.length data in
+  if off < 0 || off + len > t.capacity then invalid_arg "Npmu.poke: out of range";
+  Bytes.blit data 0 t.mem off len

@@ -1,0 +1,45 @@
+open Simkit
+
+(** Network Persistent Memory Unit: the hardware device of the paper's
+    architecture (§4.1).
+
+    An NPMU is a ServerNet endpoint whose store is non-volatile RAM.  It
+    has no CPU in the data path: initiators RDMA straight into its
+    memory through the AVT windows the Persistent Memory Manager
+    programs.  {!power_loss} drops it off the fabric but — unlike the
+    {!Pmp} prototype — its contents survive and reappear on
+    {!power_restore}. *)
+
+type t
+
+val create : Sim.t -> Servernet.Fabric.t -> name:string -> capacity:int -> t
+
+val name : t -> string
+
+val capacity : t -> int
+
+val endpoint : t -> Servernet.Fabric.endpoint
+
+val id : t -> int
+(** Fabric endpoint id. *)
+
+val avt : t -> Servernet.Avt.t
+
+val is_powered : t -> bool
+
+val power_loss : t -> unit
+(** The device disappears from the fabric; memory contents are retained
+    (durable media, no refresh needed). *)
+
+val power_restore : t -> unit
+(** Back on the fabric with contents intact.  AVT windows survive too:
+    the paper requires durable, self-consistent metadata for continued
+    access after power loss. *)
+
+val peek : t -> off:int -> len:int -> Bytes.t
+(** Maintenance-path read of raw device memory (no fabric traffic, no
+    timing).  Used by recovery tooling and tests. *)
+
+val poke : t -> off:int -> data:Bytes.t -> unit
+(** Maintenance-path write.  Tests only; production writes go through
+    RDMA. *)

@@ -1,0 +1,150 @@
+open Simkit
+open Nsk
+
+type config = {
+  mirrored_writes : bool;
+  write_penalty : Time.span;
+  mgmt_timeout : Time.span;
+  mgmt_retries : int;
+}
+
+let default_config =
+  {
+    mirrored_writes = true;
+    write_penalty = 0;
+    mgmt_timeout = Time.sec 2;
+    mgmt_retries = 3;
+  }
+
+type t = {
+  client_cpu : Cpu.t;
+  fabric : Servernet.Fabric.t;
+  pmm : Pmm.server;
+  cfg : config;
+  mutable degraded : int;
+  latency : Stat.t;
+}
+
+type handle = { t : t; region : Pm_types.region_info }
+
+let attach ~cpu ~fabric ~pmm ?(config = default_config) () =
+  {
+    client_cpu = cpu;
+    fabric;
+    pmm;
+    cfg = config;
+    degraded = 0;
+    latency = Stat.create ~name:"pm_write" ();
+  }
+
+let cpu t = t.client_cpu
+
+let info h = h.region
+
+(* Management RPC with retry across PMM takeovers. *)
+let mgmt_call t req =
+  let rec go attempts =
+    match Msgsys.call t.pmm ~from:t.client_cpu ~timeout:t.cfg.mgmt_timeout req with
+    | Ok resp -> Ok resp
+    | Error (Msgsys.Server_down | Msgsys.Timed_out) ->
+        if attempts <= 0 then Error Pm_types.Manager_down
+        else begin
+          Sim.sleep (Time.ms 100);
+          go (attempts - 1)
+        end
+  in
+  go t.cfg.mgmt_retries
+
+let region_result t = function
+  | Ok (Pmm.R_region region) -> Ok { t; region }
+  | Ok (Pmm.R_error e) -> Error e
+  | Ok _ -> Error (Pm_types.Bad_request "unexpected PMM response")
+  | Error e -> Error e
+
+let create_region t ~name ~size =
+  let client = Cpu.endpoint_id t.client_cpu in
+  region_result t (mgmt_call t (Pmm.Create { rname = name; size; client }))
+
+let open_region t ~name =
+  let client = Cpu.endpoint_id t.client_cpu in
+  region_result t (mgmt_call t (Pmm.Open { rname = name; client }))
+
+let unit_result = function
+  | Ok Pmm.R_ok -> Ok ()
+  | Ok (Pmm.R_error e) -> Error e
+  | Ok _ -> Error (Pm_types.Bad_request "unexpected PMM response")
+  | Error e -> Error e
+
+let close_region t h =
+  let client = Cpu.endpoint_id t.client_cpu in
+  unit_result (mgmt_call t (Pmm.Close { rname = h.region.Pm_types.region_name; client }))
+
+let delete_region t ~name = unit_result (mgmt_call t (Pmm.Delete { rname = name }))
+
+let list_regions t =
+  match mgmt_call t Pmm.List_regions with
+  | Ok (Pmm.R_regions rs) -> Ok rs
+  | Ok (Pmm.R_error e) -> Error e
+  | Ok _ -> Error (Pm_types.Bad_request "unexpected PMM response")
+  | Error e -> Error e
+
+let bounds_ok region ~off ~len =
+  off >= 0 && len >= 0 && off + len <= region.Pm_types.length
+
+let write t h ~off ~data =
+  let region = h.region in
+  let len = Bytes.length data in
+  if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "write out of bounds")
+  else begin
+    let started = Sim.now (Cpu.sim t.client_cpu) in
+    let addr = region.Pm_types.net_base + off in
+    let src = Cpu.endpoint t.client_cpu in
+    if t.cfg.write_penalty > 0 then Sim.sleep t.cfg.write_penalty;
+    let primary_result =
+      Servernet.Fabric.rdma_write t.fabric ~src ~dst:region.Pm_types.primary_npmu ~addr ~data
+    in
+    let mirror_result =
+      if t.cfg.mirrored_writes then
+        Servernet.Fabric.rdma_write t.fabric ~src ~dst:region.Pm_types.mirror_npmu ~addr ~data
+      else primary_result
+    in
+    let outcome =
+      match (primary_result, mirror_result) with
+      | Ok (), Ok () -> Ok ()
+      | Ok (), Error _ | Error _, Ok () ->
+          t.degraded <- t.degraded + 1;
+          Ok ()
+      | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied), _
+      | _, Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+          Error Pm_types.Permission_denied
+      | Error _, Error _ -> Error Pm_types.Device_failed
+    in
+    (match outcome with
+    | Ok () -> Stat.add_span t.latency (Sim.now (Cpu.sim t.client_cpu) - started)
+    | Error _ -> ());
+    outcome
+  end
+
+let read t h ~off ~len =
+  let region = h.region in
+  if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
+  else begin
+    let addr = region.Pm_types.net_base + off in
+    let src = Cpu.endpoint t.client_cpu in
+    match Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.primary_npmu ~addr ~len with
+    | Ok data -> Ok data
+    | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+        Error Pm_types.Permission_denied
+    | Error _ -> (
+        match
+          Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.mirror_npmu ~addr ~len
+        with
+        | Ok data -> Ok data
+        | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+            Error Pm_types.Permission_denied
+        | Error _ -> Error Pm_types.Device_failed)
+  end
+
+let degraded_writes t = t.degraded
+
+let write_latency t = t.latency

@@ -1,0 +1,62 @@
+open Simkit
+open Nsk
+
+(** Client access library for persistent memory (paper §4.1).
+
+    A client attaches to a PM volume (a PMM pair) from a CPU.  Management
+    operations (create/open/close/delete) are messages to the PMM; data
+    operations are direct, synchronous RDMA to the NPMUs — no manager and
+    no device CPU in the path.  Writes go to both mirrors before the call
+    returns: when {!write} returns [Ok ()] the data {e is} persistent, the
+    property the modified audit process relies on to commit transactions
+    without a disk flush. *)
+
+type config = {
+  mirrored_writes : bool;
+      (** write both devices (default); [false] is the E4 ablation *)
+  write_penalty : Time.span;
+      (** extra per-write device latency, for slower-media sweeps (E3) *)
+  mgmt_timeout : Time.span;  (** patience for PMM replies across takeovers *)
+  mgmt_retries : int;
+}
+
+val default_config : config
+
+type t
+
+val attach : cpu:Cpu.t -> fabric:Servernet.Fabric.t -> pmm:Pmm.server -> ?config:config -> unit -> t
+
+val cpu : t -> Cpu.t
+
+type handle
+(** An open region: where its window lives and on which devices. *)
+
+val info : handle -> Pm_types.region_info
+
+val create_region : t -> name:string -> size:int -> (handle, Pm_types.error) result
+(** Create and implicitly open a region. *)
+
+val open_region : t -> name:string -> (handle, Pm_types.error) result
+
+val close_region : t -> handle -> (unit, Pm_types.error) result
+
+val delete_region : t -> name:string -> (unit, Pm_types.error) result
+
+val list_regions : t -> (Pm_types.region_info list, Pm_types.error) result
+
+val write : t -> handle -> off:int -> data:Bytes.t -> (unit, Pm_types.error) result
+(** Synchronous persistent write.  Mirrored: returns [Ok] once every
+    powered device of the pair holds the data; degraded single-device
+    success is still persistent (and reported through {!degraded_writes}).
+    Fails with [Device_failed] when no device accepted it, and with
+    [Bad_request] on bounds violations (checked client-side before any
+    wire traffic). *)
+
+val read : t -> handle -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
+(** Read from the primary device, failing over to the mirror. *)
+
+val degraded_writes : t -> int
+(** Writes that persisted on only one device. *)
+
+val write_latency : t -> Stat.t
+(** Distribution of {!write} completion times. *)

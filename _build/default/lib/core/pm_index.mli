@@ -1,0 +1,50 @@
+(** A persistent B-tree index living in a persistent-memory region
+    (paper §3.4: PM lets "ODS data structures, such as database indices
+    ... be efficiently stored to durable media", updated at fine grain).
+
+    The tree is stored as fixed-slot nodes inside one PM region and
+    updated copy-on-write: an insert writes the new leaf-to-root path
+    into fresh slots and then flips the root pointer in the header with
+    one small write.  A crash at any point leaves the previous,
+    consistent tree reachable — shadow paging on persistent memory.
+    Every operation's cost is real simulated RDMA traffic: reads walk the
+    tree at ~25 µs per node, inserts add one node write per level plus
+    the header flip.
+
+    Single writer, many readers (the NonStop discipline: the owning
+    process writes, others {!open_existing} and read). *)
+
+type t
+
+type error = Pm_types.error
+
+val create :
+  Pm_client.t -> Pm_client.handle -> ?degree:int -> unit -> (t, error) result
+(** Format the region as an empty index.  [degree] (minimum B-tree
+    degree, default 8) fixes the node layout; nodes occupy 1 KiB slots.
+    Process context only. *)
+
+val open_existing : Pm_client.t -> Pm_client.handle -> (t, error) result
+(** Attach to an index someone already created — a different client CPU,
+    or the same region after a power cycle. *)
+
+val insert : t -> key:int -> value:int -> (unit, error) result
+(** Insert or replace.  Durable (both mirrors) on return. *)
+
+val find : t -> key:int -> (int option, error) result
+
+val range : t -> lo:int -> hi:int -> ((int * int) list, error) result
+(** Bindings with [lo <= key <= hi], ascending. *)
+
+val cardinal : t -> int
+(** Entry count (from the durable header). *)
+
+val height : t -> int
+
+val bytes_allocated : t -> int
+(** Region bytes consumed so far.  Copy-on-write retires old slots
+    without reclaiming them; a production version would keep a free map
+    (documented simplification). *)
+
+val refresh : t -> (unit, error) result
+(** Re-read the header — how a reader observes the writer's updates. *)

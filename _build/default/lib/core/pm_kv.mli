@@ -1,0 +1,49 @@
+(** A durable key-value store on persistent memory — what a downstream
+    user of this library would actually deploy (the modern shape of the
+    paper's "durable information store completely integrated into the
+    memory hierarchy", §3.4).
+
+    Composition: a {!Pm_index} copy-on-write B-tree maps keys to packed
+    (offset, length) locators inside a separate value-log region, where
+    value bytes are bump-allocated.  A put appends the value, then
+    commits by flipping the index root — so a crash at any instant leaves
+    the previous consistent store.  Deletes write tombstones.  All costs
+    are real RDMA traffic on the simulated devices.
+
+    Single writer, many readers.  Space from overwritten and deleted
+    values is not reclaimed (log-structured stores compact; documented
+    simplification). *)
+
+type t
+
+type error = Pm_types.error
+
+val create :
+  Pm_client.t -> index:Pm_client.handle -> log:Pm_client.handle -> (t, error) result
+(** Format both regions.  Process context only. *)
+
+val open_existing :
+  Pm_client.t -> index:Pm_client.handle -> log:Pm_client.handle -> (t, error) result
+
+val put : t -> key:int -> Bytes.t -> (unit, error) result
+(** Durable on return. *)
+
+val get : t -> key:int -> (Bytes.t option, error) result
+
+val delete : t -> key:int -> (unit, error) result
+(** Idempotent. *)
+
+val mem : t -> key:int -> (bool, error) result
+
+val fold_range :
+  t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> Bytes.t -> 'a) -> ('a, error) result
+(** Fold over live bindings with [lo <= key <= hi], ascending. *)
+
+val entries : t -> int
+(** Live bindings (index count minus tombstones is not tracked; this is
+    the index entry count including tombstones). *)
+
+val log_bytes_used : t -> int
+
+val refresh : t -> (unit, error) result
+(** Reader-side: observe the writer's latest committed state. *)

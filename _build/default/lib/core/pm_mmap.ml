@@ -1,0 +1,134 @@
+open Simkit
+
+type page = { mutable bytes : Bytes.t option; mutable dirty : bool }
+
+type t = {
+  client : Pm_client.t;
+  handle : Pm_client.handle;
+  page_bytes : int;
+  pages : page array;
+  region_len : int;
+  latency : Stat.t;
+}
+
+let map client handle ?(page_bytes = 4096) () =
+  if page_bytes <= 0 then invalid_arg "Pm_mmap.map: page size must be positive";
+  let region_len = (Pm_client.info handle).Pm_types.length in
+  let n = (region_len + page_bytes - 1) / page_bytes in
+  Ok
+    {
+      client;
+      handle;
+      page_bytes;
+      pages = Array.init n (fun _ -> { bytes = None; dirty = false });
+      region_len;
+      latency = Stat.create ~name:"msync" ();
+    }
+
+let length t = t.region_len
+
+let page_extent t idx =
+  let off = idx * t.page_bytes in
+  (off, min t.page_bytes (t.region_len - off))
+
+(* Fault a page in from the devices. *)
+let fault t idx =
+  match t.pages.(idx).bytes with
+  | Some b -> Ok b
+  | None -> (
+      let off, len = page_extent t idx in
+      match Pm_client.read t.client t.handle ~off ~len with
+      | Ok data ->
+          let b = Bytes.make t.page_bytes '\000' in
+          Bytes.blit data 0 b 0 len;
+          t.pages.(idx).bytes <- Some b;
+          Ok b
+      | Error e -> Error e)
+
+let bounds_ok t ~off ~len = off >= 0 && len >= 0 && off + len <= t.region_len
+
+let load t ~off ~len =
+  if not (bounds_ok t ~off ~len) then Error (Pm_types.Bad_request "load out of bounds")
+  else begin
+    let out = Bytes.create len in
+    let rec copy pos =
+      if pos >= len then Ok out
+      else
+        let abs = off + pos in
+        let idx = abs / t.page_bytes in
+        let in_page = abs mod t.page_bytes in
+        let n = min (len - pos) (t.page_bytes - in_page) in
+        match fault t idx with
+        | Error e -> Error e
+        | Ok page ->
+            Bytes.blit page in_page out pos n;
+            copy (pos + n)
+    in
+    copy 0
+  end
+
+let store t ~off ~data =
+  let len = Bytes.length data in
+  if not (bounds_ok t ~off ~len) then Error (Pm_types.Bad_request "store out of bounds")
+  else begin
+    let rec copy pos =
+      if pos >= len then Ok ()
+      else
+        let abs = off + pos in
+        let idx = abs / t.page_bytes in
+        let in_page = abs mod t.page_bytes in
+        let n = min (len - pos) (t.page_bytes - in_page) in
+        (* A partial store still needs the rest of the page's durable
+           contents, so fault it in before overwriting. *)
+        match fault t idx with
+        | Error e -> Error e
+        | Ok page ->
+            Bytes.blit data pos page in_page n;
+            t.pages.(idx).dirty <- true;
+            copy (pos + n)
+    in
+    copy 0
+  end
+
+let flush_page t idx =
+  let p = t.pages.(idx) in
+  match p.bytes with
+  | Some b when p.dirty -> (
+      let off, len = page_extent t idx in
+      match Pm_client.write t.client t.handle ~off ~data:(Bytes.sub b 0 len) with
+      | Ok () ->
+          p.dirty <- false;
+          Ok ()
+      | Error e -> Error e)
+  | _ -> Ok ()
+
+let msync_range t ~off ~len =
+  if not (bounds_ok t ~off ~len) then Error (Pm_types.Bad_request "msync out of bounds")
+  else if len = 0 then Ok ()
+  else begin
+    let sim = Sim.current () in
+    let started = Sim.now sim in
+    let first = off / t.page_bytes in
+    let last = (off + len - 1) / t.page_bytes in
+    let rec go idx =
+      if idx > last then Ok () else
+        match flush_page t idx with Ok () -> go (idx + 1) | Error e -> Error e
+    in
+    let result = go first in
+    if result = Ok () then Stat.add_span t.latency (Sim.now sim - started);
+    result
+  end
+
+let msync t = msync_range t ~off:0 ~len:t.region_len
+
+let dirty_pages t =
+  Array.fold_left (fun acc p -> if p.dirty then acc + 1 else acc) 0 t.pages
+
+let refresh t =
+  Array.iter
+    (fun p ->
+      p.bytes <- None;
+      p.dirty <- false)
+    t.pages
+
+let sync_latency t = t.latency

@@ -1,0 +1,44 @@
+open Simkit
+
+(** Memory-mapped persistent memory (paper §3.4, §5.1).
+
+    The paper notes that PM "supports transactional updating of
+    persistent stores, with an access architecture not dissimilar to the
+    mmap() and msync() primitives of memory-mapped files" — and that
+    direct load/store mapping is the long-term goal.  This module models
+    that access style over the RDMA client library: a region is mapped
+    into the process as a page cache; loads and stores hit local memory
+    at CPU speed; {!msync} makes the dirty pages durable with synchronous
+    RDMA writes; a fresh mapping (or {!refresh}) sees the durable
+    image. *)
+
+type t
+
+val map : Pm_client.t -> Pm_client.handle -> ?page_bytes:int -> unit -> (t, Pm_types.error) result
+(** Map the whole region (faulting pages in lazily on first touch).
+    [page_bytes] defaults to 4096.  Process context only. *)
+
+val length : t -> int
+
+val load : t -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
+(** Read through the page cache; faults missing pages from the devices. *)
+
+val store : t -> off:int -> data:Bytes.t -> (unit, Pm_types.error) result
+(** Write into the page cache; {e not} durable until {!msync}.  Pages
+    touched become dirty. *)
+
+val msync : t -> (unit, Pm_types.error) result
+(** Flush every dirty page to both mirrors; on return the store is
+    durable.  Returns the first device error otherwise. *)
+
+val msync_range : t -> off:int -> len:int -> (unit, Pm_types.error) result
+(** Flush only the dirty pages overlapping the byte range. *)
+
+val dirty_pages : t -> int
+
+val refresh : t -> unit
+(** Drop the cache: subsequent loads re-fault from the devices (how a
+    mapping observes writes made by other clients). *)
+
+val sync_latency : t -> Stat.t
+(** Distribution of {!msync} durations. *)

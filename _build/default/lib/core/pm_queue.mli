@@ -1,0 +1,40 @@
+(** A durable single-producer/single-consumer queue in persistent memory.
+
+    The paper's motivating ODS queues work before transacting it — "buy
+    and sell orders arrive from brokerage systems and must be queued and
+    matched" (§2) — and §3.4's fine-grained persistence makes it
+    practical to keep such queues durable: an order acknowledged to the
+    broker survives any crash, at microsecond cost.
+
+    Layout: a byte ring with {e separate} producer and consumer control
+    blocks, each written only by its side (so one writer per block, the
+    NonStop discipline), each CRC-stamped.  An enqueue writes the framed
+    record first and flips the producer block last; a crash in between
+    leaves a torn record beyond the tail that no consumer will ever read.
+    Producer and consumer may be different clients on different CPUs. *)
+
+type t
+
+type error = Pm_types.error
+
+val create : Pm_client.t -> Pm_client.handle -> (t, error) result
+(** Format the region as an empty queue.  Process context only. *)
+
+val attach : Pm_client.t -> Pm_client.handle -> (t, error) result
+(** Attach to an existing queue (other client, or after a power cycle). *)
+
+val enqueue : t -> Bytes.t -> (unit, error) result
+(** Durable once it returns.  [Error Out_of_space] when the ring cannot
+    hold the record until the consumer drains. *)
+
+val dequeue : t -> (Bytes.t option, error) result
+(** [Ok None] when empty.  The pop is durable on return: after a crash
+    the element is not redelivered. *)
+
+val peek : t -> (Bytes.t option, error) result
+
+val length : t -> (int, error) result
+(** Elements currently queued (reads both control blocks). *)
+
+val capacity_bytes : t -> int
+(** Ring payload capacity. *)

@@ -1,0 +1,122 @@
+type node = { label : string; payload : Bytes.t; children : node list }
+
+let leaf ?(payload = Bytes.empty) label = { label; payload; children = [] }
+
+let branch ?(payload = Bytes.empty) label children = { label; payload; children }
+
+let rec count_nodes n = 1 + List.fold_left (fun acc c -> acc + count_nodes c) 0 n.children
+
+type stored = { root_off : int; bytes_used : int; nodes : int }
+
+let node_magic = 0x4E4F (* "NO" *)
+
+(* On-region layout of a node:
+   u16 magic | u16 label_len | label | u32 payload_len | payload
+   | u16 child_count | u32 child_offset...                        *)
+let encode_node node ~child_offs =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.u16 enc node_magic;
+  Codec.Enc.str enc node.label;
+  Codec.Enc.blob enc node.payload;
+  Codec.Enc.u16 enc (List.length child_offs);
+  List.iter (Codec.Enc.u32 enc) child_offs;
+  Codec.Enc.to_bytes enc
+
+let store client handle ?(base = 0) root =
+  let region_len = (Pm_client.info handle).Pm_types.length in
+  let cursor = ref base in
+  let nodes = ref 0 in
+  (* Children first, so every pointer written refers to an offset that is
+     already durable: a crashed bulk write never leaves a dangling
+     pointer reachable from a written node. *)
+  let rec place n =
+    let child_results = List.map place n.children in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | Ok off :: rest -> collect (off :: acc) rest
+      | Error e :: _ -> Error e
+    in
+    match collect [] child_results with
+    | Error e -> Error e
+    | Ok child_offs -> (
+        let bytes = encode_node n ~child_offs in
+        let off = !cursor in
+        if off + Bytes.length bytes > region_len then Error Pm_types.Out_of_space
+        else
+          match Pm_client.write client handle ~off ~data:bytes with
+          | Ok () ->
+              cursor := off + Bytes.length bytes;
+              incr nodes;
+              Ok off
+          | Error e -> Error e)
+  in
+  match place root with
+  | Error e -> Error e
+  | Ok root_off -> Ok { root_off; bytes_used = !cursor - base; nodes = !nodes }
+
+(* Read the node header at [off]; children as offsets. *)
+let read_node client handle ~off =
+  let region_len = (Pm_client.info handle).Pm_types.length in
+  (* Two-step read: a fixed-size prefix tells us how much more to fetch. *)
+  let prefix_len = min 512 (region_len - off) in
+  match Pm_client.read client handle ~off ~len:prefix_len with
+  | Error e -> Error e
+  | Ok prefix -> (
+      let parse buf =
+        let dec = Codec.Dec.of_bytes buf in
+        let magic = Codec.Dec.u16 dec in
+        if magic <> node_magic then None
+        else
+          let label = Codec.Dec.str dec in
+          let payload = Codec.Dec.blob dec in
+          let count = Codec.Dec.u16 dec in
+          let children = List.init count (fun _ -> Codec.Dec.u32 dec) in
+          Some (label, payload, children)
+      in
+      match parse prefix with
+      | Some v -> Ok v
+      | None | (exception Codec.Dec.Truncated) -> (
+          (* Node larger than the prefix: read a bigger window. *)
+          let len = min 65536 (region_len - off) in
+          match Pm_client.read client handle ~off ~len with
+          | Error e -> Error e
+          | Ok buf -> (
+              match parse buf with
+              | Some v -> Ok v
+              | None | (exception Codec.Dec.Truncated) ->
+                  Error (Pm_types.Bad_request "corrupt node"))))
+
+let load client handle ~root =
+  let rec build off =
+    match read_node client handle ~off with
+    | Error e -> Error e
+    | Ok (label, payload, child_offs) -> (
+        let rec children acc = function
+          | [] -> Ok (List.rev acc)
+          | o :: rest -> (
+              match build o with Ok c -> children (c :: acc) rest | Error e -> Error e)
+        in
+        match children [] child_offs with
+        | Ok cs -> Ok { label; payload; children = cs }
+        | Error e -> Error e)
+  in
+  build root
+
+let load_path client handle ~root ~path =
+  let reads = ref 0 in
+  let rec walk off = function
+    | [] -> (
+        match read_node client handle ~off with
+        | Error e -> Error e
+        | Ok (label, payload, _) ->
+            incr reads;
+            Ok (Some { label; payload; children = [] }))
+    | idx :: rest -> (
+        match read_node client handle ~off with
+        | Error e -> Error e
+        | Ok (_, _, child_offs) ->
+            incr reads;
+            if idx < 0 || idx >= List.length child_offs then Ok None
+            else walk (List.nth child_offs idx) rest)
+  in
+  match walk root path with Ok n -> Ok (n, !reads) | Error e -> Error e

@@ -1,0 +1,44 @@
+(** Pointer-rich data structures in persistent memory (paper §3.4).
+
+    Conventional storage forces "costly marshalling-and-unmarshalling of
+    pointer-rich data"; persistent memory with address translation lets
+    richly connected structures be copied between address spaces with
+    hardware-assisted pointer fixing.  This module realizes the scheme
+    the paper names: pointers inside the region are {e region-relative
+    offsets}, so the structure is valid in any address space that maps
+    the region — no fixup on store, no fixup on load.
+
+    Two read styles mirror the paper's "bulk write-selective read":
+    {!load} pulls the whole structure back in one pass, while
+    {!load_path} chases one pointer chain, reading only the nodes it
+    visits — the access pattern of an index probe. *)
+
+type node = { label : string; payload : Bytes.t; children : node list }
+
+val leaf : ?payload:Bytes.t -> string -> node
+
+val branch : ?payload:Bytes.t -> string -> node list -> node
+
+val count_nodes : node -> int
+
+type stored = { root_off : int; bytes_used : int; nodes : int }
+
+val store :
+  Pm_client.t -> Pm_client.handle -> ?base:int -> node -> (stored, Pm_types.error) result
+(** Bulk-write the structure into the region starting at byte offset
+    [base] (default 0), children before parents, each node's child
+    pointers encoded as region offsets.  One RDMA write per node, all
+    durable on return.  Process context only. *)
+
+val load : Pm_client.t -> Pm_client.handle -> root:int -> (node, Pm_types.error) result
+(** Bulk read: rebuild the whole structure from the region.  Works from
+    any client that has the region open — the offsets need no
+    translation. *)
+
+val load_path :
+  Pm_client.t -> Pm_client.handle -> root:int -> path:int list ->
+  (node option * int, Pm_types.error) result
+(** Selective read: follow [path] (child indices) from the root, reading
+    only the nodes on the way.  Returns the node reached (without its
+    subtree, children empty) and how many node reads it took; [None] if
+    the path leaves the structure. *)

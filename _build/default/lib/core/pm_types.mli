@@ -1,0 +1,25 @@
+(** Shared identifiers and errors of the persistent-memory system. *)
+
+type error =
+  | No_such_region
+  | Region_exists
+  | Out_of_space
+  | Permission_denied
+  | Region_busy  (** delete attempted while clients hold the region open *)
+  | Device_failed  (** no NPMU of the mirrored pair could be reached *)
+  | Manager_down  (** PMM pair lost or unreachable *)
+  | Bad_request of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
+type region_info = {
+  region_name : string;
+  net_base : int;  (** network virtual address of the region's window *)
+  length : int;
+  primary_npmu : int;  (** fabric endpoint id *)
+  mirror_npmu : int;
+}
+
+val pp_region_info : Format.formatter -> region_info -> unit

@@ -1,0 +1,512 @@
+open Simkit
+open Nsk
+
+type device = {
+  dev_name : string;
+  dev_id : int;
+  dev_capacity : int;
+  dev_avt : Servernet.Avt.t;
+  dev_peek : off:int -> len:int -> Bytes.t;
+  dev_poke : off:int -> data:Bytes.t -> unit;
+}
+
+let device_of_npmu npmu =
+  {
+    dev_name = Npmu.name npmu;
+    dev_id = Npmu.id npmu;
+    dev_capacity = Npmu.capacity npmu;
+    dev_avt = Npmu.avt npmu;
+    dev_peek = (fun ~off ~len -> Npmu.peek npmu ~off ~len);
+    dev_poke = (fun ~off ~data -> Npmu.poke npmu ~off ~data);
+  }
+
+let device_of_pmp pmp =
+  {
+    dev_name = Pmp.name pmp;
+    dev_id = Pmp.id pmp;
+    dev_capacity = Pmp.capacity pmp;
+    dev_avt = Pmp.avt pmp;
+    dev_peek = (fun ~off ~len -> Pmp.peek pmp ~off ~len);
+    dev_poke = (fun ~off ~data -> Pmp.poke pmp ~off ~data);
+  }
+
+type request =
+  | Create of { rname : string; size : int; client : int }
+  | Open of { rname : string; client : int }
+  | Close of { rname : string; client : int }
+  | Delete of { rname : string }
+  | List_regions
+  | Stat
+  | Resync of { from_primary : bool }
+
+type stat_info = {
+  capacity : int;
+  allocated : int;
+  region_count : int;
+  degraded : bool;
+  generation : int;
+}
+
+type response =
+  | R_region of Pm_types.region_info
+  | R_regions of Pm_types.region_info list
+  | R_stat of stat_info
+  | R_ok
+  | R_resynced of { bytes : int }
+  | R_error of Pm_types.error
+
+type server = (request, response) Msgsys.server
+
+type config = { meta_reserve : int; op_cpu_cost : Time.span; mgmt_bytes : int }
+
+let default_config = { meta_reserve = 64 * 1024; op_cpu_cost = Time.us 10; mgmt_bytes = 128 }
+
+(* --- Metadata representation --- *)
+
+type region = { rname : string; offset : int; length : int; mutable openers : int list }
+
+type meta = { mutable generation : int; mutable regions : region list }
+
+let magic = 0x504D4D31 (* "PMM1" *)
+
+let header_bytes = 4 + 8 + 4 + 4
+
+let encode_meta meta =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.u32 enc (List.length meta.regions);
+  let encode_region r =
+    Codec.Enc.str enc r.rname;
+    Codec.Enc.u32 enc r.offset;
+    Codec.Enc.u32 enc r.length;
+    Codec.Enc.u16 enc (List.length r.openers);
+    List.iter (Codec.Enc.u16 enc) r.openers
+  in
+  List.iter encode_region meta.regions;
+  Codec.Enc.u64 enc meta.generation;
+  Codec.Enc.to_bytes enc
+
+let decode_meta blob =
+  let dec = Codec.Dec.of_bytes blob in
+  let count = Codec.Dec.u32 dec in
+  let decode_region () =
+    let rname = Codec.Dec.str dec in
+    let offset = Codec.Dec.u32 dec in
+    let length = Codec.Dec.u32 dec in
+    let nopen = Codec.Dec.u16 dec in
+    let openers = List.init nopen (fun _ -> Codec.Dec.u16 dec) in
+    { rname; offset; length; openers }
+  in
+  let regions = List.init count (fun _ -> decode_region ()) in
+  let generation = Codec.Dec.u64 dec in
+  { generation; regions }
+
+(* A slot image: header (magic, generation, length, crc) then payload. *)
+let slot_image meta =
+  let payload = encode_meta meta in
+  let hdr = Codec.Enc.create () in
+  Codec.Enc.u32 hdr magic;
+  Codec.Enc.u64 hdr meta.generation;
+  Codec.Enc.u32 hdr (Bytes.length payload);
+  Codec.Enc.u32 hdr (Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF);
+  let out = Bytes.create (header_bytes + Bytes.length payload) in
+  Bytes.blit (Codec.Enc.to_bytes hdr) 0 out 0 header_bytes;
+  Bytes.blit payload 0 out header_bytes (Bytes.length payload);
+  out
+
+let parse_slot bytes_ =
+  try
+    let dec = Codec.Dec.of_bytes bytes_ in
+    let m = Codec.Dec.u32 dec in
+    if m <> magic then None
+    else
+      let generation = Codec.Dec.u64 dec in
+      let len = Codec.Dec.u32 dec in
+      let crc = Codec.Dec.u32 dec in
+      if len > Bytes.length bytes_ - header_bytes then None
+      else
+        let payload = Bytes.sub bytes_ header_bytes len in
+        if Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF <> crc then None
+        else
+          let meta = decode_meta payload in
+          if meta.generation <> generation then None else Some meta
+  with Codec.Dec.Truncated -> None
+
+(* --- The manager --- *)
+
+type t = {
+  fabric : Servernet.Fabric.t;
+  pmm_name : string;
+  cfg : config;
+  prim_dev : device;
+  mirr_dev : device;
+  srv : server;
+  mutable pair : Bytes.t Procpair.t option;
+  mutable live : meta option;
+  mutable shadow : Bytes.t option;
+  mutable prim_ok : bool;
+  mutable mirr_ok : bool;
+  mutable mgmt_initiators : int list;  (** the PMM pair's own endpoints *)
+  mutable recovery_time : Time.span option;
+}
+
+let slot_offset cfg slot = slot * (cfg.meta_reserve / 2)
+
+let format cfg prim mirr =
+  let meta = { generation = 1; regions = [] } in
+  let image = slot_image meta in
+  let write_device dev =
+    dev.dev_poke ~off:(slot_offset cfg 0) ~data:image;
+    dev.dev_poke ~off:(slot_offset cfg 1) ~data:image;
+    (* Leave the metadata window open for management until a PMM claims
+       the volume and narrows access to its own CPUs. *)
+    match
+      Servernet.Avt.map dev.dev_avt ~net_base:0 ~length:cfg.meta_reserve ~phys_base:0
+        ~access:(Servernet.Avt.read_write Servernet.Avt.Any_initiator)
+    with
+    | Ok () | Error _ -> ()
+  in
+  write_device prim;
+  write_device mirr
+
+let server t = t.srv
+
+let config t = t.cfg
+
+let degraded t = not (t.prim_ok && t.mirr_ok)
+
+let last_recovery_time t = t.recovery_time
+
+let pair_exn t =
+  match t.pair with Some p -> p | None -> invalid_arg "Pmm: pair not started"
+
+let takeovers t = Procpair.takeovers (pair_exn t)
+
+let outage_time t = Procpair.outage_time (pair_exn t)
+
+let halt t = Procpair.halt (pair_exn t)
+
+let live_exn t =
+  match t.live with Some m -> m | None -> invalid_arg "Pmm: no live metadata"
+
+(* Program (or reprogram) the AVT window of a region on one device.  The
+   manager's own CPUs stay on the list: they need the data path for
+   mirror resynchronization. *)
+let program_window t dev region =
+  let access =
+    Servernet.Avt.read_write (Servernet.Avt.Initiators (t.mgmt_initiators @ region.openers))
+  in
+  match
+    Servernet.Avt.map dev.dev_avt ~net_base:region.offset ~length:region.length
+      ~phys_base:region.offset ~access
+  with
+  | Ok () -> ()
+  | Error _ -> ignore (Servernet.Avt.set_access dev.dev_avt ~net_base:region.offset access)
+
+let unmap_window dev region = ignore (Servernet.Avt.unmap dev.dev_avt ~net_base:region.offset)
+
+(* The management path to a device: a small command exchange on the
+   fabric.  We model its wire time without moving payload. *)
+let mgmt_delay t = Sim.sleep (Servernet.Fabric.transfer_time t.fabric ~bytes:t.cfg.mgmt_bytes)
+
+let current_cpu t = Procpair.primary_cpu (pair_exn t)
+
+let src_endpoint t = Cpu.endpoint (current_cpu t)
+
+(* Persist the table to both devices (new generation, alternating slot).
+   Returns false when neither device accepted the write. *)
+let persist t meta =
+  meta.generation <- meta.generation + 1;
+  let image = slot_image meta in
+  let slot = meta.generation mod 2 in
+  let addr = slot_offset t.cfg slot in
+  let write_dev dev =
+    match
+      Servernet.Fabric.rdma_write t.fabric ~src:(src_endpoint t) ~dst:dev.dev_id ~addr
+        ~data:image
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  t.prim_ok <- write_dev t.prim_dev;
+  t.mirr_ok <- write_dev t.mirr_dev;
+  t.prim_ok || t.mirr_ok
+
+let checkpoint_meta t meta =
+  let blob = encode_meta meta in
+  match t.pair with
+  | Some pair -> Procpair.checkpoint pair ~bytes:(Bytes.length blob) blob
+  | None -> ()
+
+(* Narrow the metadata windows to this PMM's CPUs. *)
+let claim_metadata_windows t ~primary_cpu ~backup_cpu =
+  let who =
+    Servernet.Avt.Initiators [ Cpu.endpoint_id primary_cpu; Cpu.endpoint_id backup_cpu ]
+  in
+  let claim dev =
+    ignore (Servernet.Avt.set_access dev.dev_avt ~net_base:0 (Servernet.Avt.read_write who))
+  in
+  claim t.prim_dev;
+  claim t.mirr_dev
+
+(* Cold-boot recovery: RDMA-read every slot of both devices and adopt the
+   newest CRC-valid table. *)
+let recover t =
+  let started = Sim.now (Cpu.sim (current_cpu t)) in
+  let read_slot dev slot =
+    let addr = slot_offset t.cfg slot in
+    let len = t.cfg.meta_reserve / 2 in
+    match
+      Servernet.Fabric.rdma_read t.fabric ~src:(src_endpoint t) ~dst:dev.dev_id ~addr ~len
+    with
+    | Ok data -> parse_slot data
+    | Error _ -> None
+  in
+  let candidates =
+    [
+      read_slot t.prim_dev 0;
+      read_slot t.prim_dev 1;
+      read_slot t.mirr_dev 0;
+      read_slot t.mirr_dev 1;
+    ]
+  in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        match (acc, c) with
+        | None, c -> c
+        | Some a, Some b -> if b.generation > a.generation then Some b else Some a
+        | Some a, None -> Some a)
+      None candidates
+  in
+  let meta = match best with Some m -> m | None -> { generation = 1; regions = [] } in
+  (* Re-assert data windows (idempotent on devices that kept their AVT). *)
+  let assert_windows dev = List.iter (program_window t dev) meta.regions in
+  assert_windows t.prim_dev;
+  assert_windows t.mirr_dev;
+  t.recovery_time <- Some (Sim.now (Cpu.sim (current_cpu t)) - started);
+  meta
+
+(* --- Request handling (primary only) --- *)
+
+let find_region meta rname = List.find_opt (fun r -> String.equal r.rname rname) meta.regions
+
+let data_capacity t = min t.prim_dev.dev_capacity t.mirr_dev.dev_capacity - t.cfg.meta_reserve
+
+(* First-fit allocation in [meta_reserve, capacity). *)
+let allocate t meta size =
+  let limit = t.cfg.meta_reserve + data_capacity t in
+  let sorted = List.sort (fun a b -> compare a.offset b.offset) meta.regions in
+  let rec fit cursor = function
+    | [] -> if cursor + size <= limit then Some cursor else None
+    | r :: rest -> if cursor + size <= r.offset then Some cursor else fit (r.offset + r.length) rest
+  in
+  fit t.cfg.meta_reserve sorted
+
+let region_info t r =
+  {
+    Pm_types.region_name = r.rname;
+    net_base = r.offset;
+    length = r.length;
+    primary_npmu = t.prim_dev.dev_id;
+    mirror_npmu = t.mirr_dev.dev_id;
+  }
+
+let apply_mutation t meta =
+  if persist t meta then begin
+    checkpoint_meta t meta;
+    true
+  end
+  else begin
+    (* Roll the generation back: nothing durable changed. *)
+    meta.generation <- meta.generation - 1;
+    false
+  end
+
+let handle_request t req =
+  let meta = live_exn t in
+  match req with
+  | Create { rname; size; client } -> (
+      if size <= 0 then R_error (Pm_types.Bad_request "size must be positive")
+      else if find_region meta rname <> None then R_error Pm_types.Region_exists
+      else
+        match allocate t meta size with
+        | None -> R_error Pm_types.Out_of_space
+        | Some offset ->
+            let region = { rname; offset; length = size; openers = [ client ] } in
+            let saved = meta.regions in
+            meta.regions <- region :: meta.regions;
+            if apply_mutation t meta then begin
+              program_window t t.prim_dev region;
+              program_window t t.mirr_dev region;
+              mgmt_delay t;
+              R_region (region_info t region)
+            end
+            else begin
+              meta.regions <- saved;
+              R_error Pm_types.Device_failed
+            end)
+  | Open { rname; client } -> (
+      match find_region meta rname with
+      | None -> R_error Pm_types.No_such_region
+      | Some region ->
+          if List.mem client region.openers then R_region (region_info t region)
+          else begin
+            let saved = region.openers in
+            region.openers <- client :: region.openers;
+            if apply_mutation t meta then begin
+              program_window t t.prim_dev region;
+              program_window t t.mirr_dev region;
+              mgmt_delay t;
+              R_region (region_info t region)
+            end
+            else begin
+              region.openers <- saved;
+              R_error Pm_types.Device_failed
+            end
+          end)
+  | Close { rname; client } -> (
+      match find_region meta rname with
+      | None -> R_error Pm_types.No_such_region
+      | Some region ->
+          if not (List.mem client region.openers) then R_ok
+          else begin
+            let saved = region.openers in
+            region.openers <- List.filter (fun c -> c <> client) region.openers;
+            if apply_mutation t meta then begin
+              program_window t t.prim_dev region;
+              program_window t t.mirr_dev region;
+              mgmt_delay t;
+              R_ok
+            end
+            else begin
+              region.openers <- saved;
+              R_error Pm_types.Device_failed
+            end
+          end)
+  | Delete { rname } -> (
+      match find_region meta rname with
+      | None -> R_error Pm_types.No_such_region
+      | Some region ->
+          if region.openers <> [] then R_error Pm_types.Region_busy
+          else begin
+            let saved = meta.regions in
+            meta.regions <- List.filter (fun r -> r != region) meta.regions;
+            if apply_mutation t meta then begin
+              unmap_window t.prim_dev region;
+              unmap_window t.mirr_dev region;
+              mgmt_delay t;
+              R_ok
+            end
+            else begin
+              meta.regions <- saved;
+              R_error Pm_types.Device_failed
+            end
+          end)
+  | List_regions ->
+      R_regions (List.map (region_info t) (List.sort (fun a b -> compare a.offset b.offset) meta.regions))
+  | Resync { from_primary } -> (
+      let src_dev, dst_dev =
+        if from_primary then (t.prim_dev, t.mirr_dev) else (t.mirr_dev, t.prim_dev)
+      in
+      (* Copy the metadata reserve plus every allocated extent, in 64 KiB
+         RDMA transfers through the manager's CPU. *)
+      let chunk = 64 * 1024 in
+      let copied = ref 0 in
+      let copy_extent ~off ~len =
+        let rec go pos =
+          if pos >= len then Ok ()
+          else
+            let n = min chunk (len - pos) in
+            match
+              Servernet.Fabric.rdma_read t.fabric ~src:(src_endpoint t) ~dst:src_dev.dev_id
+                ~addr:(off + pos) ~len:n
+            with
+            | Error e -> Error (Servernet.Fabric.error_to_string e)
+            | Ok data -> (
+                match
+                  Servernet.Fabric.rdma_write t.fabric ~src:(src_endpoint t)
+                    ~dst:dst_dev.dev_id ~addr:(off + pos) ~data
+                with
+                | Error e -> Error (Servernet.Fabric.error_to_string e)
+                | Ok () ->
+                    copied := !copied + n;
+                    go (pos + n))
+        in
+        go 0
+      in
+      let extents =
+        (0, t.cfg.meta_reserve) :: List.map (fun r -> (r.offset, r.length)) meta.regions
+      in
+      let rec copy_all = function
+        | [] -> Ok ()
+        | (off, len) :: rest -> (
+            match copy_extent ~off ~len with Ok () -> copy_all rest | Error e -> Error e)
+      in
+      match copy_all extents with
+      | Ok () ->
+          (* The rebuilt device also needs the AVT windows. *)
+          List.iter (program_window t dst_dev) meta.regions;
+          t.prim_ok <- true;
+          t.mirr_ok <- true;
+          R_resynced { bytes = !copied }
+      | Error e -> R_error (Pm_types.Bad_request ("resync: " ^ e)))
+  | Stat ->
+      let allocated = List.fold_left (fun acc r -> acc + r.length) 0 meta.regions in
+      R_stat
+        {
+          capacity = data_capacity t;
+          allocated;
+          region_count = List.length meta.regions;
+          degraded = degraded t;
+          generation = meta.generation;
+        }
+
+let serve t () =
+  (match t.live with
+  | Some _ -> ()
+  | None -> (
+      match t.shadow with
+      | Some blob ->
+          (* Takeover: the checkpoint stream already built our state. *)
+          t.live <- Some (decode_meta blob)
+      | None -> t.live <- Some (recover t)));
+  while true do
+    let req, respond = Msgsys.next_request t.srv in
+    Cpu.execute (current_cpu t) t.cfg.op_cpu_cost;
+    respond (handle_request t req)
+  done
+
+let start ~fabric ~name ~primary_cpu ~backup_cpu ~primary_dev ~mirror_dev
+    ?(config = default_config) () =
+  let srv = Msgsys.create_server fabric ~cpu:primary_cpu ~name in
+  let t =
+    {
+      fabric;
+      pmm_name = name;
+      cfg = config;
+      prim_dev = primary_dev;
+      mirr_dev = mirror_dev;
+      srv;
+      pair = None;
+      live = None;
+      shadow = None;
+      prim_ok = true;
+      mirr_ok = true;
+      mgmt_initiators = [ Cpu.endpoint_id primary_cpu; Cpu.endpoint_id backup_cpu ];
+      recovery_time = None;
+    }
+  in
+  claim_metadata_windows t ~primary_cpu ~backup_cpu;
+  let pair =
+    Procpair.start ~fabric ~name ~primary:primary_cpu ~backup:backup_cpu
+      ~apply:(fun blob -> t.shadow <- Some blob)
+      ~serve:(fun () -> serve t ())
+      ~on_takeover:(fun () ->
+        (* The primary's in-memory table died with it; the promoted side
+           parses its checkpointed copy when its serve loop starts. *)
+        t.live <- None;
+        Msgsys.move t.srv ~cpu:backup_cpu)
+      ()
+  in
+  t.pair <- Some pair;
+  t

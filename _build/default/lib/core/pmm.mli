@@ -1,0 +1,108 @@
+open Simkit
+open Nsk
+
+(** Persistent Memory Manager: the process pair that owns a PM volume.
+
+    A PM {e volume} is a mirrored pair of NPMUs (or PMP prototypes)
+    managed by one PMM pair (paper §4.1).  The PMM allocates {e regions}
+    — the PM analog of files — inside the volume, programs AVT windows so
+    that authorized client CPUs can RDMA directly to the devices, and
+    keeps the volume metadata (region name, extent, owner) durable and
+    self-consistent {e on the devices themselves}, using dual
+    generation-stamped, CRC-protected slots per device so that a crash
+    mid-update always leaves a valid copy to recover from.
+
+    Clients do not talk to the PMM for data access — only for management
+    (create/open/close/delete).  Data moves by direct RDMA; see
+    {!Pm_client}. *)
+
+(** A managed device: what the PMM needs from an {!Npmu.t} or {!Pmp.t}. *)
+type device = {
+  dev_name : string;
+  dev_id : int;  (** fabric endpoint id *)
+  dev_capacity : int;
+  dev_avt : Servernet.Avt.t;
+  dev_peek : off:int -> len:int -> Bytes.t;
+  dev_poke : off:int -> data:Bytes.t -> unit;
+}
+
+val device_of_npmu : Npmu.t -> device
+
+val device_of_pmp : Pmp.t -> device
+
+type request =
+  | Create of { rname : string; size : int; client : int }
+      (** the creator is granted access immediately *)
+  | Open of { rname : string; client : int }
+  | Close of { rname : string; client : int }
+  | Delete of { rname : string }
+  | List_regions
+  | Stat
+  | Resync of { from_primary : bool }
+      (** administrative mirror rebuild: copy every allocated region (and
+          the metadata) from one device of the pair onto the other, e.g.
+          after a replaced or power-cycled NPMU came back stale *)
+
+type stat_info = {
+  capacity : int;  (** data capacity (metadata reserve excluded) *)
+  allocated : int;
+  region_count : int;
+  degraded : bool;  (** one device of the pair unreachable *)
+  generation : int;  (** metadata generation *)
+}
+
+type response =
+  | R_region of Pm_types.region_info
+  | R_regions of Pm_types.region_info list
+  | R_stat of stat_info
+  | R_ok
+  | R_resynced of { bytes : int }
+  | R_error of Pm_types.error
+
+type server = (request, response) Msgsys.server
+
+type config = {
+  meta_reserve : int;  (** bytes at the front of each device for metadata *)
+  op_cpu_cost : Time.span;  (** PMM instruction-path cost per request *)
+  mgmt_bytes : int;  (** wire size of an AVT-programming command *)
+}
+
+val default_config : config
+
+val format : config -> device -> device -> unit
+(** Factory-initialize both devices with an empty, generation-1 metadata
+    table (maintenance path, takes no simulated time). *)
+
+type t
+
+val start :
+  fabric:Servernet.Fabric.t ->
+  name:string ->
+  primary_cpu:Cpu.t ->
+  backup_cpu:Cpu.t ->
+  primary_dev:device ->
+  mirror_dev:device ->
+  ?config:config ->
+  unit ->
+  t
+(** Boot the PMM pair.  The primary first {e recovers} the metadata table
+    by RDMA-reading both devices' slots and picking the newest valid one;
+    a freshly {!format}ted volume recovers to the empty table.  After a
+    takeover, the promoted backup serves from its checkpointed copy. *)
+
+val server : t -> server
+(** The port clients address management requests to. *)
+
+val config : t -> config
+
+val degraded : t -> bool
+
+val last_recovery_time : t -> Time.span option
+(** Wall-clock (simulated) duration of the most recent metadata recovery,
+    [None] before first boot completes. *)
+
+val takeovers : t -> int
+
+val outage_time : t -> Time.span
+
+val halt : t -> unit

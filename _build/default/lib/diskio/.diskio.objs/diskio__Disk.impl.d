@@ -1,0 +1,1 @@
+lib/diskio/disk.ml: Rng Sim Simkit Time

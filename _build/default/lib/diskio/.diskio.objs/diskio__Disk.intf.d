@@ -1,0 +1,1 @@
+lib/diskio/disk.mli: Sim Simkit Time

@@ -1,0 +1,1 @@
+lib/diskio/mirror.ml: Simkit Volume

@@ -1,0 +1,1 @@
+lib/diskio/mirror.mli: Volume

@@ -1,0 +1,1 @@
+lib/diskio/volume.ml: Disk Format Ivar List Mailbox Sim Simkit Stat Time

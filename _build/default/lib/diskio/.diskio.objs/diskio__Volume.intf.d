@@ -1,0 +1,1 @@
+lib/diskio/volume.mli: Disk Format Ivar Sim Simkit Stat Time

@@ -1,0 +1,53 @@
+open Simkit
+
+(** Mechanical disk timing model (2004-era drive).
+
+    A [Disk.t] tracks head position and write-cache occupancy and
+    computes per-request service times: seek distance-dependent
+    positioning, rotational delay, and media transfer.  Sequential reads
+    stream (settle time only); sequential synchronous writes skip the
+    seek but still wait out a rotational miss before the target sector
+    passes under the head — the millisecond floor under every audit-trail
+    flush that persistent memory removes.
+
+    The model is timing-only: requests carry sizes, not payloads.  Data
+    content lives in the processes that own the volumes. *)
+
+type geometry = {
+  capacity_bytes : int;
+  block_bytes : int;
+  seek_base : Time.span;  (** shortest non-zero seek *)
+  seek_full : Time.span;  (** full-stroke seek *)
+  rotation_period : Time.span;
+  bytes_per_ns : float;  (** media transfer rate *)
+  sequential_settle : Time.span;
+      (** positioning cost of a back-to-back sequential access *)
+}
+
+val default_geometry : geometry
+(** 36 GB, 10 kRPM, ~5 ms average seek, 40 MB/s media rate. *)
+
+type cache_config = {
+  cache_bytes : int;  (** battery-backed write cache capacity *)
+  cache_latency : Time.span;  (** completion time when absorbed by cache *)
+  destage_bytes_per_ns : float;  (** sustained drain rate to media *)
+}
+
+val default_cache : cache_config
+
+type t
+
+val create : Sim.t -> ?geometry:geometry -> ?cache:cache_config -> unit -> t
+(** [cache] enables a write cache (reads and cache-miss writes still pay
+    mechanical time). *)
+
+val geometry : t -> geometry
+
+val service :
+  t -> kind:[ `Read | `Write ] -> block:int -> len:int -> Time.span
+(** Service time for a request starting now, updating head position and
+    cache state.  [len] is in bytes; [block] addresses units of
+    [block_bytes]. *)
+
+val cache_used : t -> int
+(** Current write-cache occupancy in bytes (0 without a cache). *)

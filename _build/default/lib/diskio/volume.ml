@@ -1,0 +1,162 @@
+open Simkit
+
+type error = Volume_down
+
+let pp_error ppf Volume_down = Format.pp_print_string ppf "volume down"
+
+type request = {
+  kind : [ `Read | `Write ];
+  block : int;
+  len : int;
+  issued : Time.t;
+  done_ : (unit, error) result Ivar.t;
+}
+
+type scheduling = Fifo | Elevator
+
+type t = {
+  sim : Sim.t;
+  vol_name : string;
+  disk : Disk.t;
+  queue : request Mailbox.t;
+  scheduling : scheduling;
+  mutable pending : request list;  (** elevator's reorder buffer *)
+  mutable sweep_up : bool;
+  mutable head_hint : int;
+  mutable up : bool;
+  mutable append_block : int;
+  mutable ops : int;
+  mutable bytes : int;
+  mutable busy : Time.span;
+  latency : Stat.t;
+}
+
+(* Pick the next request: FIFO order, or the SCAN sweep for elevators. *)
+let next_request t =
+  match t.scheduling with
+  | Fifo -> (
+      match t.pending with
+      | req :: rest ->
+          t.pending <- rest;
+          Some req
+      | [] -> None)
+  | Elevator -> (
+      match t.pending with
+      | [] -> None
+      | pending ->
+          let ahead, behind =
+            List.partition
+              (fun r -> if t.sweep_up then r.block >= t.head_hint else r.block <= t.head_hint)
+              pending
+          in
+          let better a b =
+            let da = abs (a.block - t.head_hint) and db = abs (b.block - t.head_hint) in
+            if da < db then a else b
+          in
+          let pick_from group =
+            match group with [] -> None | r :: rest -> Some (List.fold_left better r rest)
+          in
+          let chosen =
+            match pick_from ahead with
+            | Some r -> Some r
+            | None ->
+                (* End of sweep: reverse direction. *)
+                t.sweep_up <- not t.sweep_up;
+                pick_from behind
+          in
+          (match chosen with
+          | Some r -> t.pending <- List.filter (fun x -> x != r) pending
+          | None -> ());
+          chosen)
+
+let server t () =
+  while true do
+    (* Drain everything queued, then schedule from the reorder buffer. *)
+    (match Mailbox.try_recv t.queue with
+    | Some req ->
+        t.pending <- t.pending @ [ req ]
+    | None ->
+        if t.pending = [] then begin
+          let req = Mailbox.recv t.queue in
+          t.pending <- [ req ]
+        end);
+    let rec drain () =
+      match Mailbox.try_recv t.queue with
+      | Some req ->
+          t.pending <- t.pending @ [ req ];
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    match next_request t with
+    | None -> ()
+    | Some req ->
+        if not t.up then Ivar.fill req.done_ (Error Volume_down)
+        else begin
+          let dt = Disk.service t.disk ~kind:req.kind ~block:req.block ~len:req.len in
+          t.head_hint <- req.block;
+          Sim.sleep dt;
+          t.busy <- t.busy + dt;
+          if t.up then begin
+            t.ops <- t.ops + 1;
+            t.bytes <- t.bytes + req.len;
+            Stat.add_span t.latency (Sim.now t.sim - req.issued);
+            Ivar.fill req.done_ (Ok ())
+          end
+          else Ivar.fill req.done_ (Error Volume_down)
+        end
+  done
+
+let create sim ~name ?geometry ?cache ?(scheduling = Fifo) () =
+  let t =
+    {
+      sim;
+      vol_name = name;
+      disk = Disk.create sim ?geometry ?cache ();
+      queue = Mailbox.create ~name ();
+      scheduling;
+      pending = [];
+      sweep_up = true;
+      head_hint = 0;
+      up = true;
+      append_block = 0;
+      ops = 0;
+      bytes = 0;
+      busy = 0;
+      latency = Stat.create ~name ();
+    }
+  in
+  let (_ : Sim.pid) = Sim.spawn sim ~name:("vol:" ^ name) (server t) in
+  t
+
+let name t = t.vol_name
+
+let submit t ~kind ~block ~len =
+  let done_ = Ivar.create () in
+  if not t.up then Ivar.fill done_ (Error Volume_down)
+  else Mailbox.send t.queue { kind; block; len; issued = Sim.now t.sim; done_ };
+  done_
+
+let write t ~block ~len = Ivar.read (submit t ~kind:`Write ~block ~len)
+
+let read t ~block ~len = Ivar.read (submit t ~kind:`Read ~block ~len)
+
+let append t ~len =
+  let block = t.append_block in
+  let blocks = max 1 ((len + 511) / 512) in
+  t.append_block <- t.append_block + blocks;
+  write t ~block ~len
+
+let set_up t up = t.up <- up
+
+let is_up t = t.up
+
+let queue_depth t = Mailbox.length t.queue + List.length t.pending
+
+let completed_ops t = t.ops
+
+let completed_bytes t = t.bytes
+
+let busy_time t = t.busy
+
+let service_stat t = t.latency

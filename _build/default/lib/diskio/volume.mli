@@ -1,0 +1,60 @@
+open Simkit
+
+(** A disk volume: a {!Disk.t} behind a FIFO request queue served by a
+    dedicated process, as a NonStop disk process would.  Requests queue
+    when the spindle is busy, so volumes shared by several writers show
+    realistic queueing delay. *)
+
+type error = Volume_down
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+type scheduling = Fifo | Elevator
+(** [Elevator] (SCAN) serves the queued request closest ahead of the
+    head, sweeping alternately up and down the block range — classic
+    disk-process behaviour for deep random queues. *)
+
+val create :
+  Sim.t ->
+  name:string ->
+  ?geometry:Disk.geometry ->
+  ?cache:Disk.cache_config ->
+  ?scheduling:scheduling ->
+  unit ->
+  t
+(** [scheduling] defaults to [Fifo]. *)
+
+val name : t -> string
+
+val submit :
+  t -> kind:[ `Read | `Write ] -> block:int -> len:int -> (unit, error) result Ivar.t
+(** Enqueue a request; the ivar fills at completion.  Never blocks. *)
+
+val write : t -> block:int -> len:int -> (unit, error) result
+(** Synchronous write: submit and wait.  Process context only. *)
+
+val read : t -> block:int -> len:int -> (unit, error) result
+
+val append : t -> len:int -> (unit, error) result
+(** Synchronous sequential append at the volume's append cursor, the
+    access pattern of an audit-trail volume. *)
+
+val set_up : t -> bool -> unit
+(** A down volume fails new and queued requests with [Volume_down]. *)
+
+val is_up : t -> bool
+
+val queue_depth : t -> int
+
+(** Cumulative counters. *)
+
+val completed_ops : t -> int
+
+val completed_bytes : t -> int
+
+val busy_time : t -> Time.span
+
+val service_stat : t -> Stat.t
+(** Distribution of per-request total latency (queueing + service). *)

@@ -1,0 +1,1 @@
+lib/nsk/cpu.ml: List Printf Servernet Sim Simkit Time

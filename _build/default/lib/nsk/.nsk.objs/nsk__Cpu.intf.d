@@ -1,0 +1,1 @@
+lib/nsk/cpu.mli: Servernet Sim Simkit Time

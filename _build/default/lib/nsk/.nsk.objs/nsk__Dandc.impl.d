@@ -1,0 +1,1 @@
+lib/nsk/dandc.ml: Cpu Ivar Servernet Sim Simkit

@@ -1,0 +1,1 @@
+lib/nsk/dandc.mli: Cpu Servernet Simkit Time

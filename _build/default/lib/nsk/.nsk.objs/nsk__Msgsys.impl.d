@@ -1,0 +1,1 @@
+lib/nsk/msgsys.ml: Cpu Format Ivar List Mailbox Servernet Sim Simkit Time

@@ -1,0 +1,1 @@
+lib/nsk/msgsys.mli: Cpu Format Ivar Servernet Simkit Time

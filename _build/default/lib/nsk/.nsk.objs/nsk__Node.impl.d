@@ -1,0 +1,1 @@
+lib/nsk/node.ml: Array Cpu Diskio List Servernet Sim Simkit String

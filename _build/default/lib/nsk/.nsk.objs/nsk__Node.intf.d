@@ -1,0 +1,1 @@
+lib/nsk/node.mli: Cpu Diskio Servernet Sim Simkit

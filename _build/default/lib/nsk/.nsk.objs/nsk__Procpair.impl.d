@@ -1,0 +1,1 @@
+lib/nsk/procpair.ml: Cpu Ivar Mailbox Servernet Sim Simkit Time

@@ -1,0 +1,1 @@
+lib/nsk/procpair.mli: Cpu Servernet Simkit Time

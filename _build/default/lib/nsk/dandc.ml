@@ -1,0 +1,39 @@
+open Simkit
+
+type 'a outcome = Agreed of 'a | Mismatch of { primary_sum : int; shadow_sum : int }
+
+let n_comparisons = ref 0
+
+let n_mismatches = ref 0
+
+let run ~fabric ~primary ~shadow ~work ~compute ~checksum =
+  let sim = Cpu.sim primary in
+  let primary_done : ('a * int) Ivar.t = Ivar.create () in
+  let shadow_done : int Ivar.t = Ivar.create () in
+  let (_ : Sim.pid) =
+    Cpu.spawn primary ~name:"dandc:primary" (fun () ->
+        Cpu.execute primary work;
+        let v = compute ~replica:0 in
+        Ivar.fill primary_done (v, checksum v))
+  in
+  let (_ : Sim.pid) =
+    Cpu.spawn shadow ~name:"dandc:shadow" (fun () ->
+        Cpu.execute shadow work;
+        let v = compute ~replica:1 in
+        Ivar.fill shadow_done (checksum v))
+  in
+  let value, primary_sum = Ivar.read primary_done in
+  let shadow_sum = Ivar.read shadow_done in
+  (* The shadow ships its checksum to the primary for comparison. *)
+  Sim.sleep (Servernet.Fabric.transfer_time fabric ~bytes:64);
+  ignore sim;
+  incr n_comparisons;
+  if primary_sum = shadow_sum then Agreed value
+  else begin
+    incr n_mismatches;
+    Mismatch { primary_sum; shadow_sum }
+  end
+
+let comparisons () = !n_comparisons
+
+let mismatches () = !n_mismatches

@@ -1,0 +1,35 @@
+open Simkit
+
+(** Duplicate-and-compare execution (paper §1.3).
+
+    Business-critical servers guard against silent data corruption by
+    running redundant computations "with identical data and in identical
+    state" on different processors and comparing results; a failed
+    comparison exposes the corruption instead of letting it reach
+    storage.  This harness runs a computation on two CPUs concurrently,
+    exchanges checksums over the fabric, and reports agreement or
+    mismatch. *)
+
+type 'a outcome =
+  | Agreed of 'a  (** both replicas produced this result *)
+  | Mismatch of { primary_sum : int; shadow_sum : int }
+      (** silent data corruption detected; discard and retry upstream *)
+
+val run :
+  fabric:Servernet.Fabric.t ->
+  primary:Cpu.t ->
+  shadow:Cpu.t ->
+  work:Time.span ->
+  compute:(replica:int -> 'a) ->
+  checksum:('a -> int) ->
+  'a outcome
+(** Execute [compute ~replica:0] on [primary] and [compute ~replica:1] on
+    [shadow], each costing [work] CPU time, in parallel; exchange and
+    compare checksums (one message round trip).  Must run in process
+    context.  The [replica] argument lets tests inject a corruption into
+    one copy. *)
+
+val comparisons : unit -> int
+(** Total comparisons performed (global counter). *)
+
+val mismatches : unit -> int

@@ -1,0 +1,125 @@
+open Simkit
+
+type error = Server_down | Timed_out
+
+let pp_error ppf = function
+  | Server_down -> Format.pp_print_string ppf "server down"
+  | Timed_out -> Format.pp_print_string ppf "timed out"
+
+type ('req, 'resp) envelope = {
+  payload : 'req;
+  resp_bytes : int;
+  reply : ('resp, error) result Ivar.t;
+}
+
+type ('req, 'resp) server = {
+  fabric : Servernet.Fabric.t;
+  name : string;
+  mutable cpu : Cpu.t;
+  mutable inbox : ('req, 'resp) envelope Mailbox.t;
+  mutable outstanding : ('resp, error) result Ivar.t list;
+  mutable epoch : int;
+  mutable extra_latency : Time.span;
+}
+
+let create_server fabric ~cpu ~name =
+  {
+    fabric;
+    name;
+    cpu;
+    inbox = Mailbox.create ~name ();
+    outstanding = [];
+    epoch = 0;
+    extra_latency = 0;
+  }
+
+let set_extra_latency s span =
+  if span < 0 then invalid_arg "Msgsys.set_extra_latency: negative span";
+  s.extra_latency <- span
+
+let server_name s = s.name
+
+let server_cpu s = s.cpu
+
+let forget s iv = s.outstanding <- List.filter (fun i -> i != iv) s.outstanding
+
+let call_async s ~from ?(req_bytes = 256) ?(resp_bytes = 256) payload =
+  let reply = Ivar.create () in
+  if not (Cpu.is_up from) then Ivar.fill reply (Error Server_down)
+  else begin
+    let sim = Cpu.sim from in
+    (* Request wire time, then delivery (if the target is still up). *)
+    let dt = Servernet.Fabric.transfer_time s.fabric ~bytes:req_bytes + s.extra_latency in
+    Sim.at sim ~after:dt (fun () ->
+        if not (Cpu.is_up s.cpu) then ignore (Ivar.try_fill reply (Error Server_down))
+        else begin
+          s.outstanding <- reply :: s.outstanding;
+          Mailbox.send s.inbox { payload; resp_bytes; reply }
+        end)
+  end;
+  reply
+
+let call s ~from ?req_bytes ?resp_bytes ?timeout payload =
+  let reply = call_async s ~from ?req_bytes ?resp_bytes payload in
+  let result =
+    match timeout with
+    | None -> Ivar.read reply
+    | Some span -> (
+        match Ivar.read_timeout reply span with Some r -> r | None -> Error Timed_out)
+  in
+  forget s reply;
+  result
+
+let next_request s =
+  let env = Mailbox.recv s.inbox in
+  let epoch = s.epoch in
+  let respond resp =
+    if s.epoch = epoch then begin
+      (* Reply wire time, paid off the server's critical path. *)
+      let dt =
+        Servernet.Fabric.transfer_time s.fabric ~bytes:env.resp_bytes + s.extra_latency
+      in
+      let sim = Cpu.sim s.cpu in
+      Sim.at sim ~after:dt (fun () -> ignore (Ivar.try_fill env.reply (Ok resp)))
+    end
+  in
+  (env.payload, respond)
+
+let next_request_timeout s span =
+  match Mailbox.recv_timeout s.inbox span with
+  | None -> None
+  | Some env ->
+      let epoch = s.epoch in
+      let respond resp =
+        if s.epoch = epoch then begin
+          let dt =
+            Servernet.Fabric.transfer_time s.fabric ~bytes:env.resp_bytes + s.extra_latency
+          in
+          let sim = Cpu.sim s.cpu in
+          Sim.at sim ~after:dt (fun () -> ignore (Ivar.try_fill env.reply (Ok resp)))
+        end
+      in
+      Some (env.payload, respond)
+
+let pending s = Mailbox.length s.inbox
+
+let fail_outstanding s =
+  s.epoch <- s.epoch + 1;
+  (* Drain messages still queued... *)
+  let rec drain () =
+    match Mailbox.try_recv s.inbox with
+    | None -> ()
+    | Some env ->
+        ignore (Ivar.try_fill env.reply (Error Server_down));
+        drain ()
+  in
+  drain ();
+  (* ... and fail calls whose requests were already dequeued. *)
+  let out = s.outstanding in
+  s.outstanding <- [];
+  List.iter (fun iv -> ignore (Ivar.try_fill iv (Error Server_down))) out
+
+let move s ~cpu =
+  fail_outstanding s;
+  s.cpu <- cpu;
+  s.inbox <- Mailbox.create ~name:s.name ()

@@ -1,0 +1,139 @@
+open Simkit
+
+type config = { takeover_delay : Time.span; ack_bytes : int }
+
+let default_config = { takeover_delay = Time.ms 500; ack_bytes = 64 }
+
+type 'ckpt t = {
+  fabric : Servernet.Fabric.t;
+  pp_name : string;
+  cfg : config;
+  apply : 'ckpt -> unit;
+  serve : unit -> unit;
+  on_takeover : unit -> unit;
+  mutable primary : Cpu.t;
+  mutable backup : Cpu.t option;
+  mutable primary_pid : Sim.pid option;
+  mutable applier_pid : Sim.pid option;
+  mutable ckpt_chan : ('ckpt * unit Ivar.t) Mailbox.t;
+  mutable halted : bool;
+  mutable takeovers : int;
+  mutable outage : Time.span;
+  mutable ckpts : int;
+  mutable ckpt_bytes : int;
+}
+
+let sim t = Cpu.sim t.primary
+
+let rec spawn_primary t =
+  let pid = Cpu.spawn t.primary ~name:(t.pp_name ^ ":primary") t.serve in
+  t.primary_pid <- Some pid;
+  Sim.on_exit (sim t) pid (fun _ -> if t.primary_pid = Some pid then primary_died t)
+
+and primary_died t =
+  t.primary_pid <- None;
+  if not t.halted then begin
+    match t.backup with
+    | Some backup_cpu when Cpu.is_up backup_cpu ->
+        let died_at = Sim.now (sim t) in
+        Sim.at (sim t) ~after:t.cfg.takeover_delay (fun () ->
+            if (not t.halted) && Cpu.is_up backup_cpu then begin
+              (* Promote: the applier stops, the port moves, the serve
+                 loop restarts against the checkpoint-built state. *)
+              (match t.applier_pid with
+              | Some pid when Sim.is_alive (sim t) pid -> Sim.kill (sim t) pid
+              | _ -> ());
+              t.applier_pid <- None;
+              t.primary <- backup_cpu;
+              t.backup <- None;
+              t.takeovers <- t.takeovers + 1;
+              t.outage <- t.outage + (Sim.now (sim t) - died_at);
+              t.on_takeover ();
+              spawn_primary t
+            end
+            else t.halted <- true)
+    | _ -> t.halted <- true
+  end
+
+let applier_loop t () =
+  while true do
+    let ckpt, ack = Mailbox.recv t.ckpt_chan in
+    t.apply ckpt;
+    Ivar.fill ack ()
+  done
+
+let start ~fabric ~name ~primary ~backup ?(config = default_config) ~apply ~serve
+    ~on_takeover () =
+  let t =
+    {
+      fabric;
+      pp_name = name;
+      cfg = config;
+      apply;
+      serve;
+      on_takeover;
+      primary;
+      backup = Some backup;
+      primary_pid = None;
+      applier_pid = None;
+      ckpt_chan = Mailbox.create ~name:(name ^ ":ckpt") ();
+      halted = false;
+      takeovers = 0;
+      outage = 0;
+      ckpts = 0;
+      ckpt_bytes = 0;
+    }
+  in
+  spawn_primary t;
+  let pid = Cpu.spawn backup ~name:(name ^ ":backup") (applier_loop t) in
+  t.applier_pid <- Some pid;
+  t
+
+let backup_alive t =
+  match t.backup with Some cpu -> Cpu.is_up cpu | None -> false
+
+let checkpoint t ?(bytes = 256) ckpt =
+  if backup_alive t then begin
+    t.ckpts <- t.ckpts + 1;
+    t.ckpt_bytes <- t.ckpt_bytes + bytes;
+    (* Ship the state delta... *)
+    Sim.sleep (Servernet.Fabric.transfer_time t.fabric ~bytes);
+    if backup_alive t then begin
+      let ack = Ivar.create () in
+      Mailbox.send t.ckpt_chan (ckpt, ack);
+      (* ... and wait for the backup to acknowledge before externalizing. *)
+      match Ivar.read_timeout ack t.cfg.takeover_delay with
+      | Some () -> Sim.sleep (Servernet.Fabric.transfer_time t.fabric ~bytes:t.cfg.ack_bytes)
+      | None -> ()
+    end
+  end
+
+let name t = t.pp_name
+
+let primary_cpu t = t.primary
+
+let has_backup t = backup_alive t
+
+let is_halted t = t.halted
+
+let takeovers t = t.takeovers
+
+let outage_time t = t.outage
+
+let checkpoints_sent t = t.ckpts
+
+let checkpoint_bytes t = t.ckpt_bytes
+
+let kill_primary t =
+  match t.primary_pid with
+  | Some pid when Sim.is_alive (sim t) pid -> Sim.kill (sim t) pid
+  | _ -> ()
+
+let halt t =
+  t.halted <- true;
+  (match t.primary_pid with
+  | Some pid when Sim.is_alive (sim t) pid -> Sim.kill (sim t) pid
+  | _ -> ());
+  match t.applier_pid with
+  | Some pid when Sim.is_alive (sim t) pid -> Sim.kill (sim t) pid
+  | _ -> ()

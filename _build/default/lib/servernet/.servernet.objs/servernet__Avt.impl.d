@@ -1,0 +1,1 @@
+lib/servernet/avt.ml: Format List

@@ -1,0 +1,1 @@
+lib/servernet/fabric.ml: Array Avt Bytes Format List Rng Sim Simkit Time

@@ -1,0 +1,1 @@
+lib/servernet/fabric.mli: Avt Bytes Format Sim Simkit Time

@@ -1,0 +1,57 @@
+(** Address Validation and Translation table.
+
+    Each ServerNet endpoint presents a 32-bit {e network virtual address}
+    space to initiators on the fabric (paper §4).  An AVT maps windows of
+    that space onto the endpoint's physical store and enforces a limited
+    form of access control: which initiating endpoints may read or write
+    each window.  The Persistent Memory Manager programs these windows
+    when a client opens a region. *)
+
+type initiator = int
+(** Fabric endpoint id of the node initiating an RDMA operation. *)
+
+type who =
+  | Any_initiator
+  | Initiators of initiator list
+
+type access = { readers : who; writers : who }
+
+val read_write : who -> access
+(** Window readable and writable by the same set. *)
+
+val read_only : who -> access
+(** Window readable by the set, writable by nobody. *)
+
+type error =
+  | Unmapped  (** no window covers the address *)
+  | Access_denied  (** window exists but the initiator lacks the right *)
+  | Crosses_window  (** the access runs past the end of its window *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val address_space_bits : int
+(** 32: network virtual addresses must fit in 32 bits. *)
+
+val create : unit -> t
+
+val map :
+  t -> net_base:int -> length:int -> phys_base:int -> access:access -> (unit, string) result
+(** Program a window.  Fails if the window leaves the 32-bit space, has
+    non-positive length, or overlaps an existing window. *)
+
+val unmap : t -> net_base:int -> bool
+(** Remove the window starting exactly at [net_base]; [false] if none. *)
+
+val set_access : t -> net_base:int -> access -> bool
+(** Reprogram permissions of an existing window. *)
+
+val translate :
+  t -> initiator:initiator -> op:[ `Read | `Write ] -> addr:int -> len:int ->
+  (int, error) result
+(** Validate an access of [len] bytes at network virtual address [addr]
+    and return the physical base offset on success. *)
+
+val windows : t -> (int * int) list
+(** [(net_base, length)] of every programmed window, ascending. *)

@@ -1,0 +1,255 @@
+open Simkit
+
+type error = Unreachable | No_path | Avt_error of Avt.error | Crc_failure
+
+let pp_error ppf = function
+  | Unreachable -> Format.pp_print_string ppf "target endpoint unreachable"
+  | No_path -> Format.pp_print_string ppf "no rail up between endpoints"
+  | Avt_error e -> Format.fprintf ppf "AVT: %a" Avt.pp_error e
+  | Crc_failure -> Format.pp_print_string ppf "CRC retries exhausted"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type config = {
+  sw_latency : Time.span;
+  bytes_per_ns : float;
+  packet_bytes : int;
+  per_packet_overhead : Time.span;
+  crc_error_rate : float;
+  max_retries : int;
+  rails : int;
+}
+
+let default_config =
+  {
+    sw_latency = Time.us 12;
+    bytes_per_ns = 0.125 (* 125 MB/s *);
+    packet_bytes = 512;
+    per_packet_overhead = Time.ns 200;
+    crc_error_rate = 0.0;
+    max_retries = 8;
+    rails = 2;
+  }
+
+type store = {
+  size : int;
+  read : off:int -> len:int -> Bytes.t;
+  write : off:int -> data:Bytes.t -> unit;
+}
+
+let byte_store size =
+  let mem = Bytes.make size '\000' in
+  {
+    size;
+    read = (fun ~off ~len -> Bytes.sub mem off len);
+    write = (fun ~off ~data -> Bytes.blit data 0 mem off (Bytes.length data));
+  }
+
+type endpoint = {
+  ep_id : int;
+  ep_name : string;
+  ep_store : store;
+  ep_avt : Avt.t;
+  mutable ep_alive : bool;
+  mutable nic_free_at : Time.t;
+}
+
+type stats = {
+  writes : int;
+  reads : int;
+  bytes_written : int;
+  bytes_read : int;
+  packet_retries : int;
+  failures : int;
+}
+
+type t = {
+  sim : Sim.t;
+  cfg : config;
+  rng : Rng.t;
+  mutable endpoints : endpoint list;
+  mutable next_id : int;
+  rail_up : bool array;
+  mutable st_writes : int;
+  mutable st_reads : int;
+  mutable st_bytes_written : int;
+  mutable st_bytes_read : int;
+  mutable st_retries : int;
+  mutable st_failures : int;
+}
+
+let create sim ?(config = default_config) () =
+  if config.rails <= 0 then invalid_arg "Fabric.create: need at least one rail";
+  {
+    sim;
+    cfg = config;
+    rng = Rng.split (Sim.rng sim);
+    endpoints = [];
+    next_id = 0;
+    rail_up = Array.make config.rails true;
+    st_writes = 0;
+    st_reads = 0;
+    st_bytes_written = 0;
+    st_bytes_read = 0;
+    st_retries = 0;
+    st_failures = 0;
+  }
+
+let config t = t.cfg
+
+let attach t ~name ~store =
+  let ep =
+    {
+      ep_id = t.next_id;
+      ep_name = name;
+      ep_store = store;
+      ep_avt = Avt.create ();
+      ep_alive = true;
+      nic_free_at = Time.zero;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.endpoints <- ep :: t.endpoints;
+  ep
+
+let id ep = ep.ep_id
+
+let name ep = ep.ep_name
+
+let avt ep = ep.ep_avt
+
+let endpoint_store ep = ep.ep_store
+
+let find t i = List.find_opt (fun ep -> ep.ep_id = i) t.endpoints
+
+let set_alive ep alive = ep.ep_alive <- alive
+
+let is_alive ep = ep.ep_alive
+
+let set_rail t rail up =
+  if rail < 0 || rail >= Array.length t.rail_up then invalid_arg "Fabric.set_rail: bad rail";
+  t.rail_up.(rail) <- up
+
+let rail_is_up t rail = t.rail_up.(rail)
+
+let pick_rail t =
+  let n = Array.length t.rail_up in
+  let rec go i = if i >= n then None else if t.rail_up.(i) then Some i else go (i + 1) in
+  go 0
+
+let packets_of t len = max 1 ((len + t.cfg.packet_bytes - 1) / t.cfg.packet_bytes)
+
+let transfer_time t ~bytes =
+  let packets = packets_of t bytes in
+  t.cfg.sw_latency
+  + (packets * t.cfg.per_packet_overhead)
+  + int_of_float (float_of_int bytes /. t.cfg.bytes_per_ns)
+
+(* Sample the number of CRC retransmissions needed for [packets] packets;
+   [None] means some packet exceeded max_retries. *)
+let sample_retries t packets =
+  if t.cfg.crc_error_rate <= 0.0 then Some 0
+  else
+    let total = ref 0 in
+    let failed = ref false in
+    for _ = 1 to packets do
+      let tries = ref 0 in
+      while (not !failed) && Rng.bool t.rng t.cfg.crc_error_rate do
+        incr tries;
+        if !tries > t.cfg.max_retries then failed := true
+      done;
+      total := !total + !tries
+    done;
+    if !failed then None else Some !total
+
+(* Occupy both NICs and advance simulated time for one attempt over a rail;
+   returns the chosen rail, or None if no rail was up. *)
+let do_transfer t src dst bytes =
+  match pick_rail t with
+  | None -> Error No_path
+  | Some rail ->
+      let start = max (Sim.now t.sim) (max src.nic_free_at dst.nic_free_at) in
+      let packets = packets_of t bytes in
+      let retries = sample_retries t packets in
+      let retry_count, ok =
+        match retries with Some r -> (r, true) | None -> (t.cfg.max_retries, false)
+      in
+      t.st_retries <- t.st_retries + retry_count;
+      let duration =
+        transfer_time t ~bytes
+        + (retry_count * (t.cfg.per_packet_overhead + Time.ns 4096))
+      in
+      let finish = start + duration in
+      src.nic_free_at <- finish;
+      dst.nic_free_at <- finish;
+      Sim.wait_until finish;
+      if not ok then Error Crc_failure
+      else if not (rail_is_up t rail) then
+        (* The rail failed mid-transfer: hardware acks never arrived. *)
+        Error No_path
+      else Ok rail
+
+let rec transfer_with_failover t src dst bytes ~attempts =
+  match do_transfer t src dst bytes with
+  | Ok _ -> Ok ()
+  | Error No_path when attempts > 0 && pick_rail t <> None ->
+      (* Another rail is up: the NIC retries the operation on it. *)
+      transfer_with_failover t src dst bytes ~attempts:(attempts - 1)
+  | Error e -> Error e
+
+let fail t e =
+  t.st_failures <- t.st_failures + 1;
+  Error e
+
+let resolve_target t dst =
+  match find t dst with
+  | None -> Error Unreachable
+  | Some ep -> if ep.ep_alive then Ok ep else Error Unreachable
+
+let rdma_write t ~src ~dst ~addr ~data =
+  let len = Bytes.length data in
+  match resolve_target t dst with
+  | Error e -> fail t e
+  | Ok target -> (
+      if not src.ep_alive then fail t Unreachable
+      else
+        match transfer_with_failover t src target len ~attempts:t.cfg.rails with
+        | Error e -> fail t e
+        | Ok () -> (
+            (* Address validation happens in the target NIC on arrival. *)
+            match
+              Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Write ~addr ~len
+            with
+            | Error e -> fail t (Avt_error e)
+            | Ok phys ->
+                target.ep_store.write ~off:phys ~data;
+                t.st_writes <- t.st_writes + 1;
+                t.st_bytes_written <- t.st_bytes_written + len;
+                Ok ()))
+
+let rdma_read t ~src ~dst ~addr ~len =
+  match resolve_target t dst with
+  | Error e -> fail t e
+  | Ok target -> (
+      if not src.ep_alive then fail t Unreachable
+      else
+        match Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Read ~addr ~len with
+        | Error e -> fail t (Avt_error e)
+        | Ok phys -> (
+            match transfer_with_failover t src target len ~attempts:t.cfg.rails with
+            | Error e -> fail t e
+            | Ok () ->
+                let data = target.ep_store.read ~off:phys ~len in
+                t.st_reads <- t.st_reads + 1;
+                t.st_bytes_read <- t.st_bytes_read + len;
+                Ok data))
+
+let stats t =
+  {
+    writes = t.st_writes;
+    reads = t.st_reads;
+    bytes_written = t.st_bytes_written;
+    bytes_read = t.st_bytes_read;
+    packet_retries = t.st_retries;
+    failures = t.st_failures;
+  }

@@ -1,0 +1,1 @@
+lib/simkit/mailbox.ml: List Queue Sim

@@ -1,0 +1,1 @@
+lib/simkit/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/simkit/sim.ml: Effect Hashtbl Heap List Rng Time

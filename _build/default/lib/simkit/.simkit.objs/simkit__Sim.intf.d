@@ -1,0 +1,1 @@
+lib/simkit/sim.mli: Rng Time

@@ -1,0 +1,1 @@
+lib/simkit/stat.mli: Format Time

@@ -1,0 +1,1 @@
+lib/simkit/trace.mli: Format Time

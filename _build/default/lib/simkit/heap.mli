@@ -1,0 +1,20 @@
+(** Binary min-heap keyed by [(time, sequence)] pairs.
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in insertion order, which keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum element as [(key, seq, value)]. *)
+
+val peek_key : 'a t -> int option
+(** Key of the minimum element, without removing it. *)

@@ -1,0 +1,46 @@
+type 'a t = { mutable value : 'a option; mutable waiters : (unit -> unit) list }
+
+let create () = { value = None; waiters = [] }
+
+let wake_all t =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+let try_fill t v =
+  match t.value with
+  | Some _ -> false
+  | None ->
+      t.value <- Some v;
+      wake_all t;
+      true
+
+let fill t v = if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+
+let is_filled t = Option.is_some t.value
+
+let peek t = t.value
+
+let rec read t =
+  match t.value with
+  | Some v -> v
+  | None ->
+      Sim.suspend (fun waker -> t.waiters <- waker :: t.waiters);
+      read t
+
+let read_timeout t span =
+  let sim = Sim.current () in
+  let deadline = Sim.now sim + span in
+  let rec loop () =
+    match t.value with
+    | Some v -> Some v
+    | None ->
+        if Sim.now sim >= deadline then None
+        else begin
+          Sim.suspend (fun waker ->
+              t.waiters <- waker :: t.waiters;
+              Sim.at_time sim ~time:deadline waker);
+          loop ()
+        end
+  in
+  loop ()

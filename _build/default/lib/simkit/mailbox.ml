@@ -1,0 +1,44 @@
+type 'a t = { mb_name : string; q : 'a Queue.t; mutable waiters : (unit -> unit) list }
+
+let create ?(name = "") () = { mb_name = name; q = Queue.create (); waiters = [] }
+
+let name t = t.mb_name
+
+let wake_all t =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+let send t v =
+  Queue.push v t.q;
+  wake_all t
+
+let length t = Queue.length t.q
+
+let is_empty t = Queue.is_empty t.q
+
+let try_recv t = Queue.take_opt t.q
+
+let rec recv t =
+  match Queue.take_opt t.q with
+  | Some v -> v
+  | None ->
+      Sim.suspend (fun waker -> t.waiters <- waker :: t.waiters);
+      recv t
+
+let recv_timeout t span =
+  let sim = Sim.current () in
+  let deadline = Sim.now sim + span in
+  let rec loop () =
+    match Queue.take_opt t.q with
+    | Some v -> Some v
+    | None ->
+        if Sim.now sim >= deadline then None
+        else begin
+          Sim.suspend (fun waker ->
+              t.waiters <- waker :: t.waiters;
+              Sim.at_time sim ~time:deadline waker);
+          loop ()
+        end
+  in
+  loop ()

@@ -1,0 +1,25 @@
+(** Unbounded blocking mailboxes between simulated processes.
+
+    Sends never block; receives block the calling process until a message
+    is available.  Delivery order is FIFO. *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+
+val name : 'a t -> string
+
+val send : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val recv : 'a t -> 'a
+(** Block until a message arrives.  Must run in process context. *)
+
+val recv_timeout : 'a t -> Time.span -> 'a option
+(** Like {!recv} but returns [None] after the given span. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)

@@ -1,0 +1,135 @@
+type t = {
+  stat_name : string;
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+  mutable samples : float array;
+  mutable sorted : bool;
+}
+
+type summary = {
+  n : int;
+  mean : float;
+  stdev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let create ?(name = "") () =
+  {
+    stat_name = name;
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = infinity;
+    max = neg_infinity;
+    total = 0.0;
+    samples = [||];
+    sorted = true;
+  }
+
+let name t = t.stat_name
+
+let add (t : t) x =
+  let cap = Array.length t.samples in
+  if t.n = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let na = Array.make ncap 0.0 in
+    Array.blit t.samples 0 na 0 t.n;
+    t.samples <- na
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- false;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_span t span = add t (float_of_int span)
+
+let count (t : t) = t.n
+
+let mean (t : t) = t.mean
+
+let total (t : t) = t.total
+
+let ensure_sorted (t : t) =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.n in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.n;
+    t.sorted <- true
+  end
+
+let percentile (t : t) p =
+  if t.n = 0 then invalid_arg "Stat.percentile: no samples";
+  ensure_sorted t;
+  let rank = int_of_float (Float.round (p *. float_of_int (t.n - 1))) in
+  t.samples.(rank)
+
+let stdev (t : t) = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let summary (t : t) =
+  if t.n = 0 then
+    { n = 0; mean = 0.; stdev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+  else
+    {
+      n = t.n;
+      mean = t.mean;
+      stdev = stdev t;
+      min = t.min;
+      max = t.max;
+      p50 = percentile t 0.50;
+      p90 = percentile t 0.90;
+      p99 = percentile t 0.99;
+    }
+
+let pp_summary ppf t =
+  let s = summary t in
+  Format.fprintf ppf "%s: n=%d mean=%a p50=%a p90=%a p99=%a max=%a" t.stat_name s.n Time.pp
+    (int_of_float s.mean) Time.pp (int_of_float s.p50) Time.pp (int_of_float s.p90) Time.pp
+    (int_of_float s.p99) Time.pp (int_of_float s.max)
+
+module Counter = struct
+  type t = { counter_name : string; mutable v : int }
+
+  let create ?(name = "") () = { counter_name = name; v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t x = t.v <- t.v + x
+  let get t = t.v
+  let name t = t.counter_name
+end
+
+module Histogram = struct
+  type t = { mutable counts : int array }
+
+  let nbuckets = 64
+
+  let create () = { counts = Array.make nbuckets 0 }
+
+  let bucket_of x =
+    if x <= 0 then 0
+    else
+      let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+      min (nbuckets - 1) (log2 0 x + 1)
+
+  let add t x =
+    let b = bucket_of x in
+    t.counts.(b) <- t.counts.(b) + 1
+
+  let buckets t =
+    let out = ref [] in
+    for b = nbuckets - 1 downto 0 do
+      if t.counts.(b) > 0 then out := (1 lsl b, t.counts.(b)) :: !out
+    done;
+    !out
+end

@@ -1,0 +1,64 @@
+(** Online statistics for latency and throughput measurements.
+
+    A [Stat.t] keeps Welford running moments plus every sample (as a
+    growable float array) so that exact percentiles can be reported at the
+    end of a run.  Simulation scales here are small enough (≤ millions of
+    samples) that keeping samples is cheap and exactness beats sketching. *)
+
+type t
+
+type summary = {
+  n : int;
+  mean : float;
+  stdev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add : t -> float -> unit
+
+val add_span : t -> Time.span -> unit
+(** Record a time span, stored in nanoseconds. *)
+
+val count : t -> int
+
+val mean : t -> float
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] is the exact 99th percentile of the samples seen
+    so far (nearest-rank).  Raises [Invalid_argument] if no samples. *)
+
+val summary : t -> summary
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** Monotonically increasing named counters. *)
+module Counter : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val name : t -> string
+end
+
+(** Log-scale latency histogram (powers of two in nanoseconds), useful to
+    eyeball multi-modal service-time distributions in traces. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val buckets : t -> (int * int) list
+  (** [(upper_bound_ns, count)] for each non-empty bucket, ascending. *)
+end

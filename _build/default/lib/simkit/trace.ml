@@ -1,0 +1,41 @@
+type entry = { time : Time.t; tag : string; msg : string }
+
+type t = {
+  mutable on : bool;
+  capacity : int;
+  buf : entry option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { on = false; capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let event t ~time ~tag msg =
+  if t.on then begin
+    t.buf.(t.next) <- Some { time; tag; msg };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let eventf t ~time ~tag thunk = if t.on then event t ~time ~tag (thunk ())
+
+let entries t =
+  let n = min t.total t.capacity in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some e -> out := (e.time, e.tag, e.msg) :: !out
+    | None -> ()
+  done;
+  !out
+
+let dump ppf t =
+  let pp_entry (time, tag, msg) = Format.fprintf ppf "[%a] %-12s %s@." Time.pp time tag msg in
+  List.iter pp_entry (entries t)

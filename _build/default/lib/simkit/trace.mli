@@ -1,0 +1,25 @@
+(** Lightweight event tracing for debugging simulations.
+
+    Disabled by default; when enabled, records [(time, tag, message)]
+    triples in memory.  Costs nothing when disabled beyond a flag check,
+    as long as callers build messages lazily with {!eventf}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer holding the most recent [capacity] entries
+    (default 65536). *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val event : t -> time:Time.t -> tag:string -> string -> unit
+
+val eventf : t -> time:Time.t -> tag:string -> (unit -> string) -> unit
+(** The thunk is only forced when tracing is enabled. *)
+
+val entries : t -> (Time.t * string * string) list
+(** Oldest first. *)
+
+val dump : Format.formatter -> t -> unit

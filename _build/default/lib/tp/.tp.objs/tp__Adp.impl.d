@@ -1,0 +1,1 @@
+lib/tp/adp.ml: Audit Cpu List Log_backend Mailbox Msgsys Nsk Procpair Simkit Time

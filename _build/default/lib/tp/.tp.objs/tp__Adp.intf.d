@@ -1,0 +1,1 @@
+lib/tp/adp.mli: Audit Cpu Log_backend Msgsys Nsk Servernet Simkit Time

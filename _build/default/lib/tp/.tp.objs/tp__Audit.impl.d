@@ -1,0 +1,1 @@
+lib/tp/audit.ml: Bytes Codec Crc32 Format Int32 List Pm String

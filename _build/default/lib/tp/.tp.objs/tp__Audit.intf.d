@@ -1,0 +1,1 @@
+lib/tp/audit.mli: Bytes Codec Format Pm

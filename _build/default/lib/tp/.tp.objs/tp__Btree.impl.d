@@ -1,0 +1,1 @@
+lib/tp/btree.ml: Array List Option Printf String

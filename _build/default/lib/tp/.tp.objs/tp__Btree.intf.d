@@ -1,0 +1,1 @@
+lib/tp/btree.mli:

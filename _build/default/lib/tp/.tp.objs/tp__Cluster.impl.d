@@ -1,0 +1,1 @@
+lib/tp/cluster.ml: Array Node Nsk Simkit System Time Tmf Txclient

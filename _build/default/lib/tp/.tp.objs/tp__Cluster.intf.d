@@ -1,0 +1,1 @@
+lib/tp/cluster.mli: Sim Simkit System Time Txclient

@@ -1,0 +1,1 @@
+lib/tp/dp2.ml: Adp Audit Btree Bytes Cpu Diskio Format Hashtbl Int64 Ivar List Lockmgr Msgsys Nsk Procpair Rng Rpc Simkit Time

@@ -1,0 +1,1 @@
+lib/tp/dp2.mli: Adp Audit Bytes Cpu Diskio Lockmgr Msgsys Nsk Servernet Simkit Time

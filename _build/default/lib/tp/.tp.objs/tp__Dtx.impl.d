@@ -1,0 +1,1 @@
+lib/tp/dtx.ml: Cluster Gate List Sim Simkit System Txclient

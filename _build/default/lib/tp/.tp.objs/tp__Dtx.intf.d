@@ -1,0 +1,1 @@
+lib/tp/dtx.mli: Cluster Txclient

@@ -1,0 +1,1 @@
+lib/tp/entity.ml: Bytes List Pm String Txclient

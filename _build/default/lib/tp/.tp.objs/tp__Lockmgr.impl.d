@@ -1,0 +1,1 @@
+lib/tp/lockmgr.ml: Audit Hashtbl List Sim Simkit Time

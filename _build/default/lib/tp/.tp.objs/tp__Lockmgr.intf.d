@@ -1,0 +1,1 @@
+lib/tp/lockmgr.mli: Audit Sim Simkit Time

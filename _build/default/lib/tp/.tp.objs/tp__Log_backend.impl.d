@@ -1,0 +1,1 @@
+lib/tp/log_backend.ml: Audit Bytes Codec Diskio List Pm Pm_client Pm_types

@@ -1,0 +1,1 @@
+lib/tp/log_backend.mli: Audit Diskio Pm Pm_client

@@ -1,0 +1,1 @@
+lib/tp/recovery.ml: Adp Array Audit Cpu Dp2 Format Hashtbl List Log_backend Node Nsk Pm Sim Simkit System Time

@@ -1,0 +1,1 @@
+lib/tp/recovery.mli: Format Simkit System Time

@@ -1,0 +1,1 @@
+lib/tp/rpc.ml: Msgsys Nsk Sim Simkit Time

@@ -1,0 +1,1 @@
+lib/tp/rpc.mli: Cpu Msgsys Nsk Simkit Time

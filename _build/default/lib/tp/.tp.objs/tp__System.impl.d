@@ -1,0 +1,1 @@
+lib/tp/system.ml: Adp Array Cpu Diskio Dp2 Format Hashtbl List Lockmgr Log_backend Node Nsk Pm Printf Rpc Servernet Sim Simkit Stat Time Tmf Txclient

@@ -1,0 +1,1 @@
+lib/tp/system.mli: Adp Diskio Dp2 Format Lockmgr Node Nsk Pm Servernet Sim Simkit Time Tmf Txclient

@@ -1,0 +1,1 @@
+lib/tp/tmf.ml: Adp Array Audit Bytes Cpu Dp2 Format Hashtbl Ivar List Mailbox Msgsys Nsk Pm Procpair Rpc Sim Simkit Stat Time

@@ -1,0 +1,1 @@
+lib/tp/tmf.mli: Adp Audit Cpu Dp2 Msgsys Nsk Pm Servernet Simkit Stat Time

@@ -1,0 +1,1 @@
+lib/tp/txclient.ml: Array Audit Bytes Cpu Dp2 Format Hashtbl Int32 Ivar List Msgsys Nsk Option Pm Rng Sim Simkit Stat Time Tmf

@@ -1,0 +1,1 @@
+lib/tp/txclient.mli: Audit Bytes Cpu Dp2 Nsk Simkit Stat Time Tmf

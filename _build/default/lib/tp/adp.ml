@@ -1,0 +1,224 @@
+open Simkit
+open Nsk
+
+type request =
+  | Append of Audit.record list
+  | Flush of { through : Audit.asn }
+  | Trim of { through : Audit.asn }
+
+type response =
+  | Appended of { last_asn : Audit.asn }
+  | Flushed of { durable : Audit.asn }
+  | Trimmed of { records : int }
+  | A_failed of string
+
+type server = (request, response) Msgsys.server
+
+type config = { append_cpu : Time.span; flush_cpu : Time.span }
+
+let default_config = { append_cpu = Time.us 15; flush_cpu = Time.us 25 }
+
+type waiter = { w_through : Audit.asn; w_respond : response -> unit }
+
+type state = {
+  mutable next_asn : Audit.asn;
+  mutable durable : Audit.asn;
+  mutable buffer : (Audit.asn * Audit.record) list;  (** newest-first, not yet durable *)
+}
+
+(* Checkpoints mirror appends and flush completions to the backup. *)
+type ckpt =
+  | Ck_appended of (Audit.asn * Audit.record) list
+  | Ck_durable of Audit.asn
+
+type t = {
+  adp_name : string;
+  cfg : config;
+  backend : Log_backend.t;
+  srv : server;
+  mutable pair : ckpt Procpair.t option;
+  mutable live : state option;
+  shadow : state;
+  mutable waiters : waiter list;
+  mutable wakeup : unit Mailbox.t;  (** kicks the flusher *)
+  mutable epoch : int;  (** bumped per serve incarnation; stale flushers exit *)
+  mutable appended : int;
+  mutable flush_reqs : int;
+}
+
+let ckpt_size records =
+  List.fold_left (fun acc (_, r) -> acc + 16 + Audit.wire_size r) 0 records
+
+let pair_exn t = match t.pair with Some p -> p | None -> invalid_arg "Adp: not started"
+
+let current_cpu t = Procpair.primary_cpu (pair_exn t)
+
+let state t =
+  match t.live with
+  | Some s -> s
+  | None ->
+      (* First run, or takeover: adopt the checkpoint-built shadow. *)
+      let s =
+        { next_asn = t.shadow.next_asn; durable = t.shadow.durable; buffer = t.shadow.buffer }
+      in
+      t.live <- Some s;
+      s
+
+let satisfy_waiters t s =
+  let ready, pending = List.partition (fun w -> w.w_through <= s.durable) t.waiters in
+  t.waiters <- pending;
+  List.iter (fun w -> w.w_respond (Flushed { durable = s.durable })) ready
+
+let fail_waiters t msg =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (fun w -> w.w_respond (A_failed msg)) ws
+
+(* Group commit: one backend write covers every record buffered at the
+   moment it starts; commits that arrive during the write ride the next
+   one.  Runs in a dedicated flusher process so the serve loop keeps
+   absorbing appends while the spindle turns. *)
+let flusher t ~epoch ~wakeup () =
+  while t.epoch = epoch do
+    (* Purely event-driven: every Flush request drops a kick here, so
+       commits that arrive during a write are covered by the next one. *)
+    Mailbox.recv wakeup;
+    let s = state t in
+    while t.epoch = epoch && t.waiters <> [] && s.buffer <> [] do
+      let batch = List.rev s.buffer in
+      let last = match s.buffer with (asn, _) :: _ -> asn | [] -> s.durable in
+      s.buffer <- [];
+      Cpu.execute (current_cpu t) t.cfg.flush_cpu;
+      match Log_backend.write_records t.backend batch with
+      | Ok () ->
+          s.durable <- max s.durable last;
+          Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_durable s.durable);
+          satisfy_waiters t s
+      | Error e ->
+          (* Put the batch back so a takeover can still flush it. *)
+          s.buffer <- List.rev_append batch s.buffer;
+          fail_waiters t e
+    done
+  done
+
+let handle t s req respond =
+  match req with
+  | Append records -> (
+      Cpu.execute (current_cpu t) (List.length records * t.cfg.append_cpu);
+      let stamped =
+        List.map
+          (fun r ->
+            let asn = s.next_asn in
+            s.next_asn <- asn + 1;
+            (asn, r))
+          records
+      in
+      t.appended <- t.appended + List.length stamped;
+      let last_asn = match List.rev stamped with (asn, _) :: _ -> asn | [] -> s.durable in
+      if Log_backend.synchronous t.backend then
+        (* PM path: durable as soon as the RDMA write completes; nothing
+           to checkpoint but the counters. *)
+        match Log_backend.write_records t.backend stamped with
+        | Ok () ->
+            s.durable <- last_asn;
+            Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_durable s.durable);
+            respond (Appended { last_asn })
+        | Error e -> respond (A_failed e)
+      else begin
+        (* Disk path: buffer now, flush later — but the buffered records
+           must survive a takeover, so checkpoint them to the backup
+           before acknowledging. *)
+        s.buffer <- List.rev_append stamped s.buffer;
+        Procpair.checkpoint (pair_exn t) ~bytes:(ckpt_size stamped) (Ck_appended stamped);
+        respond (Appended { last_asn })
+      end)
+  | Flush { through } ->
+      t.flush_reqs <- t.flush_reqs + 1;
+      if through <= s.durable then respond (Flushed { durable = s.durable })
+      else begin
+        t.waiters <- { w_through = through; w_respond = respond } :: t.waiters;
+        Mailbox.send t.wakeup ()
+      end
+  | Trim { through } ->
+      if through > s.durable then respond (A_failed "cannot trim past the durable horizon")
+      else respond (Trimmed { records = Log_backend.trim t.backend ~through })
+
+let serve t () =
+  let s = state t in
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  if not (Log_backend.synchronous t.backend) then
+    ignore
+      (Cpu.spawn (current_cpu t) ~name:(t.adp_name ^ ":flusher")
+         (flusher t ~epoch ~wakeup:t.wakeup));
+  while true do
+    let req, respond = Msgsys.next_request t.srv in
+    handle t s req respond
+  done
+
+let apply_ckpt t = function
+  | Ck_appended records ->
+      t.shadow.buffer <- List.rev_append records t.shadow.buffer;
+      List.iter (fun (a, _) -> t.shadow.next_asn <- max t.shadow.next_asn (a + 1)) records
+  | Ck_durable asn ->
+      t.shadow.durable <- max t.shadow.durable asn;
+      t.shadow.buffer <- List.filter (fun (a, _) -> a > asn) t.shadow.buffer;
+      t.shadow.next_asn <- max t.shadow.next_asn (asn + 1)
+
+let start ~fabric ~name ~primary ~backup ~backend ?(config = default_config) () =
+  let srv = Msgsys.create_server fabric ~cpu:primary ~name in
+  let t =
+    {
+      adp_name = name;
+      cfg = config;
+      backend;
+      srv;
+      pair = None;
+      live = None;
+      shadow = { next_asn = 1; durable = 0; buffer = [] };
+      waiters = [];
+      wakeup = Mailbox.create ~name:(name ^ ":wakeup") ();
+      epoch = 0;
+      appended = 0;
+      flush_reqs = 0;
+    }
+  in
+  let pair =
+    Procpair.start ~fabric ~name ~primary ~backup
+      ~apply:(fun ck -> apply_ckpt t ck)
+      ~serve:(fun () -> serve t ())
+      ~on_takeover:(fun () ->
+        t.live <- None;
+        (* Callers of in-flight flushes were already failed by the port
+           move and will retry against the new primary.  A fresh wakeup
+           mailbox orphans any flusher that survived the failure. *)
+        t.waiters <- [];
+        t.wakeup <- Mailbox.create ~name:(t.adp_name ^ ":wakeup") ();
+        Msgsys.move t.srv ~cpu:backup)
+      ()
+  in
+  t.pair <- Some pair;
+  t
+
+let server t = t.srv
+
+let backend t = t.backend
+
+let durable_asn t =
+  match t.live with Some s -> s.durable | None -> t.shadow.durable
+
+let next_asn t = match t.live with Some s -> s.next_asn | None -> t.shadow.next_asn
+
+let appended_records t = t.appended
+
+let flushes_performed t = Log_backend.writes t.backend
+
+let flush_requests t = t.flush_reqs
+
+let pair_takeovers t = Procpair.takeovers (pair_exn t)
+
+let checkpoint_bytes t = Procpair.checkpoint_bytes (pair_exn t)
+
+let kill_primary t = Procpair.kill_primary (pair_exn t)
+
+let halt t = Procpair.halt (pair_exn t)

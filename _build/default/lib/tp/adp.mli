@@ -1,0 +1,75 @@
+open Simkit
+open Nsk
+
+(** The Audit Data Process: NSK's log writer, as a process pair.
+
+    Database writers send audit records to an ADP ({!request.Append});
+    the transaction monitor asks it to make the trail durable through an
+    ASN ({!request.Flush}).  With the classic disk backend, appends are
+    buffered — and checkpointed to the backup so a takeover loses nothing
+    — and a flush pays the audit volume's rotational miss; concurrent
+    flush requests that arrive while a write is in flight are absorbed by
+    the following one (group commit).  With the paper's persistent-memory
+    backend the append itself is durable, flushes return immediately, and
+    the buffered-record checkpoint disappears (§3.4: PM eliminates the
+    repeated, uncoordinated persistence actions). *)
+
+type request =
+  | Append of Audit.record list
+  | Flush of { through : Audit.asn }
+  | Trim of { through : Audit.asn }
+      (** archive the trail prefix (only durable records may be trimmed) *)
+
+type response =
+  | Appended of { last_asn : Audit.asn }
+  | Flushed of { durable : Audit.asn }
+  | Trimmed of { records : int }
+  | A_failed of string
+
+type server = (request, response) Msgsys.server
+
+type config = {
+  append_cpu : Time.span;  (** instruction path per appended record *)
+  flush_cpu : Time.span;
+}
+
+val default_config : config
+
+type t
+
+val start :
+  fabric:Servernet.Fabric.t ->
+  name:string ->
+  primary:Cpu.t ->
+  backup:Cpu.t ->
+  backend:Log_backend.t ->
+  ?config:config ->
+  unit ->
+  t
+
+val server : t -> server
+
+val backend : t -> Log_backend.t
+
+val durable_asn : t -> Audit.asn
+
+val next_asn : t -> Audit.asn
+
+val appended_records : t -> int
+
+val flushes_performed : t -> int
+(** Backend writes, not flush requests: with group commit several
+    requests share one. *)
+
+val flush_requests : t -> int
+
+val pair_takeovers : t -> int
+
+val checkpoint_bytes : t -> int
+(** Process-pair checkpoint traffic this ADP generated. *)
+
+val kill_primary : t -> unit
+(** Fault injection: kill the primary process; the backup takes over with
+    the checkpointed buffer. *)
+
+val halt : t -> unit

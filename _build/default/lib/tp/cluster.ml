@@ -1,0 +1,32 @@
+open Simkit
+open Nsk
+
+type t = { systems : System.t array; wan : Time.span }
+
+let build sim ?(nodes = 2) ?(wan_latency = Time.us 100) config =
+  if nodes < 1 then invalid_arg "Cluster.build: need at least one node";
+  { systems = Array.init nodes (fun _ -> System.build sim config); wan = wan_latency }
+
+let node_count t = Array.length t.systems
+
+let system t i =
+  if i < 0 || i >= Array.length t.systems then invalid_arg "Cluster.system: bad node";
+  t.systems.(i)
+
+let wan_latency t = t.wan
+
+let local_session t ~node ~cpu = System.session (system t node) ~cpu
+
+let remote_session t ~from_node ~target ~cpu =
+  let home = system t from_node in
+  let remote = system t target in
+  let client_cpu = Node.cpu (System.node home) cpu in
+  Txclient.create ~cpu:client_cpu
+    ~tmf:(Tmf.server (System.tmf remote))
+    ~dp2s:(System.dp2_servers remote)
+    ~routing:(System.routing remote)
+    ~wan_latency:(if from_node = target then 0 else t.wan)
+    ()
+
+let total_committed t =
+  Array.fold_left (fun acc s -> acc + Tmf.committed (System.tmf s)) 0 t.systems

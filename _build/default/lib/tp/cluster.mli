@@ -1,0 +1,35 @@
+open Simkit
+
+(** Multi-node clusters (paper §1.3: servers that scale out attach to "a
+    high-bandwidth, low-latency, message-passing interconnection
+    network").
+
+    A cluster is N complete, shared-nothing nodes — each with its own
+    CPUs, ServerNet fabric, volumes, and (in PM mode) NPMU pair — joined
+    by an inter-node link.  Data is partitioned by node; an application
+    reaches a remote node's data tier through a session that pays the
+    link latency both ways on every message. *)
+
+type t
+
+val build : Sim.t -> ?nodes:int -> ?wan_latency:Time.span -> System.config -> t
+(** [nodes] defaults to 2; [wan_latency] (one-way, default 100 µs) is the
+    inter-node interconnect.  Same process-context caveat as
+    {!System.build} in PM mode. *)
+
+val node_count : t -> int
+
+val system : t -> int -> System.t
+(** Raises [Invalid_argument] for an out-of-range node. *)
+
+val wan_latency : t -> Time.span
+
+val local_session : t -> node:int -> cpu:int -> Txclient.t
+(** A session on [node] addressing its own data tier. *)
+
+val remote_session : t -> from_node:int -> target:int -> cpu:int -> Txclient.t
+(** A session hosted on [from_node]'s CPU [cpu] addressing [target]'s
+    data tier across the interconnect. *)
+
+val total_committed : t -> int
+(** Committed transactions across all nodes' monitors. *)

@@ -1,0 +1,116 @@
+open Simkit
+
+type error = Txclient.error
+
+type branch = { b_node : int; session : Txclient.t; txn : Txclient.txn }
+
+type t = {
+  cluster : Cluster.t;
+  coordinator : int;
+  cpu : int;
+  mutable branch_list : branch list;  (** newest-first *)
+}
+
+let begin_dtx cluster ~coordinator ~cpu = { cluster; coordinator; cpu; branch_list = [] }
+
+let find_branch t node = List.find_opt (fun b -> b.b_node = node) t.branch_list
+
+let branch t node =
+  match find_branch t node with
+  | Some b -> Ok b
+  | None -> (
+      let session =
+        Cluster.remote_session t.cluster ~from_node:t.coordinator ~target:node ~cpu:t.cpu
+      in
+      match Txclient.begin_txn session with
+      | Error e -> Error e
+      | Ok txn ->
+          let b = { b_node = node; session; txn } in
+          t.branch_list <- b :: t.branch_list;
+          Ok b)
+
+let insert t ~node ~file ~key ~len =
+  match branch t node with
+  | Error e -> Error e
+  | Ok b -> Txclient.insert b.session b.txn ~file ~key ~len ()
+
+let read t ~node ~file ~key =
+  match branch t node with
+  | Error e -> Error e
+  | Ok b -> Txclient.read b.session b.txn ~file ~key
+
+let branches t = List.sort compare (List.map (fun b -> b.b_node) t.branch_list)
+
+(* Run [f] on every branch concurrently; collect the first error. *)
+let parallel_each t f =
+  match t.branch_list with
+  | [] -> Ok ()
+  | [ b ] -> f b
+  | bs ->
+      let sim = Cluster.system t.cluster t.coordinator |> System.sim in
+      let gate = Gate.create (List.length bs) in
+      let first_error = ref None in
+      List.iter
+        (fun b ->
+          let (_ : Sim.pid) =
+            Sim.spawn sim ~name:"dtx-branch" (fun () ->
+                (match f b with
+                | Ok () -> ()
+                | Error e -> if !first_error = None then first_error := Some e);
+                Gate.arrive gate)
+          in
+          ())
+        bs;
+      Gate.await gate;
+      (match !first_error with None -> Ok () | Some e -> Error e)
+
+let abort t =
+  let result = parallel_each t (fun b -> Txclient.abort b.session b.txn) in
+  t.branch_list <- [];
+  result
+
+let commit t =
+  match t.branch_list with
+  | [] -> Ok ()
+  | [ b ] ->
+      (* One branch: ordinary single-phase commit. *)
+      t.branch_list <- [];
+      Txclient.commit b.session b.txn
+  | bs -> (
+      (* Phase 1: every branch prepares (parallel trail forces). *)
+      match parallel_each t (fun b -> Txclient.prepare b.session b.txn) with
+      | Error e ->
+          let (_ : (unit, error) result) =
+            parallel_each t (fun b ->
+                match Txclient.decide b.session b.txn ~commit:false with
+                | Ok () -> Ok ()
+                | Error _ ->
+                    (* Branches that never prepared abort instead. *)
+                    Txclient.abort b.session b.txn)
+          in
+          t.branch_list <- [];
+          Error e
+      | Ok () -> (
+          (* Phase 2: the decision becomes durable on the coordinator's
+             branch first, then propagates. *)
+          let coord_branch =
+            match List.find_opt (fun b -> b.b_node = t.coordinator) bs with
+            | Some b -> b
+            | None -> List.hd (List.rev bs)
+          in
+          match Txclient.decide coord_branch.session coord_branch.txn ~commit:true with
+          | Error e ->
+              t.branch_list <- [];
+              Error e
+          | Ok () ->
+              let rest = List.filter (fun b -> b != coord_branch) bs in
+              let result =
+                List.fold_left
+                  (fun acc b ->
+                    match Txclient.decide b.session b.txn ~commit:true with
+                    | Ok () -> acc
+                    | Error e -> ( match acc with Ok () -> Error e | e -> e))
+                  (Ok ()) rest
+              in
+              t.branch_list <- [];
+              result))

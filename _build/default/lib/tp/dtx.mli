@@ -1,0 +1,40 @@
+(** Distributed transactions across cluster nodes (two-phase commit).
+
+    NonStop TMF's signature capability: one atomic transaction touching
+    data on several nodes.  The coordinator runs on one node; every node
+    whose data the transaction touches becomes a branch with its own
+    local transaction; commit drives the classic protocol — prepare every
+    branch (durable PREPARED records), log the decision on the
+    coordinator's branch, then propagate it.
+
+    Each phase is one or more synchronous trail forces, which is exactly
+    where the paper's persistent memory pays twice over: a distributed
+    disk-mode commit stacks several rotational waits end to end, while
+    the PM configuration keeps the whole protocol in the
+    microsecond-to-millisecond range (EXPERIMENTS.md E10). *)
+
+type t
+
+type error = Txclient.error
+
+val begin_dtx : Cluster.t -> coordinator:int -> cpu:int -> t
+(** Start a distributed transaction coordinated from [coordinator]'s CPU
+    [cpu].  Branches open lazily as nodes are touched. *)
+
+val insert :
+  t -> node:int -> file:int -> key:int -> len:int -> (unit, error) result
+(** Insert into [node]'s data tier within this transaction (synchronous;
+    opens the node's branch on first touch). *)
+
+val read : t -> node:int -> file:int -> key:int -> ((int * int) option, error) result
+(** Locked transactional read on a branch. *)
+
+val branches : t -> int list
+(** Nodes this transaction currently touches, ascending. *)
+
+val commit : t -> (unit, error) result
+(** Two-phase commit.  Single-branch transactions short-circuit to the
+    ordinary one-phase protocol.  On a prepare failure every branch is
+    aborted and the first error returned. *)
+
+val abort : t -> (unit, error) result

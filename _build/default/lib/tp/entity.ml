@@ -1,0 +1,117 @@
+type field_type = F_int | F_string
+
+type schema = { s_name : string; file : int; fields : (string * field_type) list }
+
+let schema ~name ~file ~fields =
+  if fields = [] then invalid_arg "Entity.schema: need at least one field";
+  { s_name = name; file; fields }
+
+let schema_name s = s.s_name
+
+type value = V_int of int | V_string of string
+
+type entity = (string * value) list
+
+type error = E_failed of string | E_type_mismatch of string | E_not_found
+
+let error_to_string = function
+  | E_failed msg -> msg
+  | E_type_mismatch f -> "type mismatch on field " ^ f
+  | E_not_found -> "entity not found"
+
+type t = { session : Txclient.t }
+
+let create session = { session }
+
+let entity_magic = 0xE7
+
+(* Serialize fields in schema order; validate names and types. *)
+let encode schema entity =
+  let enc = Pm.Codec.Enc.create () in
+  Pm.Codec.Enc.u8 enc entity_magic;
+  Pm.Codec.Enc.str enc schema.s_name;
+  let rec encode_fields declared given =
+    match (declared, given) with
+    | [], [] -> Ok ()
+    | (fname, ftype) :: drest, (gname, gval) :: grest ->
+        if not (String.equal fname gname) then Error (E_type_mismatch fname)
+        else (
+          match (ftype, gval) with
+          | F_int, V_int v ->
+              Pm.Codec.Enc.u64 enc v;
+              encode_fields drest grest
+          | F_string, V_string v ->
+              Pm.Codec.Enc.str enc v;
+              encode_fields drest grest
+          | F_int, V_string _ | F_string, V_int _ -> Error (E_type_mismatch fname))
+    | _, _ -> Error (E_type_mismatch "field count")
+  in
+  match encode_fields schema.fields entity with
+  | Ok () -> Ok (Pm.Codec.Enc.to_bytes enc)
+  | Error e -> Error e
+
+let decode schema bytes =
+  try
+    let dec = Pm.Codec.Dec.of_bytes bytes in
+    if Pm.Codec.Dec.u8 dec <> entity_magic then Error (E_failed "not an entity row")
+    else if not (String.equal (Pm.Codec.Dec.str dec) schema.s_name) then
+      Error (E_failed "row belongs to another schema")
+    else
+      Ok
+        (List.map
+           (fun (fname, ftype) ->
+             match ftype with
+             | F_int -> (fname, V_int (Pm.Codec.Dec.u64 dec))
+             | F_string -> (fname, V_string (Pm.Codec.Dec.str dec)))
+           schema.fields)
+  with Pm.Codec.Dec.Truncated -> Error (E_failed "truncated entity row")
+
+let with_txn t body =
+  match Txclient.begin_txn t.session with
+  | Error e -> Error (E_failed (Txclient.error_to_string e))
+  | Ok txn -> (
+      match body txn with
+      | Ok v -> (
+          match Txclient.commit t.session txn with
+          | Ok () -> Ok v
+          | Error e -> Error (E_failed ("commit: " ^ Txclient.error_to_string e)))
+      | Error e ->
+          let (_ : (unit, Txclient.error) result) = Txclient.abort t.session txn in
+          Error e)
+
+let persist t txn schema ~id entity =
+  match encode schema entity with
+  | Error e -> Error e
+  | Ok payload -> (
+      match
+        Txclient.insert t.session txn ~payload ~file:schema.file ~key:id
+          ~len:(Bytes.length payload) ()
+      with
+      | Ok () -> Ok ()
+      | Error e -> Error (E_failed (Txclient.error_to_string e)))
+
+let find t schema ~id =
+  match Txclient.lookup_payload t.session ~file:schema.file ~key:id with
+  | Error e -> Error (E_failed (Txclient.error_to_string e))
+  | Ok None -> Ok None
+  | Ok (Some payload) -> ( match decode schema payload with Ok e -> Ok (Some e) | Error e -> Error e)
+
+let exists t schema ~id =
+  match Txclient.lookup t.session ~file:schema.file ~key:id with
+  | Ok (Some _) -> Ok true
+  | Ok None -> Ok false
+  | Error e -> Error (E_failed (Txclient.error_to_string e))
+
+let find_range t schema ~lo ~hi =
+  match Txclient.scan t.session ~file:schema.file ~lo ~hi () with
+  | Error e -> Error (E_failed (Txclient.error_to_string e))
+  | Ok rows ->
+      let rec load acc = function
+        | [] -> Ok (List.rev acc)
+        | (id, _, _) :: rest -> (
+            match find t schema ~id with
+            | Ok (Some e) -> load ((id, e) :: acc) rest
+            | Ok None -> load acc rest
+            | Error e -> Error e)
+      in
+      load [] rows

@@ -1,0 +1,55 @@
+(** Container-managed entity persistence (paper §2, §3.4).
+
+    Development frameworks of the paper's era (EJB entity beans) let the
+    application {e specify} persistence — "this object is durable" — and
+    left the implementation to a container.  The paper argues PM "starts
+    to take away some of the pain" of such container-managed persistence
+    by making the underlying commits cheap.
+
+    This module is that container over the transaction stack: declare a
+    schema, then persist and find typed entities; each entity maps to one
+    row (its fields serialized into the payload, CRC-protected in the
+    audit trail), and every mutation is transactional.  Run it on a PM
+    system and entity saves cost milliseconds; on disk audit, tens. *)
+
+type field_type = F_int | F_string
+
+type schema
+
+val schema : name:string -> file:int -> fields:(string * field_type) list -> schema
+(** Entities of this schema live in keyed file [file]; fields are
+    serialized in declaration order. *)
+
+val schema_name : schema -> string
+
+type value = V_int of int | V_string of string
+
+type entity = (string * value) list
+(** Field name to value, in schema order. *)
+
+type error = E_failed of string | E_type_mismatch of string | E_not_found
+
+val error_to_string : error -> string
+
+type t
+(** A container bound to one session. *)
+
+val create : Txclient.t -> t
+
+val with_txn : t -> (Txclient.txn -> ('a, error) result) -> ('a, error) result
+(** Begin a transaction, run the body, commit on [Ok] and abort on
+    [Error] — the container's unit of work. *)
+
+val persist : t -> Txclient.txn -> schema -> id:int -> entity -> (unit, error) result
+(** Save (insert or overwrite) the entity under [id] within the
+    transaction.  Field names and types must match the schema. *)
+
+val find : t -> schema -> id:int -> (entity option, error) result
+(** Load an entity (reads the row payload and deserializes).  Requires
+    the system to store payloads ([Dp2.config.store_payloads]). *)
+
+val exists : t -> schema -> id:int -> (bool, error) result
+
+val find_range : t -> schema -> lo:int -> hi:int -> ((int * entity) list, error) result
+(** All entities with [lo <= id <= hi], using the keyed files' B-tree
+    scans plus per-row payload loads. *)

@@ -1,0 +1,129 @@
+open Simkit
+
+type key = int * int
+
+type mode = Shared | Exclusive
+
+type error = Lock_timeout
+
+type entry = {
+  mutable lock_holders : (Audit.txn_id * mode) list;
+  mutable waiters : (unit -> unit) list;  (** wakers; woken en masse on release *)
+}
+
+type t = {
+  sim : Sim.t;
+  timeout : Time.span;
+  table : (key, entry) Hashtbl.t;
+  by_owner : (Audit.txn_id, key list ref) Hashtbl.t;
+  mutable blocked : int;
+  mutable conflict_count : int;
+  mutable timed_out : int;
+}
+
+let create sim ?(timeout = Time.sec 5) () =
+  {
+    sim;
+    timeout;
+    table = Hashtbl.create 256;
+    by_owner = Hashtbl.create 64;
+    blocked = 0;
+    conflict_count = 0;
+    timed_out = 0;
+  }
+
+let entry t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      let e = { lock_holders = []; waiters = [] } in
+      Hashtbl.replace t.table key e;
+      e
+
+let compatible entry ~owner mode =
+  match mode with
+  | Shared ->
+      List.for_all (fun (o, m) -> o = owner || m = Shared) entry.lock_holders
+  | Exclusive -> List.for_all (fun (o, _) -> o = owner) entry.lock_holders
+
+let note_owned t ~owner key =
+  let keys =
+    match Hashtbl.find_opt t.by_owner owner with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.by_owner owner r;
+        r
+  in
+  if not (List.mem key !keys) then keys := key :: !keys
+
+let grant t e ~owner ~key mode =
+  (* Upgrade replaces the existing hold; re-acquire of a weaker mode is a
+     no-op on the stronger hold. *)
+  let others = List.filter (fun (o, _) -> o <> owner) e.lock_holders in
+  let mine = List.filter (fun (o, _) -> o = owner) e.lock_holders in
+  let merged =
+    match (mine, mode) with
+    | [], m -> (owner, m) :: others
+    | (_, Exclusive) :: _, _ -> e.lock_holders
+    | (_, Shared) :: _, Exclusive -> (owner, Exclusive) :: others
+    | (_, Shared) :: _, Shared -> e.lock_holders
+  in
+  e.lock_holders <- merged;
+  note_owned t ~owner key
+
+let acquire t ~owner ~key mode =
+  let e = entry t key in
+  let deadline = Sim.now t.sim + t.timeout in
+  if not (compatible e ~owner mode) then t.conflict_count <- t.conflict_count + 1;
+  let rec attempt () =
+    if compatible e ~owner mode then begin
+      grant t e ~owner ~key mode;
+      Ok ()
+    end
+    else if Sim.now t.sim >= deadline then begin
+      t.timed_out <- t.timed_out + 1;
+      Error Lock_timeout
+    end
+    else begin
+      t.blocked <- t.blocked + 1;
+      Sim.suspend (fun waker ->
+          e.waiters <- waker :: e.waiters;
+          Sim.at_time t.sim ~time:deadline waker);
+      t.blocked <- t.blocked - 1;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let wake_waiters e =
+  let ws = e.waiters in
+  e.waiters <- [];
+  List.iter (fun w -> w ()) ws
+
+let release_all t ~owner =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> ()
+  | Some keys ->
+      Hashtbl.remove t.by_owner owner;
+      let release_key key =
+        match Hashtbl.find_opt t.table key with
+        | None -> ()
+        | Some e ->
+            e.lock_holders <- List.filter (fun (o, _) -> o <> owner) e.lock_holders;
+            if e.lock_holders = [] && e.waiters = [] then Hashtbl.remove t.table key
+            else wake_waiters e
+      in
+      List.iter release_key !keys
+
+let holders t key =
+  match Hashtbl.find_opt t.table key with Some e -> e.lock_holders | None -> []
+
+let held_by t owner =
+  match Hashtbl.find_opt t.by_owner owner with Some keys -> !keys | None -> []
+
+let waiting t = t.blocked
+
+let conflicts t = t.conflict_count
+
+let timeouts t = t.timed_out

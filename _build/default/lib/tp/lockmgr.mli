@@ -1,0 +1,40 @@
+open Simkit
+
+(** Key-range lock manager for the database writers (paper §1.1).
+
+    Shared/exclusive locks on [(file, key)] pairs with FIFO wait queues.
+    Deadlocks are broken by timeout, the discipline classic transaction
+    monitors used.  A transaction's locks are released together at
+    commit/abort (strict two-phase locking). *)
+
+type key = int * int
+(** [(file, key)] *)
+
+type mode = Shared | Exclusive
+
+type error = Lock_timeout
+
+type t
+
+val create : Sim.t -> ?timeout:Time.span -> unit -> t
+(** [timeout] defaults to 5 simulated seconds. *)
+
+val acquire : t -> owner:Audit.txn_id -> key:key -> mode -> (unit, error) result
+(** Block until granted (re-entrant; a Shared holder may upgrade to
+    Exclusive if it is the only holder).  Process context only. *)
+
+val release_all : t -> owner:Audit.txn_id -> unit
+(** Drop every lock the transaction holds and wake compatible waiters.
+    Safe outside process context. *)
+
+val holders : t -> key -> (Audit.txn_id * mode) list
+
+val held_by : t -> Audit.txn_id -> key list
+
+val waiting : t -> int
+(** Transactions currently blocked, across all keys. *)
+
+val conflicts : t -> int
+(** Cumulative count of acquires that had to wait at least once. *)
+
+val timeouts : t -> int

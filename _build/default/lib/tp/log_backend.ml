@@ -1,0 +1,196 @@
+open Pm
+
+let header_size = 64
+
+let ring_magic = 0x41445230 (* "ADR0" *)
+
+type pm_state = {
+  client : Pm_client.t;
+  handle : Pm_client.handle;
+  data_start : int;
+  data_limit : int;
+  mutable write_off : int;
+  mutable wrapped : bool;
+}
+
+type kind =
+  | Disk of {
+      vol : Diskio.Volume.t;
+      mirror : Diskio.Volume.t option;
+      mutable shadow : (Audit.asn * Audit.record) list;  (** newest-first *)
+    }
+  | Pm of pm_state
+
+type t = { kind : kind; mutable bytes : int; mutable ops : int }
+
+let disk ?mirror vol = { kind = Disk { vol; mirror; shadow = [] }; bytes = 0; ops = 0 }
+
+let pm client handle =
+  let info = Pm_client.info handle in
+  let length = info.Pm_types.length in
+  if length < 4096 then invalid_arg "Log_backend.pm: region too small";
+  {
+    kind =
+      Pm { client; handle; data_start = header_size; data_limit = length; write_off = header_size; wrapped = false };
+    bytes = 0;
+    ops = 0;
+  }
+
+let synchronous t = match t.kind with Disk _ -> false | Pm _ -> true
+
+(* Frame a record with its ASN for the PM ring. *)
+let encode_framed asn record =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.u64 enc asn;
+  Audit.encode enc record;
+  Codec.Enc.to_bytes enc
+
+let framed_size record = 8 + Audit.wire_size record
+
+let pm_header p =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.u32 enc ring_magic;
+  Codec.Enc.u32 enc p.write_off;
+  Codec.Enc.u8 enc (if p.wrapped then 1 else 0);
+  Codec.Enc.to_bytes enc
+
+let write_records t records =
+  match t.kind with
+  | Disk d ->
+      let len =
+        List.fold_left (fun acc (_, r) -> acc + framed_size r) 0 records
+      in
+      t.bytes <- t.bytes + len;
+      t.ops <- t.ops + 1;
+      let append_mirrored () =
+        match Diskio.Volume.append d.vol ~len with
+        | Error Diskio.Volume.Volume_down -> Error "audit volume down"
+        | Ok () -> (
+            (* Serial write-both: the mirror starts only after the
+               primary completes, so no torn record can exist on both. *)
+            match d.mirror with
+            | None -> Ok ()
+            | Some m -> (
+                match Diskio.Volume.append m ~len with
+                | Ok () -> Ok ()
+                | Error Diskio.Volume.Volume_down ->
+                    (* Degraded but durable on the survivor. *)
+                    Ok ()))
+      in
+      (match append_mirrored () with
+      | Ok () ->
+          d.shadow <- List.rev_append records d.shadow;
+          Ok ()
+      | Error e -> Error e)
+  | Pm p ->
+      let write_one (asn, record) =
+        let data = encode_framed asn record in
+        let len = Bytes.length data in
+        if p.write_off + len > p.data_limit then begin
+          (* Ring wrap: restart at the front of the data area.  A real
+             trail would have archived the tail long before. *)
+          p.write_off <- p.data_start;
+          p.wrapped <- true
+        end;
+        match Pm_client.write p.client p.handle ~off:p.write_off ~data with
+        | Ok () ->
+            p.write_off <- p.write_off + len;
+            t.bytes <- t.bytes + len;
+            Ok ()
+        | Error e -> Error (Pm_types.error_to_string e)
+      in
+      let rec write_all = function
+        | [] -> Ok ()
+        | r :: rest -> ( match write_one r with Ok () -> write_all rest | Error e -> Error e)
+      in
+      (match write_all records with
+      | Error e -> Error e
+      | Ok () -> (
+          t.ops <- t.ops + 1;
+          (* Persist the ring header so recovery knows the write frontier. *)
+          match Pm_client.write p.client p.handle ~off:0 ~data:(pm_header p) with
+          | Ok () -> Ok ()
+          | Error e -> Error (Pm_types.error_to_string e)))
+
+let trim t ~through =
+  match t.kind with
+  | Disk d ->
+      let keep, drop = List.partition (fun (asn, _) -> asn > through) d.shadow in
+      d.shadow <- keep;
+      List.length drop
+  | Pm p ->
+      (* The ring reclaims itself by wrapping; trimming just notes the
+         archive point (a real system would also persist it). *)
+      ignore p;
+      0
+
+let bytes_written t = t.bytes
+
+let writes t = t.ops
+
+let recovery_read t =
+  match t.kind with
+  | Disk d ->
+      (* Stream the trail back from the audit volume. *)
+      let total = t.bytes in
+      let chunk = 256 * 1024 in
+      let rec read_off off =
+        if off >= total then Ok ()
+        else
+          let len = min chunk (total - off) in
+          match Diskio.Volume.read d.vol ~block:(off / 512) ~len with
+          | Ok () -> read_off (off + len)
+          | Error Diskio.Volume.Volume_down -> Error "audit volume down"
+      in
+      (match read_off 0 with
+      | Error e -> Error e
+      | Ok () -> Ok (List.rev d.shadow))
+  | Pm p -> (
+      (* RDMA the ring header, then only the valid bytes behind the write
+         frontier -- fine-grained state means no full-region scans. *)
+      match Pm_client.read p.client p.handle ~off:0 ~len:header_size with
+      | Error e -> Error (Pm_types.error_to_string e)
+      | Ok hdr ->
+          let frontier =
+            try
+              let dec = Codec.Dec.of_bytes hdr in
+              if Codec.Dec.u32 dec <> ring_magic then 0 else Codec.Dec.u32 dec
+            with Codec.Dec.Truncated -> 0
+          in
+          let info = Pm_client.info p.handle in
+          let limit = min frontier info.Pm_types.length in
+          if limit <= header_size then Ok []
+          else begin
+            let chunk = 64 * 1024 in
+            let buf = Bytes.create limit in
+            Bytes.blit hdr 0 buf 0 header_size;
+            let rec fetch off =
+              if off >= limit then Ok ()
+              else
+                let len = min chunk (limit - off) in
+                match Pm_client.read p.client p.handle ~off ~len with
+                | Ok data ->
+                    Bytes.blit data 0 buf off len;
+                    fetch (off + len)
+                | Error e -> Error (Pm_types.error_to_string e)
+            in
+            match fetch header_size with
+            | Error e -> Error e
+            | Ok () ->
+                let out = ref [] in
+                let pos = ref header_size in
+                let keep_going = ref true in
+                while !keep_going && !pos < limit do
+                  match
+                    let adec = Codec.Dec.of_sub buf ~pos:!pos ~len:8 in
+                    let asn = Codec.Dec.u64 adec in
+                    (asn, Audit.decode buf ~pos:(!pos + 8))
+                  with
+                  | asn, Some (record, next) ->
+                      out := (asn, record) :: !out;
+                      pos := next
+                  | _, None -> keep_going := false
+                  | exception Codec.Dec.Truncated -> keep_going := false
+                done;
+                Ok (List.rev !out)
+          end)

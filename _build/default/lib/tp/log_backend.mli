@@ -1,0 +1,50 @@
+open Pm
+
+(** Durable sinks for the audit trail.
+
+    [Disk] is the classic NonStop configuration: an audit volume written
+    with synchronous sequential appends, costing a rotational miss per
+    flush.  [Pm] is the paper's modification: records go to a persistent
+    memory region by synchronous RDMA, so they are durable the moment the
+    append returns — microseconds, not milliseconds.
+
+    The PM trail is a real ring: framed records (prefixed with their ASN)
+    are written into the region behind a small durable header, and
+    {!recovery_read} parses them back out of the devices.  The disk trail
+    carries sizes only (the disk model is timing-only), with the records
+    shadowed in memory for recovery replay at disk-read speed. *)
+
+type t
+
+val disk : ?mirror:Diskio.Volume.t -> Diskio.Volume.t -> t
+(** With [mirror], every flush writes the primary volume and then the
+    mirror {e serially} — the torn-write-safe discipline for logs: one
+    complete copy exists at every instant. *)
+
+val pm : Pm_client.t -> Pm_client.handle -> t
+(** The handle's region holds the ring; it must be at least 4 KiB. *)
+
+val synchronous : t -> bool
+(** [true] when an append is already durable (PM): the ADP can advance
+    its durable ASN without a separate flush step, and need not
+    checkpoint buffered records to its backup. *)
+
+val write_records : t -> (Audit.asn * Audit.record) list -> (unit, string) result
+(** Make these records durable.  Blocks the calling process for the
+    device time: one sequential volume append (disk) or data+header RDMA
+    writes (PM). *)
+
+val bytes_written : t -> int
+
+val writes : t -> int
+
+val recovery_read : t -> ((Audit.asn * Audit.record) list, string) result
+(** Re-read the durable trail, oldest first, paying the device read
+    time.  What crash recovery replays. *)
+
+val trim : t -> through:Audit.asn -> int
+(** Archive the trail prefix through [through] (records up to and
+    including that ASN are dropped from the replayable trail, as an
+    audit-archiving job would move them to tape after a control point).
+    Returns the number of records retired.  No device time: archiving
+    runs off the critical path. *)

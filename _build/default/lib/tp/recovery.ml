@@ -1,0 +1,165 @@
+open Simkit
+open Nsk
+
+type outcome_source = Mat_scan | Pm_txn_table
+
+type report = {
+  mttr : Time.span;
+  outcome_source : outcome_source;
+  trails_scanned : int;
+  bytes_scanned : int;
+  records_replayed : int;
+  committed_txns : int;
+  in_doubt_txns : int;
+  discarded_updates : int;
+  rows_rebuilt : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "MTTR=%a source=%s trails=%d bytes=%d replayed=%d committed=%d in-doubt=%d discarded=%d rows=%d"
+    Time.pp r.mttr
+    (match r.outcome_source with Mat_scan -> "MAT-scan" | Pm_txn_table -> "PM-txn-table")
+    r.trails_scanned r.bytes_scanned r.records_replayed r.committed_txns r.in_doubt_txns
+    r.discarded_updates r.rows_rebuilt
+
+let apply_cpu_per_record = Time.ns 2_000
+
+(* Learn commit outcomes from the PM transaction-state table: read the
+   region back and parse the 32-byte slots. *)
+let outcomes_from_pm_table (client, handle) =
+  let info = Pm.Pm_client.info handle in
+  let length = info.Pm.Pm_types.length in
+  let committed = Hashtbl.create 1024 in
+  let in_doubt = ref 0 in
+  let chunk = 64 * 1024 in
+  let rec fetch off =
+    if off >= length then Ok ()
+    else
+      let len = min chunk (length - off) in
+      match Pm.Pm_client.read client handle ~off ~len with
+      | Error e -> Error (Pm.Pm_types.error_to_string e)
+      | Ok data ->
+          let entry_bytes = 32 in
+          let entries = len / entry_bytes in
+          for i = 0 to entries - 1 do
+            try
+              let dec = Pm.Codec.Dec.of_sub data ~pos:(i * entry_bytes) ~len:9 in
+              let txn = Pm.Codec.Dec.u64 dec in
+              let status = Pm.Codec.Dec.u8 dec in
+              if txn > 0 && status = 2 then Hashtbl.replace committed txn ();
+              if txn > 0 && status = 4 then incr in_doubt
+            with Pm.Codec.Dec.Truncated -> ()
+          done;
+          fetch (off + len)
+  in
+  match fetch 0 with Ok () -> Ok (committed, !in_doubt, length) | Error e -> Error e
+
+(* Learn commit outcomes by scanning the master audit trail. *)
+let outcomes_from_mat mat =
+  let backend = Adp.backend mat in
+  match Log_backend.recovery_read backend with
+  | Error e -> Error e
+  | Ok records ->
+      let committed = Hashtbl.create 1024 in
+      let prepared = Hashtbl.create 16 in
+      let aborted = Hashtbl.create 16 in
+      List.iter
+        (fun (_, record) ->
+          match record with
+          | Audit.Commit { txn } -> Hashtbl.replace committed txn ()
+          | Audit.Abort { txn } ->
+              Hashtbl.remove committed txn;
+              Hashtbl.replace aborted txn ()
+          | Audit.Prepared { txn } -> Hashtbl.replace prepared txn ()
+          | Audit.Begin _ | Audit.Update _ | Audit.Control_point _ -> ())
+        records;
+      (* Prepared but neither committed nor aborted: in doubt.  Presumed
+         abort discards their updates; a full implementation would hold
+         their locks and ask the coordinator. *)
+      let in_doubt =
+        Hashtbl.fold
+          (fun txn () acc ->
+            if Hashtbl.mem committed txn || Hashtbl.mem aborted txn then acc else acc + 1)
+          prepared 0
+      in
+      Ok (committed, in_doubt, Log_backend.bytes_written backend)
+
+let run system =
+  let sim = System.sim system in
+  let cpu = Node.cpu (System.node system) 0 in
+  let started = Sim.now sim in
+  let outcome =
+    match System.txn_state_region system with
+    | Some region -> (
+        match outcomes_from_pm_table region with
+        | Ok (committed, in_doubt, bytes) -> Ok (committed, in_doubt, bytes, Pm_txn_table)
+        | Error e -> Error e)
+    | None -> (
+        match outcomes_from_mat (System.mat system) with
+        | Ok (committed, in_doubt, bytes) -> Ok (committed, in_doubt, bytes, Mat_scan)
+        | Error e -> Error e)
+  in
+  match outcome with
+  | Error e -> Error e
+  | Ok (committed, in_doubt, outcome_bytes, outcome_source) -> (
+      (* Redo pass over every data trail. *)
+      let n_dp2 = Array.length (System.dp2s system) in
+      let rebuilt = Array.init n_dp2 (fun _ -> Hashtbl.create 1024) in
+      let replayed = ref 0 in
+      let discarded = ref 0 in
+      let bytes = ref outcome_bytes in
+      let scan_trail adp =
+        let backend = Adp.backend adp in
+        bytes := !bytes + Log_backend.bytes_written backend;
+        match Log_backend.recovery_read backend with
+        | Error e -> Error e
+        | Ok records ->
+            List.iter
+              (fun (_, record) ->
+                match record with
+                | Audit.Prepared _ -> ()
+                | Audit.Update { txn; file; partition; key; payload_len; payload_crc; _ } ->
+                    incr replayed;
+                    (* Amortized instruction-path cost of applying redo. *)
+                    if !replayed mod 64 = 0 then Cpu.execute cpu (64 * apply_cpu_per_record);
+                    if Hashtbl.mem committed txn then begin
+                      if partition >= 0 && partition < n_dp2 then
+                        Hashtbl.replace rebuilt.(partition) (file, key) (payload_len, payload_crc)
+                    end
+                    else incr discarded
+                | Audit.Begin _ | Audit.Commit _ | Audit.Abort _ | Audit.Control_point _ -> ())
+              records;
+            Ok ()
+      in
+      let adps = System.adps system in
+      let rec scan_all i =
+        if i >= Array.length adps then Ok () else
+          match scan_trail adps.(i) with Ok () -> scan_all (i + 1) | Error e -> Error e
+      in
+      match scan_all 0 with
+      | Error e -> Error e
+      | Ok () ->
+          (* Install the rebuilt images. *)
+          let rows = ref 0 in
+          Array.iteri
+            (fun i table ->
+              let entries =
+                Hashtbl.fold (fun (file, key) (len, crc) acc -> (file, key, len, crc) :: acc)
+                  table []
+              in
+              rows := !rows + List.length entries;
+              Dp2.load_table (System.dp2s system).(i) entries)
+            rebuilt;
+          Ok
+            {
+              mttr = Sim.now sim - started;
+              outcome_source;
+              trails_scanned = Array.length adps + 1;
+              bytes_scanned = !bytes;
+              records_replayed = !replayed;
+              committed_txns = Hashtbl.length committed;
+              in_doubt_txns = in_doubt;
+              discarded_updates = !discarded;
+              rows_rebuilt = !rows;
+            })

@@ -1,0 +1,33 @@
+open Simkit
+
+(** Crash recovery: rebuild database state from the durable trails.
+
+    The redo pass reads every ADP's trail back from its device, replays
+    updates of committed transactions, and discards in-flight ones.  How
+    it learns the outcomes is the paper's §3.4 point: the disk
+    configuration scans the master audit trail; the PM configuration
+    reads the transaction-state table straight out of persistent memory
+    at RDMA speed — no searching.  MTTR is the simulated duration of the
+    whole procedure, and shorter MTTR is "the mantra for both better
+    availability and data integrity". *)
+
+type outcome_source = Mat_scan | Pm_txn_table
+
+type report = {
+  mttr : Time.span;
+  outcome_source : outcome_source;
+  trails_scanned : int;
+  bytes_scanned : int;
+  records_replayed : int;
+  committed_txns : int;
+  in_doubt_txns : int;
+      (** prepared under two-phase commit but undecided at the crash *)
+  discarded_updates : int;  (** updates of transactions that never committed *)
+  rows_rebuilt : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : System.t -> (report, string) result
+(** Execute recovery and install the rebuilt tables into the DP2s
+    (maintenance path).  Process context only. *)

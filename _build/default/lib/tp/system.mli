@@ -1,0 +1,107 @@
+open Simkit
+open Nsk
+
+(** Whole-system assembly: a NonStop-style node running the transaction
+    stack, in either the classic disk-audit configuration or the paper's
+    persistent-memory configuration (§4.2-4.3).
+
+    Topology follows the paper's benchmark setup: [worker_cpus]
+    application CPUs, one audit volume and one ADP per CPU plus a master
+    audit trail, [files × partitions_per_file] data volumes each owned by
+    a DP2 pair, a TMF pair, and — in PM mode — a mirrored pair of PM
+    devices (hardware NPMUs or PMP prototypes on an extra CPU) managed by
+    a PMM pair, holding one trail region per ADP plus the transaction
+    state table. *)
+
+type log_mode = Disk_audit | Pm_audit
+
+type pm_device_kind = Hardware_npmu | Prototype_pmp
+
+type config = {
+  seed : int64;
+  worker_cpus : int;
+  files : int;
+  partitions_per_file : int;
+  log_mode : log_mode;
+  adps_per_node : int;  (** data ADPs; the MAT ADP is additional *)
+  pm_device_kind : pm_device_kind;
+  pm_capacity : int;  (** per PM device *)
+  pm_region_bytes : int;  (** trail ring per ADP *)
+  pm_write_penalty : Time.span;  (** extra device latency (latency sweep) *)
+  pm_mirrored : bool;
+  txn_state_in_pm : bool;  (** fine-grained txn table (PM mode only) *)
+  fabric : Servernet.Fabric.config;
+  adp : Adp.config;
+  dp2 : Dp2.config;
+  tmf : Tmf.config;
+}
+
+val default_config : config
+(** The hot-stock benchmark platform: 4 worker CPUs, 4 files x 4
+    partitions (16 data volumes), 4 ADPs + MAT, disk audit. *)
+
+val pm_config : config
+(** [default_config] with PM audit trails and the txn-state table. *)
+
+type t
+
+val build : Sim.t -> config -> t
+(** Construct and start every component.  In PM mode this creates the
+    trail regions through the PMM, which takes messages and simulated
+    time: call it from inside a spawned process (the usual pattern is one
+    setup-and-drive process that builds the system and then runs the
+    workload).  Disk mode also works outside process context. *)
+
+val sim : t -> Sim.t
+
+val node : t -> Node.t
+
+val config : t -> config
+
+val tmf : t -> Tmf.t
+
+val adps : t -> Adp.t array
+(** Data ADPs, indexed as insert replies report them. *)
+
+val mat : t -> Adp.t
+
+val dp2s : t -> Dp2.t array
+
+val dp2_servers : t -> Dp2.server array
+
+val locks : t -> Lockmgr.t
+
+val data_volumes : t -> Diskio.Volume.t array
+
+val audit_volumes : t -> Diskio.Volume.t array
+(** Empty in PM mode. *)
+
+val pmm : t -> Pm.Pmm.t option
+
+val npmus : t -> Pm.Npmu.t list
+(** The mirrored PM devices ([Hardware_npmu] mode). *)
+
+val txn_state_region : t -> (Pm.Pm_client.t * Pm.Pm_client.handle) option
+
+val session : t -> cpu:int -> Txclient.t
+(** A transaction session for an application on worker CPU [cpu]. *)
+
+val routing : t -> Txclient.routing
+
+val total_audit_bytes : t -> int
+(** Durable trail bytes across data ADPs and the MAT. *)
+
+val checkpoint_message_bytes : t -> int
+(** Total process-pair checkpoint traffic (ADPs + MAT), the §2
+    "check-point traffic between process pairs". *)
+
+val report : Format.formatter -> t -> unit
+(** Operator summary: per-subsystem counters (transactions, trails,
+    volumes, locks, fabric) after a run. *)
+
+val start_trail_archiver : t -> ?interval:Time.span -> ?rounds:int -> unit -> unit
+(** Spawn a background job that trims every trail's durable prefix every
+    [interval] (audit archiving).  With [rounds] it stops after that many
+    sweeps; without, it runs forever — which also keeps the simulation's
+    event queue alive, so unbounded archivers belong in runs driven by
+    [Sim.run ~until]. *)

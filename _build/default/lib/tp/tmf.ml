@@ -1,0 +1,333 @@
+open Simkit
+open Nsk
+
+type request =
+  | Begin_txn
+  | Commit_txn of {
+      txn : Audit.txn_id;
+      flushes : (int * Audit.asn) list;
+      involved : int list;
+    }
+  | Abort_txn of { txn : Audit.txn_id; involved : int list }
+  | Prepare_txn of {
+      txn : Audit.txn_id;
+      flushes : (int * Audit.asn) list;
+      involved : int list;
+    }
+  | Decide_txn of { txn : Audit.txn_id; commit : bool }
+
+type response =
+  | Began of { txn : Audit.txn_id }
+  | Committed
+  | Aborted
+  | Prepared_ok
+  | Decided
+  | T_failed of string
+
+type server = (request, response) Msgsys.server
+
+type config = { begin_cpu : Time.span; commit_cpu : Time.span; state_entry_bytes : int }
+
+let default_config = { begin_cpu = Time.us 30; commit_cpu = Time.us 60; state_entry_bytes = 32 }
+
+type ckpt =
+  | Ck_begin of Audit.txn_id
+  | Ck_outcome of Audit.txn_id * bool
+  | Ck_prepared of Audit.txn_id * int list
+
+type state = {
+  mutable next_txn : Audit.txn_id;
+  active : (Audit.txn_id, unit) Hashtbl.t;
+  prepared : (Audit.txn_id, int list) Hashtbl.t;  (** txn -> involved DP2s *)
+}
+
+type finish_job = { fj_txn : Audit.txn_id; fj_committed : bool; fj_involved : int list }
+
+type t = {
+  tmf_name : string;
+  cfg : config;
+  adps : Adp.server array;
+  dp2s : Dp2.server array;
+  mat : Adp.server;
+  txn_state : (Pm.Pm_client.t * Pm.Pm_client.handle) option;
+  srv : server;
+  mutable pair : ckpt Procpair.t option;
+  mutable live : state option;
+  shadow : state;
+  finish_queue : finish_job Mailbox.t;
+  mutable n_begun : int;
+  mutable n_committed : int;
+  mutable n_aborted : int;
+  latency : Stat.t;
+}
+
+let pair_exn t = match t.pair with Some p -> p | None -> invalid_arg "Tmf: not started"
+
+let current_cpu t = Procpair.primary_cpu (pair_exn t)
+
+let state t =
+  match t.live with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          next_txn = t.shadow.next_txn;
+          active = Hashtbl.copy t.shadow.active;
+          prepared = Hashtbl.copy t.shadow.prepared;
+        }
+      in
+      t.live <- Some s;
+      s
+
+(* Fine-grained txn-state table in PM: one small synchronous write per
+   state change.  Status codes: 1 active, 2 committed, 3 aborted. *)
+let record_state t txn status =
+  match t.txn_state with
+  | None -> ()
+  | Some (client, handle) ->
+      let entry = Bytes.create t.cfg.state_entry_bytes in
+      let enc = Pm.Codec.Enc.create () in
+      Pm.Codec.Enc.u64 enc txn;
+      Pm.Codec.Enc.u8 enc status;
+      let src = Pm.Codec.Enc.to_bytes enc in
+      Bytes.blit src 0 entry 0 (Bytes.length src);
+      let slots = (Pm.Pm_client.info handle).Pm.Pm_types.length / t.cfg.state_entry_bytes in
+      let off = txn mod slots * t.cfg.state_entry_bytes in
+      ignore (Pm.Pm_client.write client handle ~off ~data:entry)
+
+let flush_trails t flushes =
+  let calls =
+    List.map
+      (fun (adp_idx, asn) ->
+        (adp_idx, asn,
+         Msgsys.call_async t.adps.(adp_idx) ~from:(current_cpu t) (Adp.Flush { through = asn })))
+      flushes
+  in
+  (* Await the parallel flushes; a trail whose ADP died mid-flush is
+     retried synchronously against the promoted backup. *)
+  let check acc (adp_idx, asn, reply) =
+    match (acc, Ivar.read reply) with
+    | Error e, _ -> Error e
+    | Ok (), Ok (Adp.Flushed _) -> Ok ()
+    | Ok (), Ok (Adp.A_failed e) -> Error e
+    | Ok (), Ok (Adp.Appended _ | Adp.Trimmed _) -> Error "unexpected reply"
+    | Ok (), Error _ -> (
+        match
+          Rpc.call_retry t.adps.(adp_idx) ~from:(current_cpu t) (Adp.Flush { through = asn })
+        with
+        | Ok (Adp.Flushed _) -> Ok ()
+        | Ok (Adp.A_failed e) -> Error e
+        | Ok (Adp.Appended _ | Adp.Trimmed _) -> Error "unexpected reply"
+        | Error e -> Error (Format.asprintf "%a" Msgsys.pp_error e))
+  in
+  List.fold_left check (Ok ()) calls
+
+(* Make a record durable in the master audit trail. *)
+let write_mat_record t record =
+  match
+    Rpc.call_retry t.mat ~from:(current_cpu t)
+      ~req_bytes:(Audit.wire_size record + 64)
+      (Adp.Append [ record ])
+  with
+  | Ok (Adp.Appended { last_asn }) -> (
+      match Rpc.call_retry t.mat ~from:(current_cpu t) (Adp.Flush { through = last_asn }) with
+      | Ok (Adp.Flushed _) -> Ok ()
+      | Ok (Adp.A_failed e) -> Error e
+      | Ok _ -> Error "unexpected MAT reply"
+      | Error e -> Error (Format.asprintf "MAT: %a" Msgsys.pp_error e))
+  | Ok (Adp.A_failed e) -> Error e
+  | Ok _ -> Error "unexpected MAT reply"
+  | Error e -> Error (Format.asprintf "MAT: %a" Msgsys.pp_error e)
+
+let write_commit_record t txn = write_mat_record t (Audit.Commit { txn })
+
+let handle t s req respond =
+  match req with
+  | Begin_txn ->
+      Cpu.execute (current_cpu t) t.cfg.begin_cpu;
+      let txn = s.next_txn in
+      s.next_txn <- txn + 1;
+      Hashtbl.replace s.active txn ();
+      t.n_begun <- t.n_begun + 1;
+      record_state t txn 1;
+      Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_begin txn);
+      respond (Began { txn })
+  | Commit_txn { txn; flushes; involved } ->
+      (* Commits overlap: each runs in its own worker so one
+         transaction's flush wait never delays another's (the monitor is
+         multithreaded; the trails group-commit concurrent flushes). *)
+      let commit_work () =
+        let started = Sim.now (Cpu.sim (current_cpu t)) in
+        Cpu.execute (current_cpu t) t.cfg.commit_cpu;
+        if not (Hashtbl.mem s.active txn) then respond (T_failed "unknown transaction")
+        else
+          match flush_trails t flushes with
+          | Error e -> respond (T_failed ("flush: " ^ e))
+          | Ok () -> (
+              match write_commit_record t txn with
+              | Error e -> respond (T_failed ("commit record: " ^ e))
+              | Ok () ->
+                  Hashtbl.remove s.active txn;
+                  t.n_committed <- t.n_committed + 1;
+                  record_state t txn 2;
+                  Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, true));
+                  Stat.add_span t.latency (Sim.now (Cpu.sim (current_cpu t)) - started);
+                  respond Committed;
+                  (* Lock release happens behind the reply. *)
+                  Mailbox.send t.finish_queue
+                    { fj_txn = txn; fj_committed = true; fj_involved = involved })
+      in
+      ignore (Cpu.spawn (current_cpu t) ~name:(t.tmf_name ^ ":commit") commit_work)
+  | Abort_txn { txn; involved } ->
+      Cpu.execute (current_cpu t) t.cfg.commit_cpu;
+      if not (Hashtbl.mem s.active txn) then respond (T_failed "unknown transaction")
+      else begin
+        (* Presumed abort: the record can reach the trail lazily. *)
+        let record = Audit.Abort { txn } in
+        (match
+           Msgsys.call t.mat ~from:(current_cpu t)
+             ~req_bytes:(Audit.wire_size record + 64)
+             (Adp.Append [ record ])
+         with
+        | Ok _ | Error _ -> ());
+        Hashtbl.remove s.active txn;
+        t.n_aborted <- t.n_aborted + 1;
+        record_state t txn 3;
+        Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, false));
+        respond Aborted;
+        Mailbox.send t.finish_queue { fj_txn = txn; fj_committed = false; fj_involved = involved }
+      end
+  | Prepare_txn { txn; flushes; involved } ->
+      (* Phase 1 runs in its own worker like a commit. *)
+      let prepare_work () =
+        Cpu.execute (current_cpu t) t.cfg.commit_cpu;
+        if not (Hashtbl.mem s.active txn) then respond (T_failed "unknown transaction")
+        else
+          match flush_trails t flushes with
+          | Error e -> respond (T_failed ("flush: " ^ e))
+          | Ok () -> (
+              match write_mat_record t (Audit.Prepared { txn }) with
+              | Error e -> respond (T_failed ("prepared record: " ^ e))
+              | Ok () ->
+                  Hashtbl.remove s.active txn;
+                  Hashtbl.replace s.prepared txn involved;
+                  record_state t txn 4;
+                  Procpair.checkpoint (pair_exn t) ~bytes:32 (Ck_prepared (txn, involved));
+                  respond Prepared_ok)
+      in
+      ignore (Cpu.spawn (current_cpu t) ~name:(t.tmf_name ^ ":prepare") prepare_work)
+  | Decide_txn { txn; commit } -> (
+      match Hashtbl.find_opt s.prepared txn with
+      | None -> respond (T_failed "transaction is not prepared")
+      | Some involved ->
+          let decide_work () =
+            Cpu.execute (current_cpu t) t.cfg.commit_cpu;
+            let record = if commit then Audit.Commit { txn } else Audit.Abort { txn } in
+            match write_mat_record t record with
+            | Error e -> respond (T_failed ("decision record: " ^ e))
+            | Ok () ->
+                Hashtbl.remove s.prepared txn;
+                if commit then t.n_committed <- t.n_committed + 1
+                else t.n_aborted <- t.n_aborted + 1;
+                record_state t txn (if commit then 2 else 3);
+                Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, commit));
+                respond Decided;
+                Mailbox.send t.finish_queue
+                  { fj_txn = txn; fj_committed = commit; fj_involved = involved }
+          in
+          ignore (Cpu.spawn (current_cpu t) ~name:(t.tmf_name ^ ":decide") decide_work))
+
+let serve t () =
+  let s = state t in
+  while true do
+    let req, respond = Msgsys.next_request t.srv in
+    handle t s req respond
+  done
+
+(* Off-critical-path lock release to the database writers. *)
+let finisher t () =
+  while true do
+    let job = Mailbox.recv t.finish_queue in
+    List.iter
+      (fun dp2_idx ->
+        match
+          Msgsys.call t.dp2s.(dp2_idx) ~from:(current_cpu t)
+            (Dp2.Finish { txn = job.fj_txn; committed = job.fj_committed })
+        with
+        | Ok _ | Error _ -> ())
+      job.fj_involved
+  done
+
+let apply_ckpt t = function
+  | Ck_begin txn ->
+      Hashtbl.replace t.shadow.active txn ();
+      t.shadow.next_txn <- max t.shadow.next_txn (txn + 1)
+  | Ck_outcome (txn, _) ->
+      Hashtbl.remove t.shadow.active txn;
+      Hashtbl.remove t.shadow.prepared txn
+  | Ck_prepared (txn, involved) ->
+      Hashtbl.remove t.shadow.active txn;
+      Hashtbl.replace t.shadow.prepared txn involved
+
+let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state
+    ?(config = default_config) () =
+  let srv = Msgsys.create_server fabric ~cpu:primary ~name in
+  let t =
+    {
+      tmf_name = name;
+      cfg = config;
+      adps;
+      dp2s;
+      mat;
+      txn_state;
+      srv;
+      pair = None;
+      live = None;
+      shadow = { next_txn = 1; active = Hashtbl.create 64; prepared = Hashtbl.create 16 };
+      finish_queue = Mailbox.create ~name:(name ^ ":finish") ();
+      n_begun = 0;
+      n_committed = 0;
+      n_aborted = 0;
+      latency = Stat.create ~name:(name ^ ":commit") ();
+    }
+  in
+  let spawn_helpers cpu =
+    ignore (Cpu.spawn cpu ~name:(name ^ ":finisher") (fun () -> finisher t ()))
+  in
+  let pair =
+    Procpair.start ~fabric ~name ~primary ~backup
+      ~apply:(fun ck -> apply_ckpt t ck)
+      ~serve:(fun () -> serve t ())
+      ~on_takeover:(fun () ->
+        t.live <- None;
+        Msgsys.move t.srv ~cpu:backup;
+        spawn_helpers backup)
+      ()
+  in
+  t.pair <- Some pair;
+  spawn_helpers primary;
+  t
+
+let server t = t.srv
+
+let begun t = t.n_begun
+
+let committed t = t.n_committed
+
+let aborted t = t.n_aborted
+
+let active_txns t =
+  let s = match t.live with Some s -> s | None -> t.shadow in
+  Hashtbl.fold (fun txn () acc -> txn :: acc) s.active []
+
+let prepared_txns t =
+  let s = match t.live with Some s -> s | None -> t.shadow in
+  Hashtbl.fold (fun txn _ acc -> txn :: acc) s.prepared []
+
+let commit_latency t = t.latency
+
+let kill_primary t = Procpair.kill_primary (pair_exn t)
+
+let halt t = Procpair.halt (pair_exn t)
+
+let pair_takeovers t = Procpair.takeovers (pair_exn t)

@@ -1,0 +1,94 @@
+open Simkit
+open Nsk
+
+(** The Transaction Monitor Facility: a process pair coordinating
+    begin/commit/abort (paper §1.2, §4.2).
+
+    Commit is where the storage gap bites: the monitor must (1) get every
+    involved trail flushed through the transaction's highest audit
+    sequence numbers, then (2) make its own commit record durable in the
+    master audit trail, and only then answer the application.  With disk
+    trails both steps cost rotational misses; with persistent-memory
+    trails both cost RDMA writes.
+
+    Lock release messages to the involved database writers happen after
+    the reply, off the response-time-critical path.
+
+    When a persistent-memory region is supplied for the transaction-state
+    table ([txn_state]), the monitor records each transaction's state
+    there at fine grain (§3.4), which lets recovery learn outcomes
+    without heuristically searching the audit trail. *)
+
+type request =
+  | Begin_txn
+  | Commit_txn of {
+      txn : Audit.txn_id;
+      flushes : (int * Audit.asn) list;  (** (ADP index, highest ASN) *)
+      involved : int list;  (** DP2 indices holding the txn's locks *)
+    }
+  | Abort_txn of { txn : Audit.txn_id; involved : int list }
+  | Prepare_txn of {
+      txn : Audit.txn_id;
+      flushes : (int * Audit.asn) list;
+      involved : int list;
+    }
+      (** two-phase commit, phase 1: force the trails and log a durable
+          PREPARED record; locks stay held until the decision *)
+  | Decide_txn of { txn : Audit.txn_id; commit : bool }
+      (** phase 2: log the durable outcome and release *)
+
+type response =
+  | Began of { txn : Audit.txn_id }
+  | Committed
+  | Aborted
+  | Prepared_ok
+  | Decided
+  | T_failed of string
+
+type server = (request, response) Msgsys.server
+
+type config = {
+  begin_cpu : Time.span;
+  commit_cpu : Time.span;
+  state_entry_bytes : int;  (** size of a txn-state table entry in PM *)
+}
+
+val default_config : config
+
+type t
+
+val start :
+  fabric:Servernet.Fabric.t ->
+  name:string ->
+  primary:Cpu.t ->
+  backup:Cpu.t ->
+  adps:Adp.server array ->
+  dp2s:Dp2.server array ->
+  mat:Adp.server ->
+  ?txn_state:Pm.Pm_client.t * Pm.Pm_client.handle ->
+  ?config:config ->
+  unit ->
+  t
+
+val server : t -> server
+
+val begun : t -> int
+
+val committed : t -> int
+
+val aborted : t -> int
+
+val active_txns : t -> Audit.txn_id list
+
+val prepared_txns : t -> Audit.txn_id list
+(** Transactions in the prepared (in-doubt) window. *)
+
+val commit_latency : t -> Stat.t
+(** Time from commit request dequeue to reply, the monitor-side view of
+    the paper's response-time story. *)
+
+val kill_primary : t -> unit
+
+val halt : t -> unit
+
+val pair_takeovers : t -> int

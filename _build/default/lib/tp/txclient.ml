@@ -1,0 +1,287 @@
+open Simkit
+open Nsk
+
+type error = Tx_failed of string
+
+let error_to_string (Tx_failed msg) = msg
+
+type routing = {
+  files : int;
+  partitions_per_file : int;
+  dp2_of : file:int -> key:int -> int;
+}
+
+let uniform_routing ~files ~partitions_per_file =
+  {
+    files;
+    partitions_per_file;
+    dp2_of =
+      (fun ~file ~key -> (file * partitions_per_file) + (key mod partitions_per_file));
+  }
+
+type t = {
+  client_cpu : Cpu.t;
+  tmf : Tmf.server;
+  dp2s : Dp2.server array;
+  routing : routing;
+  issue_cpu : Time.span;
+  wan : Time.span;
+  crc_rng : Rng.t;
+  rt : Stat.t;
+}
+
+type pending_insert = {
+  p_dp2 : int;
+  p_file : int;
+  p_key : int;
+  p_len : int;
+  p_crc : int;
+  p_payload : Bytes.t option;
+  p_reply : (Dp2.response, Msgsys.error) result Ivar.t;
+}
+
+type txn = {
+  id : Audit.txn_id;
+  started : Time.t;
+  mutable pending : pending_insert list;
+  high_water : (int, Audit.asn) Hashtbl.t;  (** ADP index -> max ASN *)
+  involved : (int, unit) Hashtbl.t;  (** DP2 indices *)
+  mutable failed : string option;
+}
+
+let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0) () =
+  {
+    client_cpu = cpu;
+    tmf;
+    dp2s;
+    routing;
+    issue_cpu;
+    wan = wan_latency;
+    crc_rng = Rng.create 0xC4CL;
+    rt = Stat.create ~name:"txn_response" ();
+  }
+
+(* Synchronous call with the session's inter-node link latency on both
+   legs. *)
+let wan_call t server ?req_bytes ?resp_bytes req =
+  if t.wan = 0 then Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes req
+  else begin
+    Sim.sleep t.wan;
+    let result = Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes req in
+    Sim.sleep t.wan;
+    result
+  end
+
+(* Asynchronous call routed through a relay process so the caller is not
+   blocked for the link time. *)
+let wan_call_async t server ?req_bytes ?resp_bytes req =
+  if t.wan = 0 then Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes req
+  else begin
+    let out = Ivar.create () in
+    let sim = Cpu.sim t.client_cpu in
+    let (_ : Sim.pid) =
+      Sim.spawn sim ~name:"wan-relay" (fun () ->
+          Sim.sleep t.wan;
+          let inner = Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes req in
+          let reply = Ivar.read inner in
+          Sim.sleep t.wan;
+          Ivar.fill out reply)
+    in
+    out
+  end
+
+let cpu t = t.client_cpu
+
+let txn_id txn = txn.id
+
+let begin_txn t =
+  match wan_call t t.tmf Tmf.Begin_txn with
+  | Ok (Tmf.Began { txn }) ->
+      Ok
+        {
+          id = txn;
+          started = Sim.now (Cpu.sim t.client_cpu);
+          pending = [];
+          high_water = Hashtbl.create 8;
+          involved = Hashtbl.create 8;
+          failed = None;
+        }
+  | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
+  | Ok _ -> Error (Tx_failed "unexpected TMF reply")
+  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+
+let note_insert_reply t txn p result =
+  let rec note ?(retries = 6) = function
+    | Ok (Dp2.Inserted { asn; adp }) ->
+        let prev = Option.value (Hashtbl.find_opt txn.high_water adp) ~default:0 in
+        Hashtbl.replace txn.high_water adp (max prev asn);
+        Hashtbl.replace txn.involved p.p_dp2 ()
+    | Ok (Dp2.D_failed e) -> if txn.failed = None then txn.failed <- Some e
+    | Ok _ -> if txn.failed = None then txn.failed <- Some "unexpected DP2 reply"
+    | Error (Msgsys.Server_down | Msgsys.Timed_out) when retries > 0 ->
+        (* The writer is failing over: wait out the takeover and re-issue.
+           Inserts are idempotent overwrites, so at-least-once is safe. *)
+        Sim.sleep (Time.ms 200);
+        let resend =
+          wan_call t t.dp2s.(p.p_dp2) ~req_bytes:(p.p_len + 128)
+            (Dp2.Insert
+               {
+                 txn = txn.id;
+                 file = p.p_file;
+                 key = p.p_key;
+                 len = p.p_len;
+                 crc = p.p_crc;
+                 payload = p.p_payload;
+               })
+        in
+        note ~retries:(retries - 1) resend
+    | Error e ->
+        if txn.failed = None then txn.failed <- Some (Format.asprintf "%a" Msgsys.pp_error e)
+  in
+  note result
+
+let insert_async t txn ?payload ~file ~key ~len () =
+  (* The application pays its own instruction path before the request
+     leaves the CPU. *)
+  Cpu.execute t.client_cpu t.issue_cpu;
+  let dp2_idx = t.routing.dp2_of ~file ~key in
+  let len = match payload with Some p -> Bytes.length p | None -> len in
+  let crc =
+    match payload with
+    | Some p -> Int32.to_int (Pm.Crc32.bytes p) land 0x3FFFFFFF
+    | None -> Rng.int t.crc_rng 0x40000000
+  in
+  let reply =
+    wan_call_async t t.dp2s.(dp2_idx) ~req_bytes:(len + 128)
+      (Dp2.Insert { txn = txn.id; file; key; len; crc; payload })
+  in
+  txn.pending <-
+    {
+      p_dp2 = dp2_idx;
+      p_file = file;
+      p_key = key;
+      p_len = len;
+      p_crc = crc;
+      p_payload = payload;
+      p_reply = reply;
+    }
+    :: txn.pending
+
+let await_inserts t txn =
+  let outstanding = List.rev txn.pending in
+  txn.pending <- [];
+  List.iter (fun p -> note_insert_reply t txn p (Ivar.read p.p_reply)) outstanding;
+  match txn.failed with None -> Ok () | Some e -> Error (Tx_failed e)
+
+let insert t txn ?payload ~file ~key ~len () =
+  insert_async t txn ?payload ~file ~key ~len ();
+  await_inserts t txn
+
+let flush_list txn = Hashtbl.fold (fun adp asn acc -> (adp, asn) :: acc) txn.high_water []
+
+let involved_list txn = Hashtbl.fold (fun dp2 () acc -> dp2 :: acc) txn.involved []
+
+let commit t txn =
+  match await_inserts t txn with
+  | Error e -> Error e
+  | Ok () -> (
+      match
+        wan_call t t.tmf
+          (Tmf.Commit_txn
+             { txn = txn.id; flushes = flush_list txn; involved = involved_list txn })
+      with
+      | Ok Tmf.Committed ->
+          Stat.add_span t.rt (Sim.now (Cpu.sim t.client_cpu) - txn.started);
+          Ok ()
+      | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
+      | Ok _ -> Error (Tx_failed "unexpected TMF reply")
+      | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e)))
+
+let abort t txn =
+  (* Collect stragglers first so their locks are covered by the release. *)
+  let (_ : (unit, error) result) = await_inserts t txn in
+  match
+    wan_call t t.tmf (Tmf.Abort_txn { txn = txn.id; involved = involved_list txn })
+  with
+  | Ok Tmf.Aborted -> Ok ()
+  | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
+  | Ok _ -> Error (Tx_failed "unexpected TMF reply")
+  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+
+let read t txn ~file ~key =
+  let dp2_idx = t.routing.dp2_of ~file ~key in
+  match wan_call t t.dp2s.(dp2_idx) (Dp2.Read { txn = txn.id; file; key }) with
+  | Ok (Dp2.Found { len; crc; _ }) ->
+      Hashtbl.replace txn.involved dp2_idx ();
+      Ok (Some (len, crc))
+  | Ok Dp2.Absent ->
+      Hashtbl.replace txn.involved dp2_idx ();
+      Ok None
+  | Ok (Dp2.D_failed e) -> Error (Tx_failed e)
+  | Ok _ -> Error (Tx_failed "unexpected DP2 reply")
+  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+
+let prepare t txn =
+  match await_inserts t txn with
+  | Error e -> Error e
+  | Ok () -> (
+      match
+        wan_call t t.tmf
+          (Tmf.Prepare_txn
+             { txn = txn.id; flushes = flush_list txn; involved = involved_list txn })
+      with
+      | Ok Tmf.Prepared_ok -> Ok ()
+      | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
+      | Ok _ -> Error (Tx_failed "unexpected TMF reply")
+      | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e)))
+
+let decide t txn ~commit =
+  match wan_call t t.tmf (Tmf.Decide_txn { txn = txn.id; commit }) with
+  | Ok Tmf.Decided ->
+      if commit then Stat.add_span t.rt (Sim.now (Cpu.sim t.client_cpu) - txn.started);
+      Ok ()
+  | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
+  | Ok _ -> Error (Tx_failed "unexpected TMF reply")
+  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+
+let lookup t ~file ~key =
+  let dp2_idx = t.routing.dp2_of ~file ~key in
+  match wan_call t t.dp2s.(dp2_idx) (Dp2.Lookup { file; key }) with
+  | Ok (Dp2.Found { len; crc; _ }) -> Ok (Some (len, crc))
+  | Ok Dp2.Absent -> Ok None
+  | Ok (Dp2.D_failed e) -> Error (Tx_failed e)
+  | Ok _ -> Error (Tx_failed "unexpected DP2 reply")
+  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+
+let lookup_payload t ~file ~key =
+  let dp2_idx = t.routing.dp2_of ~file ~key in
+  match wan_call t t.dp2s.(dp2_idx) ~resp_bytes:4096 (Dp2.Lookup { file; key }) with
+  | Ok (Dp2.Found { payload; _ }) -> Ok payload
+  | Ok Dp2.Absent -> Ok None
+  | Ok (Dp2.D_failed e) -> Error (Tx_failed e)
+  | Ok _ -> Error (Tx_failed "unexpected DP2 reply")
+  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+
+let scan t ~file ~lo ~hi ?(limit = 0) () =
+  (* The file is spread over partitions_per_file DP2s; fan the scan out
+     and merge the sorted slices. *)
+  let parts = t.routing.partitions_per_file in
+  let replies =
+    List.init parts (fun p ->
+        wan_call_async t t.dp2s.((file * parts) + p) (Dp2.Scan { file; lo; hi; limit }))
+  in
+  let rec gather acc = function
+    | [] -> Ok acc
+    | reply :: rest -> (
+        match Ivar.read reply with
+        | Ok (Dp2.Rows rows) -> gather (rows :: acc) rest
+        | Ok (Dp2.D_failed e) -> Error (Tx_failed e)
+        | Ok _ -> Error (Tx_failed "unexpected DP2 reply")
+        | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e)))
+  in
+  match gather [] replies with
+  | Error e -> Error e
+  | Ok slices ->
+      Ok (List.sort (fun (a, _, _) (b, _, _) -> compare a b) (List.concat slices))
+
+let response_time t = t.rt

@@ -1,0 +1,100 @@
+open Simkit
+open Nsk
+
+(** Application-side transaction library.
+
+    A session binds a CPU to the transaction monitor and the database
+    writers.  Inserts can be issued asynchronously — the paper's drivers
+    boxcar several per transaction — and {!commit} gathers the
+    outstanding acknowledgements, then asks the monitor to commit with
+    the audit-flush horizon the inserts reported. *)
+
+type error = Tx_failed of string
+
+val error_to_string : error -> string
+
+(** Static routing: which DP2 owns a [(file, key)] pair. *)
+type routing = {
+  files : int;
+  partitions_per_file : int;
+  dp2_of : file:int -> key:int -> int;  (** index into the DP2 array *)
+}
+
+val uniform_routing : files:int -> partitions_per_file:int -> routing
+(** Partition by [key mod partitions_per_file]; DP2 index is
+    [file * partitions_per_file + partition] — the paper's four files,
+    each distributed across four volumes. *)
+
+type t
+
+val create :
+  cpu:Cpu.t ->
+  tmf:Tmf.server ->
+  dp2s:Dp2.server array ->
+  routing:routing ->
+  ?issue_cpu:Time.span ->
+  ?wan_latency:Time.span ->
+  unit ->
+  t
+(** [issue_cpu] (default 500 µs) is the application-side instruction path
+    per insert — SQL processing, buffer marshalling — consumed on the
+    session's CPU before the request leaves it.  [wan_latency] (default
+    0) is the one-way inter-node link latency a remote session pays on
+    every request and reply — an application tier reaching an ODS node
+    across the cluster interconnect (§1.3 scale-out). *)
+
+val cpu : t -> Cpu.t
+
+type txn
+
+val txn_id : txn -> Audit.txn_id
+
+val begin_txn : t -> (txn, error) result
+
+val insert_async : t -> txn -> ?payload:Bytes.t -> file:int -> key:int -> len:int -> unit -> unit
+(** Fire an insert without waiting.  With [payload], [len] is taken from
+    it, its CRC rides in the audit record, and writers configured with
+    [store_payloads] keep the bytes; otherwise the row is content-free
+    (the simulator's default).  Failures surface at the next
+    {!await_inserts} or {!commit}. *)
+
+val insert : t -> txn -> ?payload:Bytes.t -> file:int -> key:int -> len:int -> unit -> (unit, error) result
+(** Synchronous insert. *)
+
+val await_inserts : t -> txn -> (unit, error) result
+(** Collect every outstanding asynchronous insert of this transaction. *)
+
+val commit : t -> txn -> (unit, error) result
+(** Await outstanding inserts, then run the commit protocol.  On success
+    the transaction's changes are durable. *)
+
+val abort : t -> txn -> (unit, error) result
+
+val prepare : t -> txn -> (unit, error) result
+(** Two-phase commit, phase 1: await outstanding inserts and ask the
+    monitor to force the trails and log a durable PREPARED record.  Locks
+    stay held until {!decide}. *)
+
+val decide : t -> txn -> commit:bool -> (unit, error) result
+(** Phase 2: durable outcome record, then lock release. *)
+
+val read : t -> txn -> file:int -> key:int -> ((int * int) option, error) result
+(** Transactional read under a shared lock held to commit/abort: blocks
+    while another transaction holds the row exclusively, so it never sees
+    uncommitted data, and repeated reads within the transaction are
+    stable (§1.1 strong serializability). *)
+
+val lookup : t -> file:int -> key:int -> ((int * int) option, error) result
+(** [(len, crc)] of a row, reading the owning DP2. *)
+
+val lookup_payload : t -> file:int -> key:int -> (Bytes.t option, error) result
+(** The stored row contents ([None] for an absent row or a content-free
+    writer). *)
+
+val scan : t -> file:int -> lo:int -> hi:int -> ?limit:int -> unit -> ((int * int * int) list, error) result
+(** Range scan: [(key, len, crc)] rows with [lo <= key <= hi], merged in
+    ascending key order across the file's partitions.  [limit] (default
+    unlimited) caps rows per partition. *)
+
+val response_time : t -> Stat.t
+(** Begin-to-commit-reply times of completed transactions. *)

@@ -1,0 +1,1 @@
+lib/workloads/bank.ml: Cpu Gate Int64 Node Nsk Printf Rng Sim Simkit Stat Time Tp

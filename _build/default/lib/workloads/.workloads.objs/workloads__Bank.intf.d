@@ -1,0 +1,1 @@
+lib/workloads/bank.mli: Simkit Stat Time Tp

@@ -1,0 +1,1 @@
+lib/workloads/figures.ml: Array Gate Hot_stock List Nsk Option Printf Sim Simkit Stat Time Tp

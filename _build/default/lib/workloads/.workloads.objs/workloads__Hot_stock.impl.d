@@ -1,0 +1,1 @@
+lib/workloads/hot_stock.ml: Cpu Gate Node Nsk Printf Sim Simkit Stat Time Tp

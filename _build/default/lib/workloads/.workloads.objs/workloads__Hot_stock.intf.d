@@ -1,0 +1,1 @@
+lib/workloads/hot_stock.mli: Simkit Stat Time Tp

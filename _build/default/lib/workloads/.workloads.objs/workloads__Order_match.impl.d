@@ -1,0 +1,1 @@
+lib/workloads/order_match.ml: Cpu Gate Int64 Node Nsk Printf Rng Sim Simkit Stat Time Tp

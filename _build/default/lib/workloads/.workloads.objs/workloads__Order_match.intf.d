@@ -1,0 +1,1 @@
+lib/workloads/order_match.mli: Simkit Stat Time Tp

@@ -1,0 +1,1 @@
+lib/workloads/telco_cdr.ml: Cpu Gate Int64 Node Nsk Printf Rng Sim Simkit Stat Time Tp

@@ -1,0 +1,1 @@
+lib/workloads/telco_cdr.mli: Simkit Stat Time Tp

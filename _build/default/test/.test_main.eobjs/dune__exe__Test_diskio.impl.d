@@ -1,0 +1,1 @@
+test/test_diskio.ml: Alcotest Disk Diskio Ivar List Mirror Printf QCheck QCheck_alcotest Rng Sim Simkit Test_util Time Volume

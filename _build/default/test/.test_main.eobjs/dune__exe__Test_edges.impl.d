@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Bytes Format List Mailbox Nsk Pm Servernet Sim Simkit Stat String Test_util Time Tp Trace

@@ -1,0 +1,1 @@
+test/test_edges2.ml: Adp Alcotest Array Bytes Cpu Dp2 Entity Gate List Log_backend Msgsys Node Nsk Pm Printf Sim Simkit Stat System Test_util Time Tmf Tp Txclient

@@ -1,0 +1,1 @@
+test/test_entity.ml: Alcotest Dp2 Entity List Printf Sim Simkit System Time Tp

@@ -1,0 +1,1 @@
+test/test_nsk.ml: Alcotest Cpu Dandc Msgsys Node Nsk Procpair Sim Simkit Time

@@ -1,0 +1,1 @@
+test/test_pm.ml: Alcotest Bytes Codec Cpu Crc32 List Msgsys Node Npmu Nsk Pm Pm_client Pm_types Pmm Pmp QCheck QCheck_alcotest Servernet Sim Simkit String Test_util Time

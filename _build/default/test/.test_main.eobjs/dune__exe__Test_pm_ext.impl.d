@@ -1,0 +1,1 @@
+test/test_pm_ext.ml: Alcotest Bytes Char List Msgsys Node Npmu Nsk Pm Pm_client Pm_mmap Pm_queue Pm_struct Pm_types Pmm Printf QCheck QCheck_alcotest Queue Sim Simkit String Test_util Time

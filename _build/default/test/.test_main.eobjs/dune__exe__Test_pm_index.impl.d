@@ -1,0 +1,1 @@
+test/test_pm_index.ml: Alcotest Bytes Int List Map Node Npmu Nsk Pm Pm_client Pm_index Pm_types Pmm Printf QCheck QCheck_alcotest Sim Simkit Test_util Time

@@ -1,0 +1,1 @@
+test/test_pm_kv.ml: Alcotest Bytes Char Hashtbl List Node Npmu Nsk Pm Pm_client Pm_kv Pm_types Pmm Printf QCheck QCheck_alcotest Sim Simkit Test_util

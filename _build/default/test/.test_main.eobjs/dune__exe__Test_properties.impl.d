@@ -1,0 +1,1 @@
+test/test_properties.ml: Bytes Int64 List Mailbox Nsk Pm Printf QCheck QCheck_alcotest Rng Servernet Sim Simkit Time Tp

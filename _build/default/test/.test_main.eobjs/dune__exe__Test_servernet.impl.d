@@ -1,0 +1,1 @@
+test/test_servernet.ml: Alcotest Avt Bytes Fabric Gate QCheck QCheck_alcotest Servernet Sim Simkit Test_util Time

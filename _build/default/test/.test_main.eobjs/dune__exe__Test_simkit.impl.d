@@ -1,0 +1,1 @@
+test/test_simkit.ml: Alcotest Buffer Gate Gen Heap Ivar List Mailbox Printf QCheck QCheck_alcotest Rng Sim Simkit Stat String Time Trace

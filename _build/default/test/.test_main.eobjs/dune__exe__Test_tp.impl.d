@@ -1,0 +1,1 @@
+test/test_tp.ml: Alcotest Array Audit Bytes Dp2 Gate List Lockmgr Pm Printf QCheck QCheck_alcotest Recovery Sim Simkit Stat System Test_util Time Tmf Tp Workloads

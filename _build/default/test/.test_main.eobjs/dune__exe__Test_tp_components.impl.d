@@ -1,0 +1,1 @@
+test/test_tp_components.ml: Adp Alcotest Array Audit Cluster Cpu Dp2 Dtx Gate List Log_backend Msgsys Node Nsk Pm Printf Recovery Rng Rpc Sim Simkit System Test_util Time Tmf Tp Txclient Workloads

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Sim Simkit

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bank Figures Hot_stock List Order_match Printf Sim Simkit Stat Telco_cdr Time Tp Workloads

@@ -1,0 +1,152 @@
+(* Tests for the B-tree keyed-file index. *)
+
+open Tp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_inv t =
+  match Btree.check_invariants t with Ok () -> () | Error e -> Alcotest.fail ("invariant: " ^ e)
+
+let test_insert_find () =
+  let t = Btree.create ~degree:2 () in
+  for i = 1 to 100 do
+    check_bool "fresh insert" true (Btree.insert t ~key:(i * 3) (i * 10) = None)
+  done;
+  check_inv t;
+  check_int "cardinal" 100 (Btree.cardinal t);
+  for i = 1 to 100 do
+    Alcotest.(check (option int)) "find" (Some (i * 10)) (Btree.find t ~key:(i * 3))
+  done;
+  Alcotest.(check (option int)) "missing" None (Btree.find t ~key:1)
+
+let test_replace () =
+  let t = Btree.create () in
+  let _ = Btree.insert t ~key:5 "a" in
+  Alcotest.(check (option string)) "replace returns prev" (Some "a") (Btree.insert t ~key:5 "b");
+  Alcotest.(check (option string)) "new value" (Some "b") (Btree.find t ~key:5);
+  check_int "no growth on replace" 1 (Btree.cardinal t)
+
+let test_remove () =
+  let t = Btree.create ~degree:2 () in
+  for i = 1 to 64 do
+    ignore (Btree.insert t ~key:i i)
+  done;
+  (* Remove odds; evens must survive. *)
+  for i = 1 to 64 do
+    if i mod 2 = 1 then
+      Alcotest.(check (option int)) "removed" (Some i) (Btree.remove t ~key:i)
+  done;
+  check_inv t;
+  check_int "half left" 32 (Btree.cardinal t);
+  for i = 1 to 64 do
+    Alcotest.(check (option int)) "survivors"
+      (if i mod 2 = 0 then Some i else None)
+      (Btree.find t ~key:i)
+  done;
+  Alcotest.(check (option int)) "remove missing" None (Btree.remove t ~key:999)
+
+let test_remove_all_shrinks () =
+  let t = Btree.create ~degree:2 () in
+  for i = 1 to 200 do
+    ignore (Btree.insert t ~key:i i)
+  done;
+  check_bool "tall tree" true (Btree.height t > 2);
+  for i = 1 to 200 do
+    ignore (Btree.remove t ~key:i)
+  done;
+  check_inv t;
+  check_int "empty" 0 (Btree.cardinal t);
+  check_int "height collapsed" 1 (Btree.height t)
+
+let test_range () =
+  let t = Btree.create ~degree:3 () in
+  for i = 0 to 99 do
+    ignore (Btree.insert t ~key:(i * 2) i)
+  done;
+  let r = Btree.range t ~lo:10 ~hi:20 in
+  Alcotest.(check (list (pair int int))) "inclusive range"
+    [ (10, 5); (12, 6); (14, 7); (16, 8); (18, 9); (20, 10) ]
+    r;
+  check_int "empty range" 0 (List.length (Btree.range t ~lo:1001 ~hi:2000));
+  check_int "full range" 100 (List.length (Btree.range t ~lo:min_int ~hi:max_int))
+
+let test_iter_sorted () =
+  let t = Btree.create ~degree:2 () in
+  let rng = Simkit.Rng.create 5L in
+  for _ = 1 to 500 do
+    ignore (Btree.insert t ~key:(Simkit.Rng.int rng 10_000) 0)
+  done;
+  let keys = ref [] in
+  Btree.iter t (fun k _ -> keys := k :: !keys);
+  let ks = List.rev !keys in
+  check_int "iter covers all" (Btree.cardinal t) (List.length ks);
+  check_bool "sorted ascending" true (List.sort compare ks = ks)
+
+let test_min_max () =
+  let t = Btree.create () in
+  Alcotest.(check bool) "empty min" true (Btree.min_binding t = None);
+  ignore (Btree.insert t ~key:42 "x");
+  ignore (Btree.insert t ~key:7 "y");
+  ignore (Btree.insert t ~key:99 "z");
+  Alcotest.(check bool) "min" true (Btree.min_binding t = Some (7, "y"));
+  Alcotest.(check bool) "max" true (Btree.max_binding t = Some (99, "z"))
+
+(* Reference-model property: a random op sequence behaves like Map. *)
+let prop_matches_map =
+  let module IM = Map.Make (Int) in
+  let gen_ops =
+    QCheck.Gen.(list_size (int_range 1 400) (pair (int_bound 2) (int_bound 200)))
+  in
+  let arb = QCheck.make ~print:(fun l -> string_of_int (List.length l)) gen_ops in
+  QCheck.Test.make ~name:"btree behaves like Map under random ops" ~count:60 arb (fun ops ->
+      let t = Btree.create ~degree:2 () in
+      let model = ref IM.empty in
+      let ok = ref true in
+      List.iter
+        (fun (op, key) ->
+          match op with
+          | 0 ->
+              let prev = Btree.insert t ~key (key * 7) in
+              if prev <> IM.find_opt key !model then ok := false;
+              model := IM.add key (key * 7) !model
+          | 1 ->
+              let prev = Btree.remove t ~key in
+              if prev <> IM.find_opt key !model then ok := false;
+              model := IM.remove key !model
+          | _ -> if Btree.find t ~key <> IM.find_opt key !model then ok := false)
+        ops;
+      (match Btree.check_invariants t with Ok () -> () | Error _ -> ok := false);
+      !ok
+      && Btree.cardinal t = IM.cardinal !model
+      && Btree.range t ~lo:0 ~hi:200 = IM.bindings !model)
+
+let prop_range_equals_filter =
+  QCheck.Test.make ~name:"range = sorted filter" ~count:60
+    QCheck.(triple (list_of_size (QCheck.Gen.int_range 0 150) (int_bound 500)) (int_bound 500) (int_bound 500))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = Btree.create ~degree:3 () in
+      List.iter (fun k -> ignore (Btree.insert t ~key:k k)) keys;
+      let expect =
+        List.sort_uniq compare keys
+        |> List.filter (fun k -> k >= lo && k <= hi)
+        |> List.map (fun k -> (k, k))
+      in
+      Btree.range t ~lo ~hi = expect)
+
+let suite =
+  [
+    ( "tp.btree",
+      [
+        Alcotest.test_case "insert and find" `Quick test_insert_find;
+        Alcotest.test_case "replace in place" `Quick test_replace;
+        Alcotest.test_case "remove with rebalancing" `Quick test_remove;
+        Alcotest.test_case "emptying collapses height" `Quick test_remove_all_shrinks;
+        Alcotest.test_case "inclusive range scan" `Quick test_range;
+        Alcotest.test_case "iter is sorted" `Quick test_iter_sorted;
+        Alcotest.test_case "min/max bindings" `Quick test_min_max;
+        QCheck_alcotest.to_alcotest prop_matches_map;
+        QCheck_alcotest.to_alcotest prop_range_equals_filter;
+      ] );
+  ]

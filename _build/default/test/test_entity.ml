@@ -1,0 +1,134 @@
+(* Tests for container-managed entity persistence. *)
+
+open Simkit
+open Tp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Entities need payload-storing writers. *)
+let entity_config =
+  {
+    System.default_config with
+    System.dp2 = { Dp2.default_config with Dp2.store_payloads = true };
+  }
+
+let in_entity_system ?(cfg = entity_config) f =
+  let sim = Sim.create ~seed:0xE47L () in
+  let out = ref None in
+  let (_ : Sim.pid) =
+    Sim.spawn sim ~name:"main" (fun () ->
+        let system = System.build sim cfg in
+        let container = Entity.create (System.session system ~cpu:2) in
+        out := Some (f system container))
+  in
+  Sim.run sim;
+  match !out with Some v -> v | None -> Alcotest.fail "entity run incomplete"
+
+let customer =
+  Entity.schema ~name:"customer" ~file:0
+    ~fields:[ ("name", Entity.F_string); ("balance", Entity.F_int); ("tier", Entity.F_string) ]
+
+let alice = [ ("name", Entity.V_string "Alice"); ("balance", Entity.V_int 1200); ("tier", Entity.V_string "gold") ]
+
+let expect ~msg = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" msg (Entity.error_to_string e)
+
+let test_persist_find () =
+  in_entity_system (fun _ c ->
+      expect ~msg:"persist"
+        (Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:1 alice));
+      match expect ~msg:"find" (Entity.find c customer ~id:1) with
+      | Some e -> check_bool "roundtrip" true (e = alice)
+      | None -> Alcotest.fail "entity missing")
+
+let test_overwrite () =
+  in_entity_system (fun _ c ->
+      expect ~msg:"v1" (Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:7 alice));
+      let updated = [ ("name", Entity.V_string "Alice"); ("balance", Entity.V_int 900); ("tier", Entity.V_string "gold") ] in
+      expect ~msg:"v2" (Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:7 updated));
+      match expect ~msg:"find" (Entity.find c customer ~id:7) with
+      | Some e -> check_bool "latest version" true (e = updated)
+      | None -> Alcotest.fail "missing")
+
+let test_abort_rolls_back () =
+  in_entity_system (fun system c ->
+      expect ~msg:"v1" (Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:3 alice));
+      (* A failing unit of work must leave the committed version. *)
+      let bogus = [ ("name", Entity.V_string "Mallory") ] in
+      (match
+         Entity.with_txn c (fun txn ->
+             match Entity.persist c txn customer ~id:3 bogus with
+             | Error e -> Error e
+             | Ok () -> Ok ())
+       with
+      | Error (Entity.E_type_mismatch _) -> ()
+      | _ -> Alcotest.fail "schema violation not caught");
+      Sim.sleep (Time.ms 100);
+      ignore system;
+      match expect ~msg:"find" (Entity.find c customer ~id:3) with
+      | Some e -> check_bool "committed version intact" true (e = alice)
+      | None -> Alcotest.fail "entity lost after aborted txn")
+
+let test_type_checking () =
+  in_entity_system (fun _ c ->
+      let wrong_type = [ ("name", Entity.V_int 5); ("balance", Entity.V_int 1); ("tier", Entity.V_string "x") ] in
+      (match Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:9 wrong_type) with
+      | Error (Entity.E_type_mismatch "name") -> ()
+      | _ -> Alcotest.fail "type error not reported");
+      let wrong_count = [ ("name", Entity.V_string "Bob") ] in
+      match Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:9 wrong_count) with
+      | Error (Entity.E_type_mismatch _) -> ()
+      | _ -> Alcotest.fail "arity error not reported")
+
+let test_exists_and_missing () =
+  in_entity_system (fun _ c ->
+      check_bool "missing" false (expect ~msg:"exists" (Entity.exists c customer ~id:42));
+      expect ~msg:"persist" (Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:42 alice));
+      check_bool "present" true (expect ~msg:"exists2" (Entity.exists c customer ~id:42));
+      check_bool "find missing is None" true (expect ~msg:"find" (Entity.find c customer ~id:43) = None))
+
+let test_find_range () =
+  in_entity_system (fun _ c ->
+      expect ~msg:"batch"
+        (Entity.with_txn c (fun txn ->
+             let rec go i =
+               if i > 20 then Ok ()
+               else
+                 let e =
+                   [ ("name", Entity.V_string (Printf.sprintf "c%d" i));
+                     ("balance", Entity.V_int (i * 10));
+                     ("tier", Entity.V_string "std") ]
+                 in
+                 match Entity.persist c txn customer ~id:i e with
+                 | Ok () -> go (i + 1)
+                 | Error e -> Error e
+             in
+             go 1));
+      let found = expect ~msg:"range" (Entity.find_range c customer ~lo:5 ~hi:8) in
+      check_int "four entities" 4 (List.length found);
+      match List.assoc_opt "balance" (List.assq 5 (List.map (fun (i, e) -> (i, e)) found)) with
+      | Some (Entity.V_int 50) -> ()
+      | _ -> Alcotest.fail "wrong entity contents"
+      )
+
+let test_payloads_disabled_fails_cleanly () =
+  in_entity_system ~cfg:System.default_config (fun _ c ->
+      expect ~msg:"persist" (Entity.with_txn c (fun txn -> Entity.persist c txn customer ~id:1 alice));
+      (* Without store_payloads the row exists but has no contents. *)
+      check_bool "row exists" true (expect ~msg:"exists" (Entity.exists c customer ~id:1));
+      check_bool "find yields nothing" true (expect ~msg:"find" (Entity.find c customer ~id:1) = None))
+
+let suite =
+  [
+    ( "tp.entity",
+      [
+        Alcotest.test_case "persist and find" `Quick test_persist_find;
+        Alcotest.test_case "overwrite keeps latest" `Quick test_overwrite;
+        Alcotest.test_case "failed unit of work aborts" `Quick test_abort_rolls_back;
+        Alcotest.test_case "schema type checking" `Quick test_type_checking;
+        Alcotest.test_case "exists and missing ids" `Quick test_exists_and_missing;
+        Alcotest.test_case "find_range over the index" `Quick test_find_range;
+        Alcotest.test_case "content-free writers degrade cleanly" `Quick
+          test_payloads_disabled_fails_cleanly;
+      ] );
+  ]

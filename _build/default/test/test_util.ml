@@ -1,0 +1,35 @@
+(* Shared helpers for the test suites. *)
+
+open Simkit
+
+(* Run [f] inside a spawned process and return its result once the
+   simulation quiesces.  Fails the test if the process never finished
+   (deadlock or starvation). *)
+let run_process ?(seed = 0xABCDL) f =
+  let sim = Sim.create ~seed () in
+  let result = ref None in
+  let (_ : Sim.pid) = Sim.spawn sim ~name:"test-driver" (fun () -> result := Some (f sim)) in
+  Sim.run sim;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test process did not run to completion"
+
+(* Same, but the caller supplies the simulation (e.g. to pre-build
+   topology before entering process context). *)
+let run_in sim f =
+  let result = ref None in
+  let (_ : Sim.pid) = Sim.spawn sim ~name:"test-driver" (fun () -> result := Some (f ())) in
+  Sim.run sim;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test process did not run to completion"
+
+let ok_or_fail ~msg = function
+  | Ok v -> v
+  | Error _ -> Alcotest.fail msg
+
+let bytes_of_string = Bytes.of_string
+
+let check_result_ok msg = function
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail msg
