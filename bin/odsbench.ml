@@ -17,45 +17,211 @@ let mode_to_string = function
 
 let hr () = print_endline (String.make 72 '-')
 
+let json_arg =
+  let doc = "Emit the table as a JSON document on stdout instead of text." in
+  Cmdliner.Arg.(value & flag & info [ "json" ] ~doc)
+
 (* --- fig1 --- *)
 
-let fig1 records =
+let fig1_json points =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [
+             ("drivers", Json.Int p.Figures.f1_drivers);
+             ("boxcar", Json.Int p.Figures.f1_boxcar);
+             ("txn_size", Json.String p.Figures.txn_size);
+             ("rt_disk_us", Json.Float p.Figures.rt_disk_us);
+             ("rt_pm_us", Json.Float p.Figures.rt_pm_us);
+             ("speedup", Json.Float p.Figures.speedup);
+           ])
+       points)
+
+let fig1 records json =
+  let points = Figures.figure1 ~records_per_driver:records () in
+  if json then print_endline (Json.to_string (fig1_json points))
+  else begin
   Printf.printf "FIGURE 1: response-time speedup with PM vs transaction size\n";
   Printf.printf "(paper: up to 3.5x, best at small boxcars and 1-2 drivers)\n";
   hr ();
   Printf.printf "%8s %8s %12s %12s %10s\n" "drivers" "txnsize" "disk RT(ms)" "PM RT(ms)" "speedup";
-  let points = Figures.figure1 ~records_per_driver:records () in
   List.iter
     (fun p ->
       Printf.printf "%8d %8s %12.2f %12.2f %10.2f\n" p.Figures.f1_drivers p.Figures.txn_size
         (p.Figures.rt_disk_us /. 1e3) (p.Figures.rt_pm_us /. 1e3) p.Figures.speedup)
     points;
   hr ()
+  end
 
 let fig1_cmd =
   Cmd.v
     (Cmd.info "fig1" ~doc:"Reproduce Figure 1 (response-time speedup vs boxcarring)")
-    Term.(const fig1 $ records_arg 32_000)
+    Term.(const fig1 $ records_arg 32_000 $ json_arg)
 
 (* --- fig2 --- *)
 
-let fig2 records =
+let fig2_json points =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [
+             ("drivers", Json.Int p.Figures.f2_drivers);
+             ("boxcar", Json.Int p.Figures.f2_boxcar);
+             ("txn_size", Json.String p.Figures.f2_txn_size);
+             ("elapsed_disk_s", Json.Float p.Figures.elapsed_disk_s);
+             ("elapsed_pm_s", Json.Float p.Figures.elapsed_pm_s);
+           ])
+       points)
+
+let fig2 records json =
+  let points = Figures.figure2 ~records_per_driver:records () in
+  if json then print_endline (Json.to_string (fig2_json points))
+  else begin
   Printf.printf "FIGURE 2: elapsed time vs transaction size (PM eliminates boxcarring)\n";
   Printf.printf "(paper: no-PM rises sharply as boxcarring shrinks; PM nearly flat)\n";
   hr ();
   Printf.printf "%8s %8s %16s %14s\n" "drivers" "txnsize" "disk elapsed(s)" "PM elapsed(s)";
-  let points = Figures.figure2 ~records_per_driver:records () in
   List.iter
     (fun p ->
       Printf.printf "%8d %8s %16.2f %14.2f\n" p.Figures.f2_drivers p.Figures.f2_txn_size
         p.Figures.elapsed_disk_s p.Figures.elapsed_pm_s)
     points;
   hr ()
+  end
 
 let fig2_cmd =
   Cmd.v
     (Cmd.info "fig2" ~doc:"Reproduce Figure 2 (elapsed time vs boxcarring)")
-    Term.(const fig2 $ records_arg 32_000)
+    Term.(const fig2 $ records_arg 32_000 $ json_arg)
+
+(* --- breakdown: machine-readable commit-latency attribution --- *)
+
+let breakdown_json b =
+  let mode_json m =
+    Json.Obj
+      [
+        ("mode", Json.String (mode_to_string m.Figures.b_mode));
+        ("commits", Json.Int m.Figures.b_commits);
+        ("rt_mean_ns", Json.Float m.Figures.b_rt_ns);
+        ("flush_share", Json.Float m.Figures.b_flush_share);
+        ( "stages",
+          Json.List
+            (List.map
+               (fun st ->
+                 Json.Obj
+                   [
+                     ("stage", Json.String st.Figures.stage_name);
+                     ("mean_ns", Json.Float st.Figures.stage_ns);
+                     ("share", Json.Float st.Figures.stage_share);
+                   ])
+               m.Figures.b_stages) );
+      ]
+  in
+  Json.Obj
+    [
+      ("drivers", Json.Int b.Figures.bd_drivers);
+      ("boxcar", Json.Int b.Figures.bd_boxcar);
+      ("disk", mode_json b.Figures.bd_disk);
+      ("pm", mode_json b.Figures.bd_pm);
+      ("disk_flush_share", Json.Float b.Figures.bd_disk_flush_share);
+      ("pm_flush_share", Json.Float b.Figures.bd_pm_flush_share);
+    ]
+
+let breakdown records drivers boxcar json =
+  let b = Figures.breakdown ~records_per_driver:records ~drivers ~boxcar () in
+  if json then print_endline (Json.to_string (breakdown_json b))
+  else begin
+    Printf.printf "Commit-latency breakdown (%d drivers, boxcar %d, %d records/driver)\n"
+      b.Figures.bd_drivers b.Figures.bd_boxcar records;
+    Printf.printf "(where a committed transaction's response time goes, per the registry)\n";
+    let one m =
+      hr ();
+      Printf.printf "mode=%s  commits=%d  mean RT=%.2f ms  flush share=%.0f%%\n"
+        (mode_to_string m.Figures.b_mode) m.Figures.b_commits (m.Figures.b_rt_ns /. 1e6)
+        (m.Figures.b_flush_share *. 100.);
+      List.iter
+        (fun st ->
+          Printf.printf "  %-40s %10.3f ms %6.1f%%\n" st.Figures.stage_name
+            (st.Figures.stage_ns /. 1e6)
+            (st.Figures.stage_share *. 100.))
+        m.Figures.b_stages
+    in
+    one b.Figures.bd_disk;
+    one b.Figures.bd_pm;
+    hr ()
+  end
+
+let breakdown_cmd =
+  let drivers = Arg.(value & opt int 1 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
+  let boxcar =
+    Arg.(value & opt int 8 & info [ "boxcar" ] ~docv:"N" ~doc:"Inserts per transaction.")
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:"Attribute commit latency to pipeline stages, disk vs PM audit")
+    Term.(const breakdown $ records_arg 2_000 $ drivers $ boxcar $ json_arg)
+
+(* --- trace: span capture to a Chrome/Perfetto trace file --- *)
+
+let trace mode drivers boxcar records out =
+  let mode = if mode = "pm" then Tp.System.Pm_audit else Tp.System.Disk_audit in
+  let obs = Obs.create () in
+  Span.enable (Obs.spans obs);
+  let (_ : Figures.cell) =
+    Figures.run_cell ~obs ~mode ~drivers ~inserts_per_txn:boxcar ~records_per_driver:records ()
+  in
+  let spans = Obs.spans obs in
+  let oc = open_out out in
+  output_string oc (Span.to_chrome_json spans);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %d spans to %s (%d dropped)\n" (Span.count spans) out
+    (Span.dropped spans);
+  Printf.printf "open in a Chromium browser at chrome://tracing, or https://ui.perfetto.dev\n"
+
+let trace_cmd =
+  let mode =
+    Arg.(value & opt string "disk" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+  in
+  let drivers = Arg.(value & opt int 1 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
+  let boxcar =
+    Arg.(value & opt int 8 & info [ "boxcar" ] ~docv:"N" ~doc:"Inserts per transaction.")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a hot-stock cell with span tracing on and write a Chrome trace file")
+    Term.(const trace $ mode $ drivers $ boxcar $ records_arg 200 $ out)
+
+(* --- metrics: dump the full registry for one cell --- *)
+
+let metrics_dump mode drivers boxcar records json =
+  let mode = if mode = "pm" then Tp.System.Pm_audit else Tp.System.Disk_audit in
+  let obs = Obs.create () in
+  let (_ : Figures.cell) =
+    Figures.run_cell ~obs ~mode ~drivers ~inserts_per_txn:boxcar ~records_per_driver:records ()
+  in
+  let m = Obs.metrics obs in
+  if json then print_endline (Metrics.to_json m)
+  else Format.printf "%a@?" Metrics.pp_table m
+
+let metrics_cmd =
+  let mode =
+    Arg.(value & opt string "disk" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+  in
+  let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
+  let boxcar =
+    Arg.(value & opt int 8 & info [ "boxcar" ] ~docv:"N" ~doc:"Inserts per transaction.")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Run a hot-stock cell and dump the whole metrics registry")
+    Term.(const metrics_dump $ mode $ drivers $ boxcar $ records_arg 1_000 $ json_arg)
 
 (* --- single cell --- *)
 
@@ -358,9 +524,9 @@ let bank_cmd =
 
 let all records =
   Printf.printf "pmods: full experiment sweep at %d records/driver\n\n" records;
-  fig1 records;
+  fig1 records false;
   print_newline ();
-  fig2 records;
+  fig2 records false;
   print_newline ();
   sweep_latency (min records 4_000);
   print_newline ();
@@ -390,6 +556,9 @@ let main_cmd =
       all_cmd;
       fig1_cmd;
       fig2_cmd;
+      breakdown_cmd;
+      trace_cmd;
+      metrics_cmd;
       cell_cmd;
       sweep_latency_cmd;
       sweep_mirror_cmd;

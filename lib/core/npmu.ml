@@ -4,21 +4,48 @@ type t = {
   mem : Bytes.t;
   ep : Servernet.Fabric.endpoint;
   mutable powered : bool;
+  st_writes : int ref;
+  st_reads : int ref;
+  st_bytes_written : int ref;
 }
 
 let create sim fabric ~name ~capacity =
   ignore sim;
   if capacity <= 0 then invalid_arg "Npmu.create: capacity must be positive";
   let mem = Bytes.make capacity '\000' in
+  let st_writes = ref 0 and st_reads = ref 0 and st_bytes_written = ref 0 in
   let store =
     {
       Servernet.Fabric.size = capacity;
-      read = (fun ~off ~len -> Bytes.sub mem off len);
-      write = (fun ~off ~data -> Bytes.blit data 0 mem off (Bytes.length data));
+      read =
+        (fun ~off ~len ->
+          incr st_reads;
+          Bytes.sub mem off len);
+      write =
+        (fun ~off ~data ->
+          incr st_writes;
+          st_bytes_written := !st_bytes_written + Bytes.length data;
+          Bytes.blit data 0 mem off (Bytes.length data));
     }
   in
   let ep = Servernet.Fabric.attach fabric ~name ~store in
-  { npmu_name = name; capacity; mem; ep; powered = true }
+  { npmu_name = name; capacity; mem; ep; powered = true; st_writes; st_reads;
+    st_bytes_written }
+
+let instrument t metrics =
+  let prefix = "npmu." ^ t.npmu_name in
+  Simkit.Metrics.register_gauge metrics (prefix ^ ".writes") (fun () ->
+      float_of_int !(t.st_writes));
+  Simkit.Metrics.register_gauge metrics (prefix ^ ".reads") (fun () ->
+      float_of_int !(t.st_reads));
+  Simkit.Metrics.register_gauge metrics (prefix ^ ".bytes_written") (fun () ->
+      float_of_int !(t.st_bytes_written))
+
+let writes t = !(t.st_writes)
+
+let reads t = !(t.st_reads)
+
+let bytes_written t = !(t.st_bytes_written)
 
 let name t = t.npmu_name
 

@@ -14,6 +14,17 @@ type t
 
 val create : Sim.t -> Servernet.Fabric.t -> name:string -> capacity:int -> t
 
+val instrument : t -> Metrics.t -> unit
+(** Export the device's cumulative store traffic as gauges under
+    [npmu.<name>.*] ([writes], [reads], [bytes_written]). *)
+
+val writes : t -> int
+(** Stores performed through the NIC (RDMA-delivered writes). *)
+
+val reads : t -> int
+
+val bytes_written : t -> int
+
 val name : t -> string
 
 val capacity : t -> int

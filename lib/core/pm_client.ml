@@ -23,18 +23,25 @@ type t = {
   cfg : config;
   mutable degraded : int;
   latency : Stat.t;
+  obs : Obs.t option;
 }
 
 type handle = { t : t; region : Pm_types.region_info }
 
-let attach ~cpu ~fabric ~pmm ?(config = default_config) () =
+let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
   {
     client_cpu = cpu;
     fabric;
     pmm;
     cfg = config;
     degraded = 0;
-    latency = Stat.create ~name:"pm_write" ();
+    latency =
+      (* With an observability context every client aggregates into the
+         one registry-owned stat; otherwise each keeps a private one. *)
+      (match obs with
+      | Some o -> Metrics.stat (Obs.metrics o) "pm.write_ns"
+      | None -> Stat.create ~name:"pm_write" ());
+    obs;
   }
 
 let cpu t = t.client_cpu
@@ -91,21 +98,32 @@ let list_regions t =
 let bounds_ok region ~off ~len =
   off >= 0 && len >= 0 && off + len <= region.Pm_types.length
 
-let write t h ~off ~data =
+let write ?span t h ~off ~data =
   let region = h.region in
   let len = Bytes.length data in
   if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "write out of bounds")
   else begin
     let started = Sim.now (Cpu.sim t.client_cpu) in
+    let sp =
+      match t.obs with
+      | None -> Span.null
+      | Some o ->
+          let sp = Span.start (Obs.spans o) ~track:"pm" ?parent:span "pm.write" in
+          Span.annotate sp ~key:"region" region.Pm_types.region_name;
+          Span.annotate sp ~key:"len" (string_of_int len);
+          sp
+    in
     let addr = region.Pm_types.net_base + off in
     let src = Cpu.endpoint t.client_cpu in
     if t.cfg.write_penalty > 0 then Sim.sleep t.cfg.write_penalty;
     let primary_result =
-      Servernet.Fabric.rdma_write t.fabric ~src ~dst:region.Pm_types.primary_npmu ~addr ~data
+      Servernet.Fabric.rdma_write ~span:sp t.fabric ~src ~dst:region.Pm_types.primary_npmu
+        ~addr ~data
     in
     let mirror_result =
       if t.cfg.mirrored_writes then
-        Servernet.Fabric.rdma_write t.fabric ~src ~dst:region.Pm_types.mirror_npmu ~addr ~data
+        Servernet.Fabric.rdma_write ~span:sp t.fabric ~src ~dst:region.Pm_types.mirror_npmu
+          ~addr ~data
       else primary_result
     in
     let outcome =
@@ -122,6 +140,7 @@ let write t h ~off ~data =
     (match outcome with
     | Ok () -> Stat.add_span t.latency (Sim.now (Cpu.sim t.client_cpu) - started)
     | Error _ -> ());
+    (match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ());
     outcome
   end
 

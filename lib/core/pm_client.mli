@@ -24,7 +24,16 @@ val default_config : config
 
 type t
 
-val attach : cpu:Cpu.t -> fabric:Servernet.Fabric.t -> pmm:Pmm.server -> ?config:config -> unit -> t
+val attach :
+  cpu:Cpu.t ->
+  fabric:Servernet.Fabric.t ->
+  pmm:Pmm.server ->
+  ?config:config ->
+  ?obs:Obs.t ->
+  unit ->
+  t
+(** With [obs], write latencies feed the shared [pm.write_ns] stat (all
+    clients aggregate) and each {!write} gets a span on track ["pm"]. *)
 
 val cpu : t -> Cpu.t
 
@@ -44,7 +53,8 @@ val delete_region : t -> name:string -> (unit, Pm_types.error) result
 
 val list_regions : t -> (Pm_types.region_info list, Pm_types.error) result
 
-val write : t -> handle -> off:int -> data:Bytes.t -> (unit, Pm_types.error) result
+val write :
+  ?span:Span.span -> t -> handle -> off:int -> data:Bytes.t -> (unit, Pm_types.error) result
 (** Synchronous persistent write.  Mirrored: returns [Ok] once every
     powered device of the pair holds the data; degraded single-device
     success is still persistent (and reported through {!degraded_writes}).

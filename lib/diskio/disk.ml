@@ -59,17 +59,27 @@ let total_blocks t = t.geom.capacity_bytes / t.geom.block_bytes
 
 let transfer_time t len = int_of_float (float_of_int len /. t.geom.bytes_per_ns)
 
+type parts = {
+  seek : Time.span;
+  rotation : Time.span;
+  transfer : Time.span;
+  cache_hit : bool;
+}
+
+let parts_total p = p.seek + p.rotation + p.transfer
+
 (* Positioning plus media time with the head starting at [t.head_block].
    A sequential read streams (settle only); a sequential *write* still
    waits for the platter to come around to the target sector — the
    classic one-rotation floor of synchronous log appends. *)
-let mechanical_time t ~kind ~block ~len =
+let mechanical_parts t ~kind ~block ~len =
   let sequential = block = t.head_block in
-  let positioning =
+  let seek, rotation =
     if sequential then
       match kind with
-      | `Read -> t.geom.sequential_settle
-      | `Write -> t.geom.sequential_settle + Rng.uniform_span t.rng t.geom.rotation_period
+      | `Read -> (t.geom.sequential_settle, 0)
+      | `Write ->
+          (t.geom.sequential_settle, Rng.uniform_span t.rng t.geom.rotation_period)
     else
       let distance = abs (block - t.head_block) in
       let frac = float_of_int distance /. float_of_int (total_blocks t) in
@@ -77,10 +87,9 @@ let mechanical_time t ~kind ~block ~len =
         t.geom.seek_base
         + int_of_float (frac *. float_of_int (t.geom.seek_full - t.geom.seek_base))
       in
-      let rotation = Rng.uniform_span t.rng t.geom.rotation_period in
-      seek + rotation
+      (seek, Rng.uniform_span t.rng t.geom.rotation_period)
   in
-  positioning + transfer_time t len
+  { seek; rotation; transfer = transfer_time t len; cache_hit = false }
 
 (* Account for background destaging that happened since the last call. *)
 let drain_cache t cfg =
@@ -90,24 +99,26 @@ let drain_cache t cfg =
   let drained = int_of_float (float_of_int elapsed *. cfg.destage_bytes_per_ns) in
   t.cache_used <- max 0 (t.cache_used - drained)
 
-let service t ~kind ~block ~len =
+let service_parts t ~kind ~block ~len =
   let advance () = t.head_block <- block + blocks_of t len in
   match (kind, t.cache) with
   | `Read, _ | `Write, None ->
-      let dt = mechanical_time t ~kind ~block ~len in
+      let p = mechanical_parts t ~kind ~block ~len in
       advance ();
-      dt
+      p
   | `Write, Some cfg ->
       drain_cache t cfg;
       if t.cache_used + len <= cfg.cache_bytes then begin
         t.cache_used <- t.cache_used + len;
-        cfg.cache_latency
+        { seek = 0; rotation = 0; transfer = cfg.cache_latency; cache_hit = true }
       end
       else begin
         (* Cache full: the write waits for media like an uncached one. *)
-        let dt = mechanical_time t ~kind ~block ~len in
+        let p = mechanical_parts t ~kind ~block ~len in
         advance ();
-        dt
+        p
       end
+
+let service t ~kind ~block ~len = parts_total (service_parts t ~kind ~block ~len)
 
 let cache_used t = t.cache_used

@@ -43,11 +43,26 @@ val create : Sim.t -> ?geometry:geometry -> ?cache:cache_config -> unit -> t
 
 val geometry : t -> geometry
 
+type parts = {
+  seek : Time.span;  (** seek, or settle on a sequential access *)
+  rotation : Time.span;  (** rotational delay waited out *)
+  transfer : Time.span;  (** media (or cache) transfer *)
+  cache_hit : bool;  (** absorbed by the write cache *)
+}
+
+val parts_total : parts -> Time.span
+
 val service :
   t -> kind:[ `Read | `Write ] -> block:int -> len:int -> Time.span
 (** Service time for a request starting now, updating head position and
     cache state.  [len] is in bytes; [block] addresses units of
     [block_bytes]. *)
+
+val service_parts :
+  t -> kind:[ `Read | `Write ] -> block:int -> len:int -> parts
+(** Like {!service} but itemised, so instrumentation can attribute the
+    rotational-miss share of synchronous log appends separately from
+    seek and transfer time. *)
 
 val cache_used : t -> int
 (** Current write-cache occupancy in bytes (0 without a cache). *)

@@ -10,6 +10,7 @@ type request = {
   len : int;
   issued : Time.t;
   done_ : (unit, error) result Ivar.t;
+  req_span : Span.span;
 }
 
 type scheduling = Fifo | Elevator
@@ -29,7 +30,13 @@ type t = {
   mutable bytes : int;
   mutable busy : Time.span;
   latency : Stat.t;
+  mutable obs : Obs.t option;
+  mutable svc_stat : Stat.t option;
+  mutable rot_stat : Stat.t option;
 }
+
+let finish_span t sp =
+  match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
 
 (* Pick the next request: FIFO order, or the SCAN sweep for elevators. *)
 let next_request t =
@@ -91,12 +98,29 @@ let server t () =
     match next_request t with
     | None -> ()
     | Some req ->
-        if not t.up then Ivar.fill req.done_ (Error Volume_down)
+        if not t.up then begin
+          finish_span t req.req_span;
+          Ivar.fill req.done_ (Error Volume_down)
+        end
         else begin
-          let dt = Disk.service t.disk ~kind:req.kind ~block:req.block ~len:req.len in
+          let parts =
+            Disk.service_parts t.disk ~kind:req.kind ~block:req.block ~len:req.len
+          in
+          let dt = Disk.parts_total parts in
+          (match t.svc_stat with Some st -> Stat.add_span st dt | None -> ());
+          if req.kind = `Write && parts.Disk.rotation > 0 then begin
+            (match t.rot_stat with
+            | Some st -> Stat.add_span st parts.Disk.rotation
+            | None -> ());
+            Span.annotate req.req_span ~key:"rotation_ns"
+              (string_of_int parts.Disk.rotation)
+          end;
+          if parts.Disk.cache_hit then
+            Span.annotate req.req_span ~key:"cache" "hit";
           t.head_hint <- req.block;
           Sim.sleep dt;
           t.busy <- t.busy + dt;
+          finish_span t req.req_span;
           if t.up then begin
             t.ops <- t.ops + 1;
             t.bytes <- t.bytes + req.len;
@@ -124,6 +148,9 @@ let create sim ~name ?geometry ?cache ?(scheduling = Fifo) () =
       bytes = 0;
       busy = 0;
       latency = Stat.create ~name ();
+      obs = None;
+      svc_stat = None;
+      rot_stat = None;
     }
   in
   let (_ : Sim.pid) = Sim.spawn sim ~name:("vol:" ^ name) (server t) in
@@ -131,21 +158,46 @@ let create sim ~name ?geometry ?cache ?(scheduling = Fifo) () =
 
 let name t = t.vol_name
 
-let submit t ~kind ~block ~len =
+let sim t = t.sim
+
+let set_obs t obs =
+  t.obs <- Some obs;
+  let m = Obs.metrics obs in
+  t.svc_stat <- Some (Metrics.stat m "disk.service_ns");
+  t.rot_stat <- Some (Metrics.stat m "disk.rotational_miss_ns")
+
+let submit ?parent t ~kind ~block ~len =
+  let req_span =
+    match t.obs with
+    | None -> Span.null
+    | Some o ->
+        let sp =
+          Span.start (Obs.spans o) ~track:("vol:" ^ t.vol_name) ?parent
+            (match kind with `Read -> "disk.read" | `Write -> "disk.write")
+        in
+        Span.annotate sp ~key:"block" (string_of_int block);
+        Span.annotate sp ~key:"len" (string_of_int len);
+        sp
+  in
   let done_ = Ivar.create () in
-  if not t.up then Ivar.fill done_ (Error Volume_down)
-  else Mailbox.send t.queue { kind; block; len; issued = Sim.now t.sim; done_ };
+  if not t.up then begin
+    finish_span t req_span;
+    Ivar.fill done_ (Error Volume_down)
+  end
+  else
+    Mailbox.send t.queue
+      { kind; block; len; issued = Sim.now t.sim; done_; req_span };
   done_
 
-let write t ~block ~len = Ivar.read (submit t ~kind:`Write ~block ~len)
+let write ?parent t ~block ~len = Ivar.read (submit ?parent t ~kind:`Write ~block ~len)
 
-let read t ~block ~len = Ivar.read (submit t ~kind:`Read ~block ~len)
+let read ?parent t ~block ~len = Ivar.read (submit ?parent t ~kind:`Read ~block ~len)
 
-let append t ~len =
+let append ?parent t ~len =
   let block = t.append_block in
   let blocks = max 1 ((len + 511) / 512) in
   t.append_block <- t.append_block + blocks;
-  write t ~block ~len
+  write ?parent t ~block ~len
 
 let set_up t up = t.up <- up
 

@@ -28,16 +28,30 @@ val create :
 
 val name : t -> string
 
-val submit :
-  t -> kind:[ `Read | `Write ] -> block:int -> len:int -> (unit, error) result Ivar.t
-(** Enqueue a request; the ivar fills at completion.  Never blocks. *)
+val sim : t -> Sim.t
 
-val write : t -> block:int -> len:int -> (unit, error) result
+val set_obs : t -> Obs.t -> unit
+(** Observe this volume: every request gets a span on track
+    ["vol:<name>"], service times feed the shared [disk.service_ns]
+    stat, and writes that waited out a rotational miss feed
+    [disk.rotational_miss_ns]. *)
+
+val submit :
+  ?parent:Span.span ->
+  t ->
+  kind:[ `Read | `Write ] ->
+  block:int ->
+  len:int ->
+  (unit, error) result Ivar.t
+(** Enqueue a request; the ivar fills at completion.  Never blocks.
+    [parent] links the request's span under the caller's. *)
+
+val write : ?parent:Span.span -> t -> block:int -> len:int -> (unit, error) result
 (** Synchronous write: submit and wait.  Process context only. *)
 
-val read : t -> block:int -> len:int -> (unit, error) result
+val read : ?parent:Span.span -> t -> block:int -> len:int -> (unit, error) result
 
-val append : t -> len:int -> (unit, error) result
+val append : ?parent:Span.span -> t -> len:int -> (unit, error) result
 (** Synchronous sequential append at the volume's append cursor, the
     access pattern of an audit-trail volume. *)
 

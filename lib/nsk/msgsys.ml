@@ -10,6 +10,7 @@ type ('req, 'resp) envelope = {
   payload : 'req;
   resp_bytes : int;
   reply : ('resp, error) result Ivar.t;
+  env_span : Span.span;
 }
 
 type ('req, 'resp) server = {
@@ -20,6 +21,9 @@ type ('req, 'resp) server = {
   mutable outstanding : ('resp, error) result Ivar.t list;
   mutable epoch : int;
   mutable extra_latency : Time.span;
+  mutable last_span : Span.span;
+  mutable hop_stat : Stat.t option;
+  mutable req_counter : Stat.Counter.t option;
 }
 
 let create_server fabric ~cpu ~name =
@@ -31,7 +35,18 @@ let create_server fabric ~cpu ~name =
     outstanding = [];
     epoch = 0;
     extra_latency = 0;
+    last_span = Span.null;
+    hop_stat = None;
+    req_counter = None;
   }
+
+let set_obs s obs =
+  let m = Obs.metrics obs in
+  s.hop_stat <- Some (Metrics.stat m "msg.hop_ns");
+  s.req_counter <- Some (Metrics.counter m "msg.requests")
+
+let note_hop s dt =
+  match s.hop_stat with Some st -> Stat.add_span st dt | None -> ()
 
 let set_extra_latency s span =
   if span < 0 then invalid_arg "Msgsys.set_extra_latency: negative span";
@@ -43,24 +58,27 @@ let server_cpu s = s.cpu
 
 let forget s iv = s.outstanding <- List.filter (fun i -> i != iv) s.outstanding
 
-let call_async s ~from ?(req_bytes = 256) ?(resp_bytes = 256) payload =
+let call_async s ~from ?(req_bytes = 256) ?(resp_bytes = 256) ?span payload =
   let reply = Ivar.create () in
   if not (Cpu.is_up from) then Ivar.fill reply (Error Server_down)
   else begin
     let sim = Cpu.sim from in
     (* Request wire time, then delivery (if the target is still up). *)
     let dt = Servernet.Fabric.transfer_time s.fabric ~bytes:req_bytes + s.extra_latency in
+    note_hop s dt;
+    (match s.req_counter with Some c -> Stat.Counter.incr c | None -> ());
+    let env_span = match span with Some sp -> sp | None -> Span.null in
     Sim.at sim ~after:dt (fun () ->
         if not (Cpu.is_up s.cpu) then ignore (Ivar.try_fill reply (Error Server_down))
         else begin
           s.outstanding <- reply :: s.outstanding;
-          Mailbox.send s.inbox { payload; resp_bytes; reply }
+          Mailbox.send s.inbox { payload; resp_bytes; reply; env_span }
         end)
   end;
   reply
 
-let call s ~from ?req_bytes ?resp_bytes ?timeout payload =
-  let reply = call_async s ~from ?req_bytes ?resp_bytes payload in
+let call s ~from ?req_bytes ?resp_bytes ?timeout ?span payload =
+  let reply = call_async s ~from ?req_bytes ?resp_bytes ?span payload in
   let result =
     match timeout with
     | None -> Ivar.read reply
@@ -70,8 +88,11 @@ let call s ~from ?req_bytes ?resp_bytes ?timeout payload =
   forget s reply;
   result
 
+let caller_span s = s.last_span
+
 let next_request s =
   let env = Mailbox.recv s.inbox in
+  s.last_span <- env.env_span;
   let epoch = s.epoch in
   let respond resp =
     if s.epoch = epoch then begin
@@ -79,6 +100,7 @@ let next_request s =
       let dt =
         Servernet.Fabric.transfer_time s.fabric ~bytes:env.resp_bytes + s.extra_latency
       in
+      note_hop s dt;
       let sim = Cpu.sim s.cpu in
       Sim.at sim ~after:dt (fun () -> ignore (Ivar.try_fill env.reply (Ok resp)))
     end
@@ -89,12 +111,14 @@ let next_request_timeout s span =
   match Mailbox.recv_timeout s.inbox span with
   | None -> None
   | Some env ->
+      s.last_span <- env.env_span;
       let epoch = s.epoch in
       let respond resp =
         if s.epoch = epoch then begin
           let dt =
             Servernet.Fabric.transfer_time s.fabric ~bytes:env.resp_bytes + s.extra_latency
           in
+          note_hop s dt;
           let sim = Cpu.sim s.cpu in
           Sim.at sim ~after:dt (fun () -> ignore (Ivar.try_fill env.reply (Ok resp)))
         end

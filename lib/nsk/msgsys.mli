@@ -27,22 +27,37 @@ val server_name : ('req, 'resp) server -> string
 
 val server_cpu : ('req, 'resp) server -> Cpu.t
 
+val set_obs : ('req, 'resp) server -> Obs.t -> unit
+(** Register this port with an observability context: request/reply hop
+    latencies feed the shared [msg.hop_ns] stat and requests bump
+    [msg.requests]. *)
+
+val caller_span : ('req, 'resp) server -> Span.span
+(** The span carried by the most recently dequeued request (the null span
+    if the caller passed none).  Read it synchronously after
+    {!next_request} returns — before blocking or spawning — to parent
+    server-side spans under the client's. *)
+
 val call :
   ('req, 'resp) server ->
   from:Cpu.t ->
   ?req_bytes:int ->
   ?resp_bytes:int ->
   ?timeout:Time.span ->
+  ?span:Span.span ->
   'req ->
   ('resp, error) result
 (** Send a request and wait for the reply.  [req_bytes]/[resp_bytes]
-    (default 256) drive the latency model.  Process context only. *)
+    (default 256) drive the latency model.  [span] rides in the envelope
+    so the server can parent its work under the caller (see
+    {!caller_span}).  Process context only. *)
 
 val call_async :
   ('req, 'resp) server ->
   from:Cpu.t ->
   ?req_bytes:int ->
   ?resp_bytes:int ->
+  ?span:Span.span ->
   'req ->
   ('resp, error) result Ivar.t
 (** Fire a request without blocking; the ivar fills with the reply (or

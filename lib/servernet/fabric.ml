@@ -76,6 +76,8 @@ type t = {
   mutable st_bytes_read : int;
   mutable st_retries : int;
   mutable st_failures : int;
+  mutable obs : Obs.t option;
+  mutable xfer_stat : Stat.t option;
 }
 
 let create sim ?(config = default_config) () =
@@ -93,7 +95,35 @@ let create sim ?(config = default_config) () =
     st_bytes_read = 0;
     st_retries = 0;
     st_failures = 0;
+    obs = None;
+    xfer_stat = None;
   }
+
+let set_obs t obs =
+  t.obs <- Some obs;
+  let m = Obs.metrics obs in
+  t.xfer_stat <- Some (Metrics.stat m "fabric.xfer_ns");
+  Metrics.register_gauge m "fabric.rdma_writes" (fun () -> float_of_int t.st_writes);
+  Metrics.register_gauge m "fabric.rdma_reads" (fun () -> float_of_int t.st_reads);
+  Metrics.register_gauge m "fabric.bytes_written" (fun () ->
+      float_of_int t.st_bytes_written);
+  Metrics.register_gauge m "fabric.bytes_read" (fun () -> float_of_int t.st_bytes_read);
+  Metrics.register_gauge m "fabric.packet_retries" (fun () -> float_of_int t.st_retries);
+  Metrics.register_gauge m "fabric.failures" (fun () -> float_of_int t.st_failures)
+
+let start_span t ?parent name ~bytes =
+  match t.obs with
+  | None -> Span.null
+  | Some o ->
+      let sp = Span.start (Obs.spans o) ~track:"fabric" ?parent name in
+      Span.annotate sp ~key:"bytes" (string_of_int bytes);
+      sp
+
+let finish_op t sp ~t0 =
+  (match t.xfer_stat with
+  | Some st -> Stat.add_span st (Sim.now t.sim - t0)
+  | None -> ());
+  match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
 
 let config t = t.cfg
 
@@ -206,43 +236,63 @@ let resolve_target t dst =
   | None -> Error Unreachable
   | Some ep -> if ep.ep_alive then Ok ep else Error Unreachable
 
-let rdma_write t ~src ~dst ~addr ~data =
+let rdma_write ?span t ~src ~dst ~addr ~data =
   let len = Bytes.length data in
-  match resolve_target t dst with
-  | Error e -> fail t e
-  | Ok target -> (
-      if not src.ep_alive then fail t Unreachable
-      else
-        match transfer_with_failover t src target len ~attempts:t.cfg.rails with
-        | Error e -> fail t e
-        | Ok () -> (
-            (* Address validation happens in the target NIC on arrival. *)
-            match
-              Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Write ~addr ~len
-            with
-            | Error e -> fail t (Avt_error e)
-            | Ok phys ->
-                target.ep_store.write ~off:phys ~data;
-                t.st_writes <- t.st_writes + 1;
-                t.st_bytes_written <- t.st_bytes_written + len;
-                Ok ()))
+  let t0 = Sim.now t.sim in
+  let sp = start_span t ?parent:span "fabric.rdma_write" ~bytes:len in
+  let result =
+    match resolve_target t dst with
+    | Error e -> fail t e
+    | Ok target -> (
+        if not src.ep_alive then fail t Unreachable
+        else
+          match transfer_with_failover t src target len ~attempts:t.cfg.rails with
+          | Error e -> fail t e
+          | Ok () -> (
+              (* Address validation happens in the target NIC on arrival. *)
+              match
+                Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Write ~addr ~len
+              with
+              | Error e -> fail t (Avt_error e)
+              | Ok phys ->
+                  target.ep_store.write ~off:phys ~data;
+                  t.st_writes <- t.st_writes + 1;
+                  t.st_bytes_written <- t.st_bytes_written + len;
+                  Ok ()))
+  in
+  (match result with
+  | Ok () -> ()
+  | Error e -> Span.annotate sp ~key:"error" (error_to_string e));
+  finish_op t sp ~t0;
+  result
 
-let rdma_read t ~src ~dst ~addr ~len =
-  match resolve_target t dst with
-  | Error e -> fail t e
-  | Ok target -> (
-      if not src.ep_alive then fail t Unreachable
-      else
-        match Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Read ~addr ~len with
-        | Error e -> fail t (Avt_error e)
-        | Ok phys -> (
-            match transfer_with_failover t src target len ~attempts:t.cfg.rails with
-            | Error e -> fail t e
-            | Ok () ->
-                let data = target.ep_store.read ~off:phys ~len in
-                t.st_reads <- t.st_reads + 1;
-                t.st_bytes_read <- t.st_bytes_read + len;
-                Ok data))
+let rdma_read ?span t ~src ~dst ~addr ~len =
+  let t0 = Sim.now t.sim in
+  let sp = start_span t ?parent:span "fabric.rdma_read" ~bytes:len in
+  let result =
+    match resolve_target t dst with
+    | Error e -> fail t e
+    | Ok target -> (
+        if not src.ep_alive then fail t Unreachable
+        else
+          match
+            Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Read ~addr ~len
+          with
+          | Error e -> fail t (Avt_error e)
+          | Ok phys -> (
+              match transfer_with_failover t src target len ~attempts:t.cfg.rails with
+              | Error e -> fail t e
+              | Ok () ->
+                  let data = target.ep_store.read ~off:phys ~len in
+                  t.st_reads <- t.st_reads + 1;
+                  t.st_bytes_read <- t.st_bytes_read + len;
+                  Ok data))
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error e -> Span.annotate sp ~key:"error" (error_to_string e));
+  finish_op t sp ~t0;
+  result
 
 let stats t =
   {

@@ -54,6 +54,12 @@ type endpoint
 
 val create : Sim.t -> ?config:config -> unit -> t
 
+val set_obs : t -> Obs.t -> unit
+(** Observe the fabric: operation durations feed [fabric.xfer_ns], each
+    RDMA op gets a span on track ["fabric"] (parented under the caller's
+    [?span]), and the cumulative counters below double as gauges
+    ([fabric.rdma_writes], [fabric.bytes_written], ...). *)
+
 val config : t -> config
 
 val attach : t -> name:string -> store:store -> endpoint
@@ -85,9 +91,23 @@ val rail_is_up : t -> int -> bool
     Both calls block the calling process for the operation's duration and
     must run in process context. *)
 
-val rdma_write : t -> src:endpoint -> dst:int -> addr:int -> data:Bytes.t -> (unit, error) result
+val rdma_write :
+  ?span:Span.span ->
+  t ->
+  src:endpoint ->
+  dst:int ->
+  addr:int ->
+  data:Bytes.t ->
+  (unit, error) result
 
-val rdma_read : t -> src:endpoint -> dst:int -> addr:int -> len:int -> (Bytes.t, error) result
+val rdma_read :
+  ?span:Span.span ->
+  t ->
+  src:endpoint ->
+  dst:int ->
+  addr:int ->
+  len:int ->
+  (Bytes.t, error) result
 
 val transfer_time : t -> bytes:int -> Time.span
 (** Nominal duration of a transfer of [bytes], without queueing or

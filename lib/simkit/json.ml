@@ -1,0 +1,64 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_float b f =
+  (* JSON has no NaN or infinity literals. *)
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.12g" f)
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> add_float b f
+  | String s -> add_escaped b s
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          add b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          add_escaped b k;
+          Buffer.add_char b ':';
+          add b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  add b v;
+  Buffer.contents b
+
+let add_to_buffer = add

@@ -1,0 +1,20 @@
+(** Minimal JSON document builder.
+
+    Just enough to emit machine-readable benchmark artifacts (metrics
+    dumps, Chrome trace files, figure tables) without an external
+    dependency.  Non-finite floats serialize as [null], since JSON has no
+    NaN/infinity literals. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization. *)
+
+val add_to_buffer : Buffer.t -> t -> unit

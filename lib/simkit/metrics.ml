@@ -1,0 +1,121 @@
+type instrument =
+  | Stat of Stat.t
+  | Counter of Stat.Counter.t
+  | Histogram of Stat.Histogram.t
+  | Gauge of (unit -> float)
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Stat _ -> "stat"
+  | Counter _ -> "counter"
+  | Histogram _ -> "histogram"
+  | Gauge _ -> "gauge"
+
+let register t path instrument = Hashtbl.replace t.tbl path instrument
+
+let register_stat t path s = register t path (Stat s)
+let register_counter t path c = register t path (Counter c)
+let register_histogram t path h = register t path (Histogram h)
+let register_gauge t path fn = register t path (Gauge fn)
+
+let wrong_kind path found want =
+  invalid_arg
+    (Printf.sprintf "Metrics.%s: %s is already registered as a %s" want path
+       (kind_name found))
+
+let stat t path =
+  match Hashtbl.find_opt t.tbl path with
+  | Some (Stat s) -> s
+  | Some other -> wrong_kind path other "stat"
+  | None ->
+      let s = Stat.create ~name:path () in
+      register t path (Stat s);
+      s
+
+let counter t path =
+  match Hashtbl.find_opt t.tbl path with
+  | Some (Counter c) -> c
+  | Some other -> wrong_kind path other "counter"
+  | None ->
+      let c = Stat.Counter.create ~name:path () in
+      register t path (Counter c);
+      c
+
+let histogram t path =
+  match Hashtbl.find_opt t.tbl path with
+  | Some (Histogram h) -> h
+  | Some other -> wrong_kind path other "histogram"
+  | None ->
+      let h = Stat.Histogram.create () in
+      register t path (Histogram h);
+      h
+
+let find t path = Hashtbl.find_opt t.tbl path
+
+let stat_total t path =
+  match find t path with Some (Stat s) -> Stat.total s | _ -> 0.0
+
+let instruments t =
+  Hashtbl.fold (fun path i acc -> (path, i) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let paths t = List.map fst (instruments t)
+
+let pp_table ppf t =
+  Format.fprintf ppf "%-36s %-9s %12s %12s %12s %8s@." "instrument" "kind" "value"
+    "mean" "p99" "n";
+  List.iter
+    (fun (path, i) ->
+      match i with
+      | Stat s ->
+          let sm = Stat.summary s in
+          Format.fprintf ppf "%-36s %-9s %12.0f %12.1f %12.1f %8d@." path "stat" sm.Stat.max
+            sm.Stat.mean sm.Stat.p99 sm.Stat.n
+      | Counter c ->
+          Format.fprintf ppf "%-36s %-9s %12d %12s %12s %8s@." path "counter"
+            (Stat.Counter.get c) "-" "-" "-"
+      | Gauge fn ->
+          Format.fprintf ppf "%-36s %-9s %12.0f %12s %12s %8s@." path "gauge" (fn ()) "-" "-"
+            "-"
+      | Histogram h ->
+          let buckets = Stat.Histogram.buckets h in
+          let n = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+          Format.fprintf ppf "%-36s %-9s %12s %12s %12s %8d@." path "histogram" "-" "-" "-" n)
+    (instruments t)
+
+let to_json t =
+  let entry (path, i) =
+    let body =
+      match i with
+      | Stat s ->
+          let sm = Stat.summary s in
+          [
+            ("kind", Json.String "stat");
+            ("n", Json.Int sm.Stat.n);
+            ("total", Json.Float (Stat.total s));
+            ("mean", Json.Float sm.Stat.mean);
+            ("stdev", Json.Float sm.Stat.stdev);
+            ("min", Json.Float sm.Stat.min);
+            ("max", Json.Float sm.Stat.max);
+            ("p50", Json.Float sm.Stat.p50);
+            ("p90", Json.Float sm.Stat.p90);
+            ("p99", Json.Float sm.Stat.p99);
+          ]
+      | Counter c -> [ ("kind", Json.String "counter"); ("value", Json.Int (Stat.Counter.get c)) ]
+      | Gauge fn -> [ ("kind", Json.String "gauge"); ("value", Json.Float (fn ())) ]
+      | Histogram h ->
+          [
+            ("kind", Json.String "histogram");
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun (ub, c) -> Json.List [ Json.Int ub; Json.Int c ])
+                   (Stat.Histogram.buckets h)) );
+          ]
+    in
+    (path, Json.Obj body)
+  in
+  Json.to_string (Json.Obj (List.map entry (instruments t)))

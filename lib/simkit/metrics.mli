@@ -1,0 +1,51 @@
+(** Process-wide metrics registry.
+
+    Any subsystem can register or look up named instruments under a
+    hierarchical dotted path — e.g. [adp.flush_latency],
+    [fabric.rdma_writes], [disk.rotational_miss_ns] — and the whole
+    registry dumps as a text table or a JSON document.  The find-or-create
+    accessors ({!stat}, {!counter}, {!histogram}) return the {e same}
+    instrument for the same path, so independent components (say, four
+    ADPs) naturally share one aggregate instrument. *)
+
+type instrument =
+  | Stat of Stat.t
+  | Counter of Stat.Counter.t
+  | Histogram of Stat.Histogram.t
+  | Gauge of (unit -> float)
+      (** Sampled at dump time — register a closure over an existing
+          mutable counter instead of double-counting. *)
+
+type t
+
+val create : unit -> t
+
+val stat : t -> string -> Stat.t
+(** Find-or-create.  Raises [Invalid_argument] if the path is already
+    registered as a different kind. *)
+
+val counter : t -> string -> Stat.Counter.t
+val histogram : t -> string -> Stat.Histogram.t
+
+val register : t -> string -> instrument -> unit
+(** Register (or replace) an existing instrument under [path]. *)
+
+val register_stat : t -> string -> Stat.t -> unit
+val register_counter : t -> string -> Stat.Counter.t -> unit
+val register_histogram : t -> string -> Stat.Histogram.t -> unit
+val register_gauge : t -> string -> (unit -> float) -> unit
+
+val find : t -> string -> instrument option
+
+val stat_total : t -> string -> float
+(** Total of the stat at [path]; 0 if absent or not a stat. *)
+
+val instruments : t -> (string * instrument) list
+(** Sorted by path. *)
+
+val paths : t -> string list
+
+val pp_table : Format.formatter -> t -> unit
+(** One row per instrument; never raises, even on empty instruments. *)
+
+val to_json : t -> string

@@ -1,0 +1,13 @@
+type t = { obs_metrics : Metrics.t; obs_spans : Span.t }
+
+let create ?metrics ?spans () =
+  {
+    obs_metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    obs_spans = (match spans with Some s -> s | None -> Span.create ());
+  }
+
+let metrics t = t.obs_metrics
+
+let spans t = t.obs_spans
+
+let set_clock t clock = Span.set_clock t.obs_spans clock

@@ -1,0 +1,78 @@
+(** Hierarchical spans over simulated time.
+
+    A collector records [(track, name, start, end, args)] spans so that a
+    single logical operation — one transaction commit, say — can be
+    decomposed into the stages it spent its microseconds in, across every
+    subsystem it touched.  Collectors are disabled by default: {!start}
+    returns a shared null span and {!finish} is a no-op, so instrumented
+    hot paths cost one flag check when tracing is off.
+
+    Spans on the same track nest by time containment; spans caused by a
+    request from another track carry an explicit parent id, exported as a
+    flow arrow.  {!to_chrome_json} renders everything in the Chrome
+    trace-event format, loadable by [chrome://tracing] and Perfetto. *)
+
+type t
+(** A span collector. *)
+
+type span
+(** An open (or finished) span.  Cheap to pass around; a null span (from
+    a disabled collector) absorbs {!annotate} and {!finish} silently. *)
+
+type record = {
+  r_id : int;
+  r_parent : int option;
+  r_track : string;
+  r_name : string;
+  r_start : Time.t;
+  r_end : Time.t;
+  r_args : (string * string) list;
+}
+
+val create : ?clock:(unit -> Time.t) -> ?capacity:int -> unit -> t
+(** Disabled collector retaining at most [capacity] finished spans
+    (default 1M); later spans are counted in {!dropped}.  [clock] supplies
+    timestamps — typically [fun () -> Sim.now sim]. *)
+
+val set_clock : t -> (unit -> Time.t) -> unit
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val attach_trace : t -> Trace.t -> unit
+(** Mirror span begin/end into a {!Trace} ring buffer (tag ["span"]). *)
+
+val new_trace : t -> int
+(** Fresh trace (correlation) id, e.g. one per transaction. *)
+
+val start : t -> ?track:string -> ?parent:span -> string -> span
+(** Open a span named [name] on [track] (default ["main"]).  [parent]
+    links the span under another one, possibly on a different track. *)
+
+val annotate : span -> key:string -> string -> unit
+(** Attach a key:value pair; no-op once finished or on a null span. *)
+
+val finish : t -> span -> unit
+(** Close the span at the collector's current clock and record it.
+    Double-finish is a no-op. *)
+
+val with_span : t -> ?track:string -> ?parent:span -> string -> (span -> 'a) -> 'a
+(** Run the thunk inside a span, finishing it even on exceptions. *)
+
+val null : span
+(** The shared no-op span: useful as a default before any context is
+    known.  Annotating or finishing it does nothing. *)
+
+val id : span -> int
+val is_null : span -> bool
+
+val count : t -> int
+val dropped : t -> int
+val clear : t -> unit
+
+val records : t -> record list
+(** Finished spans, ordered by start time then id. *)
+
+val to_chrome_json : t -> string
+(** The whole collector as one Chrome trace-event JSON document. *)

@@ -71,10 +71,12 @@ let ensure_sorted (t : t) =
   end
 
 let percentile (t : t) p =
-  if t.n = 0 then invalid_arg "Stat.percentile: no samples";
+  if t.n = 0 then Float.nan
+  else begin
   ensure_sorted t;
   let rank = int_of_float (Float.round (p *. float_of_int (t.n - 1))) in
   t.samples.(rank)
+  end
 
 let stdev (t : t) = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
 

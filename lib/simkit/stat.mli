@@ -35,7 +35,8 @@ val total : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t 0.99] is the exact 99th percentile of the samples seen
-    so far (nearest-rank).  Raises [Invalid_argument] if no samples. *)
+    so far (nearest-rank).  Total: returns [nan] if no samples, so a
+    metrics dump over instruments that recorded nothing never aborts. *)
 
 val summary : t -> summary
 

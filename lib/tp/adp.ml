@@ -18,7 +18,12 @@ type config = { append_cpu : Time.span; flush_cpu : Time.span }
 
 let default_config = { append_cpu = Time.us 15; flush_cpu = Time.us 25 }
 
-type waiter = { w_through : Audit.asn; w_respond : response -> unit }
+type waiter = {
+  w_through : Audit.asn;
+  w_respond : response -> unit;
+  w_start : Time.t;
+  w_span : Span.span;
+}
 
 type state = {
   mutable next_asn : Audit.asn;
@@ -44,6 +49,8 @@ type t = {
   mutable epoch : int;  (** bumped per serve incarnation; stale flushers exit *)
   mutable appended : int;
   mutable flush_reqs : int;
+  mutable obs : Obs.t option;
+  mutable flush_stat : Stat.t option;
 }
 
 let ckpt_size records =
@@ -52,6 +59,19 @@ let ckpt_size records =
 let pair_exn t = match t.pair with Some p -> p | None -> invalid_arg "Adp: not started"
 
 let current_cpu t = Procpair.primary_cpu (pair_exn t)
+
+let now t = Sim.now (Cpu.sim (current_cpu t))
+
+let start_span t ?parent name =
+  match t.obs with
+  | Some o -> Span.start (Obs.spans o) ~track:t.adp_name ?parent name
+  | None -> Span.null
+
+let finish_span t sp =
+  match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
+
+let note_flush_wait t dt =
+  match t.flush_stat with Some st -> Stat.add_span st dt | None -> ()
 
 let state t =
   match t.live with
@@ -67,12 +87,22 @@ let state t =
 let satisfy_waiters t s =
   let ready, pending = List.partition (fun w -> w.w_through <= s.durable) t.waiters in
   t.waiters <- pending;
-  List.iter (fun w -> w.w_respond (Flushed { durable = s.durable })) ready
+  List.iter
+    (fun w ->
+      note_flush_wait t (now t - w.w_start);
+      finish_span t w.w_span;
+      w.w_respond (Flushed { durable = s.durable }))
+    ready
 
 let fail_waiters t msg =
   let ws = t.waiters in
   t.waiters <- [];
-  List.iter (fun w -> w.w_respond (A_failed msg)) ws
+  List.iter
+    (fun w ->
+      Span.annotate w.w_span ~key:"error" msg;
+      finish_span t w.w_span;
+      w.w_respond (A_failed msg))
+    ws
 
 (* Group commit: one backend write covers every record buffered at the
    moment it starts; commits that arrive during the write ride the next
@@ -89,21 +119,28 @@ let flusher t ~epoch ~wakeup () =
       let last = match s.buffer with (asn, _) :: _ -> asn | [] -> s.durable in
       s.buffer <- [];
       Cpu.execute (current_cpu t) t.cfg.flush_cpu;
-      match Log_backend.write_records t.backend batch with
+      let sp = start_span t "adp.flush" in
+      Span.annotate sp ~key:"batch" (string_of_int (List.length batch));
+      (match Log_backend.write_records ~parent:sp t.backend batch with
       | Ok () ->
           s.durable <- max s.durable last;
+          finish_span t sp;
           Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_durable s.durable);
           satisfy_waiters t s
       | Error e ->
           (* Put the batch back so a takeover can still flush it. *)
+          Span.annotate sp ~key:"error" e;
+          finish_span t sp;
           s.buffer <- List.rev_append batch s.buffer;
-          fail_waiters t e
+          fail_waiters t e)
     done
   done
 
 let handle t s req respond =
   match req with
   | Append records -> (
+      let sp = start_span t ~parent:(Msgsys.caller_span t.srv) "adp.append" in
+      Span.annotate sp ~key:"records" (string_of_int (List.length records));
       Cpu.execute (current_cpu t) (List.length records * t.cfg.append_cpu);
       let stamped =
         List.map
@@ -118,25 +155,38 @@ let handle t s req respond =
       if Log_backend.synchronous t.backend then
         (* PM path: durable as soon as the RDMA write completes; nothing
            to checkpoint but the counters. *)
-        match Log_backend.write_records t.backend stamped with
+        match Log_backend.write_records ~parent:sp t.backend stamped with
         | Ok () ->
             s.durable <- last_asn;
             Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_durable s.durable);
+            finish_span t sp;
             respond (Appended { last_asn })
-        | Error e -> respond (A_failed e)
+        | Error e ->
+            Span.annotate sp ~key:"error" e;
+            finish_span t sp;
+            respond (A_failed e)
       else begin
         (* Disk path: buffer now, flush later — but the buffered records
            must survive a takeover, so checkpoint them to the backup
            before acknowledging. *)
         s.buffer <- List.rev_append stamped s.buffer;
         Procpair.checkpoint (pair_exn t) ~bytes:(ckpt_size stamped) (Ck_appended stamped);
+        finish_span t sp;
         respond (Appended { last_asn })
       end)
   | Flush { through } ->
       t.flush_reqs <- t.flush_reqs + 1;
-      if through <= s.durable then respond (Flushed { durable = s.durable })
+      if through <= s.durable then begin
+        (* Already durable: a zero-wait flush, counted as such. *)
+        note_flush_wait t 0;
+        respond (Flushed { durable = s.durable })
+      end
       else begin
-        t.waiters <- { w_through = through; w_respond = respond } :: t.waiters;
+        let sp = start_span t ~parent:(Msgsys.caller_span t.srv) "adp.flush_wait" in
+        Span.annotate sp ~key:"through" (string_of_int through);
+        t.waiters <-
+          { w_through = through; w_respond = respond; w_start = now t; w_span = sp }
+          :: t.waiters;
         Mailbox.send t.wakeup ()
       end
   | Trim { through } ->
@@ -165,7 +215,7 @@ let apply_ckpt t = function
       t.shadow.buffer <- List.filter (fun (a, _) -> a > asn) t.shadow.buffer;
       t.shadow.next_asn <- max t.shadow.next_asn (asn + 1)
 
-let start ~fabric ~name ~primary ~backup ~backend ?(config = default_config) () =
+let start ~fabric ~name ~primary ~backup ~backend ?(config = default_config) ?obs () =
   let srv = Msgsys.create_server fabric ~cpu:primary ~name in
   let t =
     {
@@ -181,8 +231,14 @@ let start ~fabric ~name ~primary ~backup ~backend ?(config = default_config) () 
       epoch = 0;
       appended = 0;
       flush_reqs = 0;
+      obs;
+      flush_stat =
+        (match obs with
+        | Some o -> Some (Metrics.stat (Obs.metrics o) "adp.flush_latency")
+        | None -> None);
     }
   in
+  (match obs with Some o -> Msgsys.set_obs srv o | None -> ());
   let pair =
     Procpair.start ~fabric ~name ~primary ~backup
       ~apply:(fun ck -> apply_ckpt t ck)

@@ -44,8 +44,13 @@ val start :
   backup:Cpu.t ->
   backend:Log_backend.t ->
   ?config:config ->
+  ?obs:Obs.t ->
   unit ->
   t
+(** With [obs]: flush-request waits feed the shared [adp.flush_latency]
+    stat (zero for already-durable requests), appends and flushes get
+    spans on a track named after the ADP, parented under the caller's
+    span when the request carried one. *)
 
 val server : t -> server
 

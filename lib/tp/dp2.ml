@@ -75,6 +75,7 @@ type t = {
   rng : Rng.t;
   mutable insert_count : int;
   mutable cp_asn : Audit.asn;
+  mutable obs : Obs.t option;
 }
 
 let new_state () = { files = Hashtbl.create 8; undo = Hashtbl.create 64 }
@@ -90,6 +91,14 @@ let file_index s file =
 let pair_exn t = match t.pair with Some p -> p | None -> invalid_arg "Dp2: not started"
 
 let current_cpu t = Procpair.primary_cpu (pair_exn t)
+
+let start_span t ?parent name =
+  match t.obs with
+  | Some o -> Span.start (Obs.spans o) ~track:t.dp2_name ?parent name
+  | None -> Span.null
+
+let finish_span t sp =
+  match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
 
 let copy_state src =
   let dst = new_state () in
@@ -150,11 +159,26 @@ let emit_control_point t s =
   | Ok (Adp.Appended { last_asn }) -> t.cp_asn <- last_asn
   | Ok _ | Error _ -> ()
 
-let handle t s req respond =
+let handle ?(caller = Span.null) t s req respond =
   match req with
   | Insert { txn; file; key; len; crc; payload } -> (
+      let isp = start_span t ~parent:caller "dp2.insert" in
+      Span.annotate isp ~key:"txn" (string_of_int txn);
+      Span.annotate isp ~key:"key" (string_of_int key);
+      let respond r =
+        (match r with
+        | D_failed e -> Span.annotate isp ~key:"error" e
+        | _ -> ());
+        finish_span t isp;
+        respond r
+      in
       Cpu.execute (current_cpu t) t.cfg.insert_cpu;
-      match Lockmgr.acquire t.locks ~owner:txn ~key:(file, key) Lockmgr.Exclusive with
+      let lsp = start_span t ~parent:isp "dp2.lock" in
+      let lock_result =
+        Lockmgr.acquire t.locks ~owner:txn ~key:(file, key) Lockmgr.Exclusive
+      in
+      finish_span t lsp;
+      match lock_result with
       | Error Lockmgr.Lock_timeout -> respond (D_failed "lock timeout")
       | Ok () -> (
           let cell =
@@ -178,6 +202,7 @@ let handle t s req respond =
           match
             Rpc.call_retry t.adp ~from:(current_cpu t)
               ~req_bytes:(Audit.wire_size audit_record + 64)
+              ~span:isp
               (Adp.Append [ audit_record ])
           with
           | Ok (Adp.Appended { last_asn }) ->
@@ -187,7 +212,7 @@ let handle t s req respond =
               (* Lazy data-volume write, off the critical path. *)
               let block = Rng.int t.rng t.cfg.extent_blocks in
               let (_ : (unit, Diskio.Volume.error) result Ivar.t) =
-                Diskio.Volume.submit t.volume ~kind:`Write ~block ~len
+                Diskio.Volume.submit ~parent:isp t.volume ~kind:`Write ~block ~len
               in
               t.insert_count <- t.insert_count + 1;
               respond (Inserted { asn = last_asn; adp = t.adp_index });
@@ -229,6 +254,8 @@ let serve t () =
   let s = state t in
   while true do
     let req, respond = Msgsys.next_request t.srv in
+    (* Read synchronously: the next dequeue overwrites it. *)
+    let caller = Msgsys.caller_span t.srv in
     match req with
     | Insert _ | Read _ ->
         (* Inserts and transactional reads may block on a key lock; they
@@ -237,8 +264,8 @@ let serve t () =
            request is waiting for. *)
         ignore
           (Cpu.spawn (current_cpu t) ~name:(t.dp2_name ^ ":worker") (fun () ->
-               handle t s req respond))
-    | Lookup _ | Scan _ | Finish _ | Control_point -> handle t s req respond
+               handle ~caller t s req respond))
+    | Lookup _ | Scan _ | Finish _ | Control_point -> handle ~caller t s req respond
   done
 
 let apply_ckpt t = function
@@ -248,7 +275,7 @@ let apply_ckpt t = function
   | Ck_finish { txn; committed } -> finish_on t.shadow ~txn ~committed
 
 let start ~fabric ~name ~dp2_index ~adp_index ~primary ~backup ~volume ~adp ~locks
-    ?(config = default_config) () =
+    ?(config = default_config) ?obs () =
   let srv = Msgsys.create_server fabric ~cpu:primary ~name in
   let t =
     {
@@ -266,8 +293,10 @@ let start ~fabric ~name ~dp2_index ~adp_index ~primary ~backup ~volume ~adp ~loc
       rng = Rng.create (Int64.of_int (0x0D20000 + dp2_index));
       insert_count = 0;
       cp_asn = 0;
+      obs;
     }
   in
+  (match obs with Some o -> Msgsys.set_obs srv o | None -> ());
   let pair =
     Procpair.start ~fabric ~name ~primary ~backup
       ~apply:(fun ck -> apply_ckpt t ck)

@@ -70,10 +70,13 @@ val start :
   adp:Adp.server ->
   locks:Lockmgr.t ->
   ?config:config ->
+  ?obs:Obs.t ->
   unit ->
   t
 (** [adp_index] is reported in insert replies so clients can tell the
-    transaction monitor which trails to flush at commit. *)
+    transaction monitor which trails to flush at commit.  With [obs],
+    inserts get spans on a track named after the writer (lock
+    acquisition as a child span), parented under the caller's span. *)
 
 val server : t -> server
 

@@ -19,18 +19,33 @@ type t = {
   mutable blocked : int;
   mutable conflict_count : int;
   mutable timed_out : int;
+  wait_stat : Stat.t;
 }
 
-let create sim ?(timeout = Time.sec 5) () =
-  {
-    sim;
-    timeout;
-    table = Hashtbl.create 256;
-    by_owner = Hashtbl.create 64;
-    blocked = 0;
-    conflict_count = 0;
-    timed_out = 0;
-  }
+let create sim ?(timeout = Time.sec 5) ?obs () =
+  let t =
+    {
+      sim;
+      timeout;
+      table = Hashtbl.create 256;
+      by_owner = Hashtbl.create 64;
+      blocked = 0;
+      conflict_count = 0;
+      timed_out = 0;
+      wait_stat =
+        (match obs with
+        | Some o -> Metrics.stat (Obs.metrics o) "lock.wait_ns"
+        | None -> Stat.create ~name:"lock.wait_ns" ());
+    }
+  in
+  (match obs with
+  | Some o ->
+      let m = Obs.metrics o in
+      Metrics.register_gauge m "lock.conflicts" (fun () ->
+          float_of_int t.conflict_count);
+      Metrics.register_gauge m "lock.timeouts" (fun () -> float_of_int t.timed_out)
+  | None -> ());
+  t
 
 let entry t key =
   match Hashtbl.find_opt t.table key with
@@ -74,16 +89,24 @@ let grant t e ~owner ~key mode =
 
 let acquire t ~owner ~key mode =
   let e = entry t key in
-  let deadline = Sim.now t.sim + t.timeout in
-  if not (compatible e ~owner mode) then t.conflict_count <- t.conflict_count + 1;
+  let t0 = Sim.now t.sim in
+  let deadline = t0 + t.timeout in
+  let contended = not (compatible e ~owner mode) in
+  if contended then t.conflict_count <- t.conflict_count + 1;
+  let record r =
+    (* Only contended acquires contribute to the wait stat, so the mean
+       reflects time actually spent blocked, not the fast-path volume. *)
+    if contended then Stat.add_span t.wait_stat (Sim.now t.sim - t0);
+    r
+  in
   let rec attempt () =
     if compatible e ~owner mode then begin
       grant t e ~owner ~key mode;
-      Ok ()
+      record (Ok ())
     end
     else if Sim.now t.sim >= deadline then begin
       t.timed_out <- t.timed_out + 1;
-      Error Lock_timeout
+      record (Error Lock_timeout)
     end
     else begin
       t.blocked <- t.blocked + 1;

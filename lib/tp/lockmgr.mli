@@ -16,8 +16,10 @@ type error = Lock_timeout
 
 type t
 
-val create : Sim.t -> ?timeout:Time.span -> unit -> t
-(** [timeout] defaults to 5 simulated seconds. *)
+val create : Sim.t -> ?timeout:Time.span -> ?obs:Obs.t -> unit -> t
+(** [timeout] defaults to 5 simulated seconds.  With [obs], contended
+    acquires feed the shared [lock.wait_ns] stat and conflict/timeout
+    totals are exported as gauges. *)
 
 val acquire : t -> owner:Audit.txn_id -> key:key -> mode -> (unit, error) result
 (** Block until granted (re-entrant; a Shared holder may upgrade to

@@ -21,11 +21,31 @@ type kind =
     }
   | Pm of pm_state
 
-type t = { kind : kind; mutable bytes : int; mutable ops : int }
+type t = {
+  kind : kind;
+  mutable bytes : int;
+  mutable ops : int;
+  obs : Simkit.Obs.t option;
+  write_stat : Simkit.Stat.t option;
+  now : unit -> Simkit.Time.t;
+}
 
-let disk ?mirror vol = { kind = Disk { vol; mirror; shadow = [] }; bytes = 0; ops = 0 }
+let stat_of obs =
+  match obs with
+  | Some o -> Some (Simkit.Metrics.stat (Simkit.Obs.metrics o) "log.write_ns")
+  | None -> None
 
-let pm client handle =
+let disk ?mirror ?obs vol =
+  {
+    kind = Disk { vol; mirror; shadow = [] };
+    bytes = 0;
+    ops = 0;
+    obs;
+    write_stat = stat_of obs;
+    now = (fun () -> Simkit.Sim.now (Diskio.Volume.sim vol));
+  }
+
+let pm ?obs client handle =
   let info = Pm_client.info handle in
   let length = info.Pm_types.length in
   if length < 4096 then invalid_arg "Log_backend.pm: region too small";
@@ -34,6 +54,9 @@ let pm client handle =
       Pm { client; handle; data_start = header_size; data_limit = length; write_off = header_size; wrapped = false };
     bytes = 0;
     ops = 0;
+    obs;
+    write_stat = stat_of obs;
+    now = (fun () -> Simkit.Sim.now (Nsk.Cpu.sim (Pm_client.cpu client)));
   }
 
 let synchronous t = match t.kind with Disk _ -> false | Pm _ -> true
@@ -54,63 +77,81 @@ let pm_header p =
   Codec.Enc.u8 enc (if p.wrapped then 1 else 0);
   Codec.Enc.to_bytes enc
 
-let write_records t records =
-  match t.kind with
-  | Disk d ->
-      let len =
-        List.fold_left (fun acc (_, r) -> acc + framed_size r) 0 records
-      in
-      t.bytes <- t.bytes + len;
-      t.ops <- t.ops + 1;
-      let append_mirrored () =
-        match Diskio.Volume.append d.vol ~len with
-        | Error Diskio.Volume.Volume_down -> Error "audit volume down"
-        | Ok () -> (
-            (* Serial write-both: the mirror starts only after the
-               primary completes, so no torn record can exist on both. *)
-            match d.mirror with
-            | None -> Ok ()
-            | Some m -> (
-                match Diskio.Volume.append m ~len with
-                | Ok () -> Ok ()
-                | Error Diskio.Volume.Volume_down ->
-                    (* Degraded but durable on the survivor. *)
-                    Ok ()))
-      in
-      (match append_mirrored () with
-      | Ok () ->
-          d.shadow <- List.rev_append records d.shadow;
-          Ok ()
-      | Error e -> Error e)
-  | Pm p ->
-      let write_one (asn, record) =
-        let data = encode_framed asn record in
-        let len = Bytes.length data in
-        if p.write_off + len > p.data_limit then begin
-          (* Ring wrap: restart at the front of the data area.  A real
-             trail would have archived the tail long before. *)
-          p.write_off <- p.data_start;
-          p.wrapped <- true
-        end;
-        match Pm_client.write p.client p.handle ~off:p.write_off ~data with
+let write_records ?parent t records =
+  let t0 = t.now () in
+  let sp =
+    match t.obs with
+    | None -> Simkit.Span.null
+    | Some o ->
+        let sp = Simkit.Span.start (Simkit.Obs.spans o) ~track:"log" ?parent "log.write" in
+        Simkit.Span.annotate sp ~key:"records" (string_of_int (List.length records));
+        Simkit.Span.annotate sp ~key:"backend"
+          (match t.kind with Disk _ -> "disk" | Pm _ -> "pm");
+        sp
+  in
+  let result =
+    match t.kind with
+    | Disk d ->
+        let len =
+          List.fold_left (fun acc (_, r) -> acc + framed_size r) 0 records
+        in
+        t.bytes <- t.bytes + len;
+        t.ops <- t.ops + 1;
+        let append_mirrored () =
+          match Diskio.Volume.append ~parent:sp d.vol ~len with
+          | Error Diskio.Volume.Volume_down -> Error "audit volume down"
+          | Ok () -> (
+              (* Serial write-both: the mirror starts only after the
+                 primary completes, so no torn record can exist on both. *)
+              match d.mirror with
+              | None -> Ok ()
+              | Some m -> (
+                  match Diskio.Volume.append ~parent:sp m ~len with
+                  | Ok () -> Ok ()
+                  | Error Diskio.Volume.Volume_down ->
+                      (* Degraded but durable on the survivor. *)
+                      Ok ()))
+        in
+        (match append_mirrored () with
         | Ok () ->
-            p.write_off <- p.write_off + len;
-            t.bytes <- t.bytes + len;
+            d.shadow <- List.rev_append records d.shadow;
             Ok ()
-        | Error e -> Error (Pm_types.error_to_string e)
-      in
-      let rec write_all = function
-        | [] -> Ok ()
-        | r :: rest -> ( match write_one r with Ok () -> write_all rest | Error e -> Error e)
-      in
-      (match write_all records with
-      | Error e -> Error e
-      | Ok () -> (
-          t.ops <- t.ops + 1;
-          (* Persist the ring header so recovery knows the write frontier. *)
-          match Pm_client.write p.client p.handle ~off:0 ~data:(pm_header p) with
-          | Ok () -> Ok ()
-          | Error e -> Error (Pm_types.error_to_string e)))
+        | Error e -> Error e)
+    | Pm p ->
+        let write_one (asn, record) =
+          let data = encode_framed asn record in
+          let len = Bytes.length data in
+          if p.write_off + len > p.data_limit then begin
+            (* Ring wrap: restart at the front of the data area.  A real
+               trail would have archived the tail long before. *)
+            p.write_off <- p.data_start;
+            p.wrapped <- true
+          end;
+          match Pm_client.write ~span:sp p.client p.handle ~off:p.write_off ~data with
+          | Ok () ->
+              p.write_off <- p.write_off + len;
+              t.bytes <- t.bytes + len;
+              Ok ()
+          | Error e -> Error (Pm_types.error_to_string e)
+        in
+        let rec write_all = function
+          | [] -> Ok ()
+          | r :: rest -> ( match write_one r with Ok () -> write_all rest | Error e -> Error e)
+        in
+        (match write_all records with
+        | Error e -> Error e
+        | Ok () -> (
+            t.ops <- t.ops + 1;
+            (* Persist the ring header so recovery knows the write frontier. *)
+            match Pm_client.write ~span:sp p.client p.handle ~off:0 ~data:(pm_header p) with
+            | Ok () -> Ok ()
+            | Error e -> Error (Pm_types.error_to_string e)))
+  in
+  (match t.write_stat with
+  | Some st -> Simkit.Stat.add_span st (t.now () - t0)
+  | None -> ());
+  (match t.obs with Some o -> Simkit.Span.finish (Simkit.Obs.spans o) sp | None -> ());
+  result
 
 let trim t ~through =
   match t.kind with

@@ -16,12 +16,14 @@ open Pm
 
 type t
 
-val disk : ?mirror:Diskio.Volume.t -> Diskio.Volume.t -> t
+val disk : ?mirror:Diskio.Volume.t -> ?obs:Simkit.Obs.t -> Diskio.Volume.t -> t
 (** With [mirror], every flush writes the primary volume and then the
     mirror {e serially} — the torn-write-safe discipline for logs: one
-    complete copy exists at every instant. *)
+    complete copy exists at every instant.  With [obs], every
+    {!write_records} feeds the shared [log.write_ns] stat and gets a span
+    on track ["log"]. *)
 
-val pm : Pm_client.t -> Pm_client.handle -> t
+val pm : ?obs:Simkit.Obs.t -> Pm_client.t -> Pm_client.handle -> t
 (** The handle's region holds the ring; it must be at least 4 KiB. *)
 
 val synchronous : t -> bool
@@ -29,10 +31,11 @@ val synchronous : t -> bool
     its durable ASN without a separate flush step, and need not
     checkpoint buffered records to its backup. *)
 
-val write_records : t -> (Audit.asn * Audit.record) list -> (unit, string) result
+val write_records :
+  ?parent:Simkit.Span.span -> t -> (Audit.asn * Audit.record) list -> (unit, string) result
 (** Make these records durable.  Blocks the calling process for the
     device time: one sequential volume append (disk) or data+header RDMA
-    writes (PM). *)
+    writes (PM).  [parent] links the write's span under the caller's. *)
 
 val bytes_written : t -> int
 

@@ -2,9 +2,9 @@ open Simkit
 open Nsk
 
 let call_retry server ~from ?req_bytes ?(attempts = 6) ?(timeout = Time.sec 1)
-    ?(backoff = Time.ms 200) req =
+    ?(backoff = Time.ms 200) ?span req =
   let rec go n =
-    match Msgsys.call server ~from ?req_bytes ~timeout req with
+    match Msgsys.call server ~from ?req_bytes ~timeout ?span req with
     | Ok resp -> Ok resp
     | Error e -> if n <= 1 then Error e else (Sim.sleep backoff; go (n - 1))
   in

@@ -13,7 +13,9 @@ val call_retry :
   ?attempts:int ->
   ?timeout:Time.span ->
   ?backoff:Time.span ->
+  ?span:Span.span ->
   'req ->
   ('resp, Msgsys.error) result
 (** Defaults: 6 attempts, 1 s per-call timeout, 200 ms backoff —
-    comfortably covering a sub-second takeover. *)
+    comfortably covering a sub-second takeover.  [span] rides in each
+    attempt's envelope (see {!Msgsys.call}). *)

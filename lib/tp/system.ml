@@ -66,10 +66,11 @@ type t = {
   sys_audit_vols : Diskio.Volume.t array;
   sys_pm : pm_parts option;
   sys_routing : Txclient.routing;
+  sys_obs : Obs.t option;
 }
 
 (* One client library attachment per CPU that needs PM access. *)
-let make_pm_client cfg node fabric pmm ~cpu =
+let make_pm_client ?obs cfg node fabric pmm ~cpu =
   let client_cfg =
     {
       Pm.Pm_client.default_config with
@@ -78,7 +79,7 @@ let make_pm_client cfg node fabric pmm ~cpu =
     }
   in
   ignore node;
-  Pm.Pm_client.attach ~cpu ~fabric ~pmm:(Pm.Pmm.server pmm) ~config:client_cfg ()
+  Pm.Pm_client.attach ~cpu ~fabric ~pmm:(Pm.Pmm.server pmm) ~config:client_cfg ?obs ()
 
 (* PM regions must exist before the ADPs that log into them; region
    creation needs process context, so builders run inside a setup
@@ -109,21 +110,29 @@ let build_pm cfg sim node =
   in
   (pmm, devices)
 
-let build sim cfg =
+let build ?obs sim cfg =
   if cfg.worker_cpus < 2 then invalid_arg "System.build: need at least two worker CPUs";
+  (* Spans timestamp against this simulation from here on. *)
+  (match obs with Some o -> Obs.set_clock o (fun () -> Sim.now sim) | None -> ());
   let extra_cpus = match cfg.pm_device_kind with Prototype_pmp -> 2 | Hardware_npmu -> 0 in
   let node =
     Node.create sim ~fabric_config:cfg.fabric ~cpus:(cfg.worker_cpus + extra_cpus) ()
   in
   let fabric = Node.fabric node in
+  (match obs with Some o -> Servernet.Fabric.set_obs fabric o | None -> ());
+  let observe_vol v =
+    (match obs with Some o -> Diskio.Volume.set_obs v o | None -> ());
+    v
+  in
   let n_dp2 = cfg.files * cfg.partitions_per_file in
   (* Data volumes: battery-backed write caches and elevator scheduling,
      as the disk processes of the era ran them. *)
   let data_vols =
     Array.init n_dp2 (fun v ->
-        Node.add_volume node
-          ~name:(Printf.sprintf "$DATA%02d" v)
-          ~cache:Diskio.Disk.default_cache ~scheduling:Diskio.Volume.Elevator ())
+        observe_vol
+          (Node.add_volume node
+             ~name:(Printf.sprintf "$DATA%02d" v)
+             ~cache:Diskio.Disk.default_cache ~scheduling:Diskio.Volume.Elevator ()))
   in
   (* Audit volumes: the flush must reach the spindle — no cache.  These
      are 15 kRPM log disks (2004 enterprise class), faster than the data
@@ -141,23 +150,32 @@ let build sim cfg =
     | Pm_audit -> [||]
     | Disk_audit ->
         Array.init (cfg.adps_per_node + 1) (fun i ->
-            Node.add_volume node ~name:(Printf.sprintf "$AUDIT%d" i) ~geometry:audit_geometry ())
+            observe_vol
+              (Node.add_volume node
+                 ~name:(Printf.sprintf "$AUDIT%d" i)
+                 ~geometry:audit_geometry ()))
   in
   let audit_mirrors =
     match cfg.log_mode with
     | Pm_audit -> [||]
     | Disk_audit ->
         Array.init (cfg.adps_per_node + 1) (fun i ->
-            Node.add_volume node ~name:(Printf.sprintf "$AUDIT%dM" i) ~geometry:audit_geometry ())
+            observe_vol
+              (Node.add_volume node
+                 ~name:(Printf.sprintf "$AUDIT%dM" i)
+                 ~geometry:audit_geometry ()))
   in
   let worker i = Node.cpu node (i mod cfg.worker_cpus) in
   let backup_of i = Node.cpu node ((i + 1) mod cfg.worker_cpus) in
   let pm_parts, backend_of =
     match cfg.log_mode with
     | Disk_audit ->
-        (None, fun i -> Log_backend.disk ~mirror:audit_mirrors.(i) audit_vols.(i))
+        (None, fun i -> Log_backend.disk ~mirror:audit_mirrors.(i) ?obs audit_vols.(i))
     | Pm_audit ->
         let pmm, devices = build_pm cfg sim node in
+        (match obs with
+        | Some o -> List.iter (fun d -> Pm.Npmu.instrument d (Obs.metrics o)) devices
+        | None -> ());
         (* Trail regions, one per data ADP plus the MAT, plus the
            transaction-state table. *)
         let clients = Hashtbl.create 8 in
@@ -165,7 +183,7 @@ let build sim cfg =
           match Hashtbl.find_opt clients cpu_idx with
           | Some c -> c
           | None ->
-              let c = make_pm_client cfg node fabric pmm ~cpu:(worker cpu_idx) in
+              let c = make_pm_client ?obs cfg node fabric pmm ~cpu:(worker cpu_idx) in
               Hashtbl.replace clients cpu_idx c;
               c
         in
@@ -176,7 +194,7 @@ let build sim cfg =
               ~name:(Printf.sprintf "audit-trail-%d" i)
               ~size:cfg.pm_region_bytes
           with
-          | Ok handle -> Log_backend.pm client handle
+          | Ok handle -> Log_backend.pm ?obs client handle
           | Error e ->
               invalid_arg ("System.build: PM trail region: " ^ Pm.Pm_types.error_to_string e)
         in
@@ -198,13 +216,14 @@ let build sim cfg =
     Array.init cfg.adps_per_node (fun i ->
         Adp.start ~fabric
           ~name:(Printf.sprintf "$ADP%d" i)
-          ~primary:(worker i) ~backup:(backup_of i) ~backend:(backend_of i) ~config:cfg.adp ())
+          ~primary:(worker i) ~backup:(backup_of i) ~backend:(backend_of i) ~config:cfg.adp
+          ?obs ())
   in
   let mat =
     Adp.start ~fabric ~name:"$MAT" ~primary:(worker 0) ~backup:(backup_of 0)
-      ~backend:(backend_of cfg.adps_per_node) ~config:cfg.adp ()
+      ~backend:(backend_of cfg.adps_per_node) ~config:cfg.adp ?obs ()
   in
-  let locks = Lockmgr.create sim ~timeout:cfg.dp2.Dp2.lock_timeout () in
+  let locks = Lockmgr.create sim ~timeout:cfg.dp2.Dp2.lock_timeout ?obs () in
   let adp_servers = Array.map Adp.server adps in
   let dp2s =
     Array.init n_dp2 (fun v ->
@@ -213,13 +232,14 @@ let build sim cfg =
         Dp2.start ~fabric
           ~name:(Printf.sprintf "$DP2-%02d" v)
           ~dp2_index:v ~adp_index ~primary:(worker cpu_idx) ~backup:(backup_of cpu_idx)
-          ~volume:data_vols.(v) ~adp:adp_servers.(adp_index) ~locks ~config:cfg.dp2 ())
+          ~volume:data_vols.(v) ~adp:adp_servers.(adp_index) ~locks ~config:cfg.dp2 ?obs ())
   in
   let dp2_servers = Array.map Dp2.server dp2s in
   let txn_state = match pm_parts with Some p -> p.txn_state | None -> None in
   let tmf =
     Tmf.start ~fabric ~name:"$TMF" ~primary:(Node.cpu node 0) ~backup:(Node.cpu node 1)
-      ~adps:adp_servers ~dp2s:dp2_servers ~mat:(Adp.server mat) ?txn_state ~config:cfg.tmf ()
+      ~adps:adp_servers ~dp2s:dp2_servers ~mat:(Adp.server mat) ?txn_state ~config:cfg.tmf
+      ?obs ()
   in
   {
     sys_sim = sim;
@@ -236,6 +256,7 @@ let build sim cfg =
     sys_pm = pm_parts;
     sys_routing =
       Txclient.uniform_routing ~files:cfg.files ~partitions_per_file:cfg.partitions_per_file;
+    sys_obs = obs;
   }
 
 let sim t = t.sys_sim
@@ -266,9 +287,11 @@ let npmus t = match t.sys_pm with Some p -> p.devices | None -> []
 
 let txn_state_region t = match t.sys_pm with Some p -> p.txn_state | None -> None
 
+let obs t = t.sys_obs
+
 let session t ~cpu =
   Txclient.create ~cpu:(Node.cpu t.sys_node cpu) ~tmf:(Tmf.server t.sys_tmf)
-    ~dp2s:t.sys_dp2_servers ~routing:t.sys_routing ()
+    ~dp2s:t.sys_dp2_servers ~routing:t.sys_routing ?obs:t.sys_obs ()
 
 let routing t = t.sys_routing
 

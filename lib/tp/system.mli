@@ -45,8 +45,12 @@ val pm_config : config
 
 type t
 
-val build : Sim.t -> config -> t
-(** Construct and start every component.  In PM mode this creates the
+val build : ?obs:Obs.t -> Sim.t -> config -> t
+(** Construct and start every component.  With [obs], every subsystem —
+    message system, lock manager, volumes, fabric, PM clients and
+    devices, log backends, ADPs, TMF, DP2s, and sessions created through
+    {!session} — reports into that context's metrics registry and span
+    collector, and the span clock is bound to [sim].  In PM mode this creates the
     trail regions through the PMM, which takes messages and simulated
     time: call it from inside a spawned process (the usual pattern is one
     setup-and-drive process that builds the system and then runs the
@@ -83,8 +87,12 @@ val npmus : t -> Pm.Npmu.t list
 
 val txn_state_region : t -> (Pm.Pm_client.t * Pm.Pm_client.handle) option
 
+val obs : t -> Obs.t option
+(** The context passed to {!build}, if any. *)
+
 val session : t -> cpu:int -> Txclient.t
-(** A transaction session for an application on worker CPU [cpu]. *)
+(** A transaction session for an application on worker CPU [cpu].
+    Inherits the system's observability context. *)
 
 val routing : t -> Txclient.routing
 

@@ -59,11 +59,26 @@ type t = {
   mutable n_committed : int;
   mutable n_aborted : int;
   latency : Stat.t;
+  obs : Obs.t option;
+  flush_wait_stat : Stat.t option;
+  mat_write_stat : Stat.t option;
 }
 
 let pair_exn t = match t.pair with Some p -> p | None -> invalid_arg "Tmf: not started"
 
 let current_cpu t = Procpair.primary_cpu (pair_exn t)
+
+let now t = Sim.now (Cpu.sim (current_cpu t))
+
+let start_span t ?parent name =
+  match t.obs with
+  | Some o -> Span.start (Obs.spans o) ~track:"tmf" ?parent name
+  | None -> Span.null
+
+let finish_span t sp =
+  match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
+
+let note stat dt = match stat with Some st -> Stat.add_span st dt | None -> ()
 
 let state t =
   match t.live with
@@ -81,7 +96,7 @@ let state t =
 
 (* Fine-grained txn-state table in PM: one small synchronous write per
    state change.  Status codes: 1 active, 2 committed, 3 aborted. *)
-let record_state t txn status =
+let record_state ?span t txn status =
   match t.txn_state with
   | None -> ()
   | Some (client, handle) ->
@@ -93,14 +108,15 @@ let record_state t txn status =
       Bytes.blit src 0 entry 0 (Bytes.length src);
       let slots = (Pm.Pm_client.info handle).Pm.Pm_types.length / t.cfg.state_entry_bytes in
       let off = txn mod slots * t.cfg.state_entry_bytes in
-      ignore (Pm.Pm_client.write client handle ~off ~data:entry)
+      ignore (Pm.Pm_client.write ?span client handle ~off ~data:entry)
 
-let flush_trails t flushes =
+let flush_trails ?span t flushes =
   let calls =
     List.map
       (fun (adp_idx, asn) ->
         (adp_idx, asn,
-         Msgsys.call_async t.adps.(adp_idx) ~from:(current_cpu t) (Adp.Flush { through = asn })))
+         Msgsys.call_async t.adps.(adp_idx) ~from:(current_cpu t) ?span
+           (Adp.Flush { through = asn })))
       flushes
   in
   (* Await the parallel flushes; a trail whose ADP died mid-flush is
@@ -113,7 +129,8 @@ let flush_trails t flushes =
     | Ok (), Ok (Adp.Appended _ | Adp.Trimmed _) -> Error "unexpected reply"
     | Ok (), Error _ -> (
         match
-          Rpc.call_retry t.adps.(adp_idx) ~from:(current_cpu t) (Adp.Flush { through = asn })
+          Rpc.call_retry t.adps.(adp_idx) ~from:(current_cpu t) ?span
+            (Adp.Flush { through = asn })
         with
         | Ok (Adp.Flushed _) -> Ok ()
         | Ok (Adp.A_failed e) -> Error e
@@ -123,14 +140,17 @@ let flush_trails t flushes =
   List.fold_left check (Ok ()) calls
 
 (* Make a record durable in the master audit trail. *)
-let write_mat_record t record =
+let write_mat_record ?span t record =
   match
     Rpc.call_retry t.mat ~from:(current_cpu t)
       ~req_bytes:(Audit.wire_size record + 64)
+      ?span
       (Adp.Append [ record ])
   with
   | Ok (Adp.Appended { last_asn }) -> (
-      match Rpc.call_retry t.mat ~from:(current_cpu t) (Adp.Flush { through = last_asn }) with
+      match
+        Rpc.call_retry t.mat ~from:(current_cpu t) ?span (Adp.Flush { through = last_asn })
+      with
       | Ok (Adp.Flushed _) -> Ok ()
       | Ok (Adp.A_failed e) -> Error e
       | Ok _ -> Error "unexpected MAT reply"
@@ -139,7 +159,7 @@ let write_mat_record t record =
   | Ok _ -> Error "unexpected MAT reply"
   | Error e -> Error (Format.asprintf "MAT: %a" Msgsys.pp_error e)
 
-let write_commit_record t txn = write_mat_record t (Audit.Commit { txn })
+let write_commit_record ?span t txn = write_mat_record ?span t (Audit.Commit { txn })
 
 let handle t s req respond =
   match req with
@@ -153,29 +173,51 @@ let handle t s req respond =
       Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_begin txn);
       respond (Began { txn })
   | Commit_txn { txn; flushes; involved } ->
+      (* The caller's span must be read before yielding to the next
+         request; the worker closure captures it. *)
+      let caller = Msgsys.caller_span t.srv in
       (* Commits overlap: each runs in its own worker so one
          transaction's flush wait never delays another's (the monitor is
          multithreaded; the trails group-commit concurrent flushes). *)
       let commit_work () =
         let started = Sim.now (Cpu.sim (current_cpu t)) in
+        let csp = start_span t ~parent:caller "tmf.commit" in
+        Span.annotate csp ~key:"txn" (string_of_int txn);
+        let finish_failed msg =
+          Span.annotate csp ~key:"error" msg;
+          finish_span t csp;
+          respond (T_failed msg)
+        in
         Cpu.execute (current_cpu t) t.cfg.commit_cpu;
-        if not (Hashtbl.mem s.active txn) then respond (T_failed "unknown transaction")
-        else
-          match flush_trails t flushes with
-          | Error e -> respond (T_failed ("flush: " ^ e))
+        if not (Hashtbl.mem s.active txn) then finish_failed "unknown transaction"
+        else begin
+          let fsp = start_span t ~parent:csp "tmf.flush_trails" in
+          let f0 = now t in
+          let flush_result = flush_trails ~span:fsp t flushes in
+          note t.flush_wait_stat (now t - f0);
+          finish_span t fsp;
+          match flush_result with
+          | Error e -> finish_failed ("flush: " ^ e)
           | Ok () -> (
-              match write_commit_record t txn with
-              | Error e -> respond (T_failed ("commit record: " ^ e))
+              let msp = start_span t ~parent:csp "tmf.commit_record" in
+              let m0 = now t in
+              let mat_result = write_commit_record ~span:msp t txn in
+              note t.mat_write_stat (now t - m0);
+              finish_span t msp;
+              match mat_result with
+              | Error e -> finish_failed ("commit record: " ^ e)
               | Ok () ->
                   Hashtbl.remove s.active txn;
                   t.n_committed <- t.n_committed + 1;
-                  record_state t txn 2;
+                  record_state ~span:csp t txn 2;
                   Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, true));
                   Stat.add_span t.latency (Sim.now (Cpu.sim (current_cpu t)) - started);
+                  finish_span t csp;
                   respond Committed;
                   (* Lock release happens behind the reply. *)
                   Mailbox.send t.finish_queue
                     { fj_txn = txn; fj_committed = true; fj_involved = involved })
+        end
       in
       ignore (Cpu.spawn (current_cpu t) ~name:(t.tmf_name ^ ":commit") commit_work)
   | Abort_txn { txn; involved } ->
@@ -198,15 +240,22 @@ let handle t s req respond =
         Mailbox.send t.finish_queue { fj_txn = txn; fj_committed = false; fj_involved = involved }
       end
   | Prepare_txn { txn; flushes; involved } ->
+      let caller = Msgsys.caller_span t.srv in
       (* Phase 1 runs in its own worker like a commit. *)
       let prepare_work () =
+        let psp = start_span t ~parent:caller "tmf.prepare" in
+        let finish r =
+          finish_span t psp;
+          respond r
+        in
+        let respond = finish in
         Cpu.execute (current_cpu t) t.cfg.commit_cpu;
         if not (Hashtbl.mem s.active txn) then respond (T_failed "unknown transaction")
         else
-          match flush_trails t flushes with
+          match flush_trails ~span:psp t flushes with
           | Error e -> respond (T_failed ("flush: " ^ e))
           | Ok () -> (
-              match write_mat_record t (Audit.Prepared { txn }) with
+              match write_mat_record ~span:psp t (Audit.Prepared { txn }) with
               | Error e -> respond (T_failed ("prepared record: " ^ e))
               | Ok () ->
                   Hashtbl.remove s.active txn;
@@ -270,7 +319,7 @@ let apply_ckpt t = function
       Hashtbl.replace t.shadow.prepared txn involved
 
 let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state
-    ?(config = default_config) () =
+    ?(config = default_config) ?obs () =
   let srv = Msgsys.create_server fabric ~cpu:primary ~name in
   let t =
     {
@@ -288,9 +337,22 @@ let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state
       n_begun = 0;
       n_committed = 0;
       n_aborted = 0;
-      latency = Stat.create ~name:(name ^ ":commit") ();
+      latency =
+        (match obs with
+        | Some o -> Metrics.stat (Obs.metrics o) "tmf.commit_ns"
+        | None -> Stat.create ~name:(name ^ ":commit") ());
+      obs;
+      flush_wait_stat =
+        (match obs with
+        | Some o -> Some (Metrics.stat (Obs.metrics o) "tmf.flush_wait_ns")
+        | None -> None);
+      mat_write_stat =
+        (match obs with
+        | Some o -> Some (Metrics.stat (Obs.metrics o) "tmf.mat_write_ns")
+        | None -> None);
     }
   in
+  (match obs with Some o -> Msgsys.set_obs srv o | None -> ());
   let spawn_helpers cpu =
     ignore (Cpu.spawn cpu ~name:(name ^ ":finisher") (fun () -> finisher t ()))
   in

@@ -67,8 +67,14 @@ val start :
   mat:Adp.server ->
   ?txn_state:Pm.Pm_client.t * Pm.Pm_client.handle ->
   ?config:config ->
+  ?obs:Obs.t ->
   unit ->
   t
+(** With [obs]: commit latency feeds the registry's [tmf.commit_ns]
+    stat, the two commit-path stages feed [tmf.flush_wait_ns] (parallel
+    trail flushes, measured once per commit) and [tmf.mat_write_ns]
+    (commit record to the MAT), and each commit gets a ["tmf"]-track
+    span tree parented under the client's span. *)
 
 val server : t -> server
 

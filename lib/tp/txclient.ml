@@ -28,6 +28,9 @@ type t = {
   wan : Time.span;
   crc_rng : Rng.t;
   rt : Stat.t;
+  obs : Obs.t option;
+  insert_wait_stat : Stat.t option;
+  commit_call_stat : Stat.t option;
 }
 
 type pending_insert = {
@@ -43,13 +46,14 @@ type pending_insert = {
 type txn = {
   id : Audit.txn_id;
   started : Time.t;
+  root : Span.span;  (** the whole-transaction span; inserts and commit parent under it *)
   mutable pending : pending_insert list;
   high_water : (int, Audit.asn) Hashtbl.t;  (** ADP index -> max ASN *)
   involved : (int, unit) Hashtbl.t;  (** DP2 indices *)
   mutable failed : string option;
 }
 
-let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0) () =
+let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0) ?obs () =
   {
     client_cpu = cpu;
     tmf;
@@ -58,31 +62,58 @@ let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0
     issue_cpu;
     wan = wan_latency;
     crc_rng = Rng.create 0xC4CL;
-    rt = Stat.create ~name:"txn_response" ();
+    rt =
+      (match obs with
+      | Some o -> Metrics.stat (Obs.metrics o) "txn.response_ns"
+      | None -> Stat.create ~name:"txn_response" ());
+    obs;
+    insert_wait_stat =
+      (match obs with
+      | Some o -> Some (Metrics.stat (Obs.metrics o) "txn.insert_wait_ns")
+      | None -> None);
+    commit_call_stat =
+      (match obs with
+      | Some o -> Some (Metrics.stat (Obs.metrics o) "txn.commit_call_ns")
+      | None -> None);
   }
+
+let now t = Sim.now (Cpu.sim t.client_cpu)
+
+let start_span t ?parent name =
+  match t.obs with
+  | Some o -> Span.start (Obs.spans o) ~track:"client" ?parent name
+  | None -> Span.null
+
+let finish_span t sp =
+  match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
+
+let note stat dt = match stat with Some st -> Stat.add_span st dt | None -> ()
 
 (* Synchronous call with the session's inter-node link latency on both
    legs. *)
-let wan_call t server ?req_bytes ?resp_bytes req =
-  if t.wan = 0 then Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes req
+let wan_call t server ?req_bytes ?resp_bytes ?span req =
+  if t.wan = 0 then Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req
   else begin
     Sim.sleep t.wan;
-    let result = Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes req in
+    let result = Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req in
     Sim.sleep t.wan;
     result
   end
 
 (* Asynchronous call routed through a relay process so the caller is not
    blocked for the link time. *)
-let wan_call_async t server ?req_bytes ?resp_bytes req =
-  if t.wan = 0 then Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes req
+let wan_call_async t server ?req_bytes ?resp_bytes ?span req =
+  if t.wan = 0 then
+    Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req
   else begin
     let out = Ivar.create () in
     let sim = Cpu.sim t.client_cpu in
     let (_ : Sim.pid) =
       Sim.spawn sim ~name:"wan-relay" (fun () ->
           Sim.sleep t.wan;
-          let inner = Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes req in
+          let inner =
+            Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req
+          in
           let reply = Ivar.read inner in
           Sim.sleep t.wan;
           Ivar.fill out reply)
@@ -95,20 +126,30 @@ let cpu t = t.client_cpu
 let txn_id txn = txn.id
 
 let begin_txn t =
-  match wan_call t t.tmf Tmf.Begin_txn with
+  let root = start_span t "txn" in
+  let bsp = start_span t ~parent:root "txn.begin" in
+  let fail msg =
+    finish_span t bsp;
+    finish_span t root;
+    Error (Tx_failed msg)
+  in
+  match wan_call t t.tmf ~span:bsp Tmf.Begin_txn with
   | Ok (Tmf.Began { txn }) ->
+      finish_span t bsp;
+      Span.annotate root ~key:"txn" (string_of_int txn);
       Ok
         {
           id = txn;
           started = Sim.now (Cpu.sim t.client_cpu);
+          root;
           pending = [];
           high_water = Hashtbl.create 8;
           involved = Hashtbl.create 8;
           failed = None;
         }
-  | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
-  | Ok _ -> Error (Tx_failed "unexpected TMF reply")
-  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+  | Ok (Tmf.T_failed e) -> fail e
+  | Ok _ -> fail "unexpected TMF reply"
+  | Error e -> fail (Format.asprintf "%a" Msgsys.pp_error e)
 
 let note_insert_reply t txn p result =
   let rec note ?(retries = 6) = function
@@ -152,7 +193,7 @@ let insert_async t txn ?payload ~file ~key ~len () =
     | None -> Rng.int t.crc_rng 0x40000000
   in
   let reply =
-    wan_call_async t t.dp2s.(dp2_idx) ~req_bytes:(len + 128)
+    wan_call_async t t.dp2s.(dp2_idx) ~req_bytes:(len + 128) ~span:txn.root
       (Dp2.Insert { txn = txn.id; file; key; len; crc; payload })
   in
   txn.pending <-
@@ -170,7 +211,15 @@ let insert_async t txn ?payload ~file ~key ~len () =
 let await_inserts t txn =
   let outstanding = List.rev txn.pending in
   txn.pending <- [];
-  List.iter (fun p -> note_insert_reply t txn p (Ivar.read p.p_reply)) outstanding;
+  (match outstanding with
+  | [] -> ()
+  | _ ->
+      let sp = start_span t ~parent:txn.root "txn.await_inserts" in
+      Span.annotate sp ~key:"inserts" (string_of_int (List.length outstanding));
+      let t0 = now t in
+      List.iter (fun p -> note_insert_reply t txn p (Ivar.read p.p_reply)) outstanding;
+      note t.insert_wait_stat (now t - t0);
+      finish_span t sp);
   match txn.failed with None -> Ok () | Some e -> Error (Tx_failed e)
 
 let insert t txn ?payload ~file ~key ~len () =
@@ -183,23 +232,36 @@ let involved_list txn = Hashtbl.fold (fun dp2 () acc -> dp2 :: acc) txn.involved
 
 let commit t txn =
   match await_inserts t txn with
-  | Error e -> Error e
-  | Ok () -> (
-      match
-        wan_call t t.tmf
+  | Error e ->
+      finish_span t txn.root;
+      Error e
+  | Ok () ->
+      let csp = start_span t ~parent:txn.root "txn.commit" in
+      let c0 = now t in
+      let result =
+        wan_call t t.tmf ~span:csp
           (Tmf.Commit_txn
              { txn = txn.id; flushes = flush_list txn; involved = involved_list txn })
-      with
-      | Ok Tmf.Committed ->
-          Stat.add_span t.rt (Sim.now (Cpu.sim t.client_cpu) - txn.started);
-          Ok ()
-      | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
-      | Ok _ -> Error (Tx_failed "unexpected TMF reply")
-      | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e)))
+      in
+      note t.commit_call_stat (now t - c0);
+      finish_span t csp;
+      let out =
+        match result with
+        | Ok Tmf.Committed ->
+            Stat.add_span t.rt (Sim.now (Cpu.sim t.client_cpu) - txn.started);
+            Ok ()
+        | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
+        | Ok _ -> Error (Tx_failed "unexpected TMF reply")
+        | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+      in
+      finish_span t txn.root;
+      out
 
 let abort t txn =
   (* Collect stragglers first so their locks are covered by the release. *)
   let (_ : (unit, error) result) = await_inserts t txn in
+  Span.annotate txn.root ~key:"outcome" "abort";
+  finish_span t txn.root;
   match
     wan_call t t.tmf (Tmf.Abort_txn { txn = txn.id; involved = involved_list txn })
   with
@@ -236,7 +298,9 @@ let prepare t txn =
       | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e)))
 
 let decide t txn ~commit =
-  match wan_call t t.tmf (Tmf.Decide_txn { txn = txn.id; commit }) with
+  let result = wan_call t t.tmf ~span:txn.root (Tmf.Decide_txn { txn = txn.id; commit }) in
+  finish_span t txn.root;
+  match result with
   | Ok Tmf.Decided ->
       if commit then Stat.add_span t.rt (Sim.now (Cpu.sim t.client_cpu) - txn.started);
       Ok ()

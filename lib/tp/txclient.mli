@@ -34,6 +34,7 @@ val create :
   routing:routing ->
   ?issue_cpu:Time.span ->
   ?wan_latency:Time.span ->
+  ?obs:Obs.t ->
   unit ->
   t
 (** [issue_cpu] (default 500 µs) is the application-side instruction path
@@ -41,7 +42,11 @@ val create :
     session's CPU before the request leaves it.  [wan_latency] (default
     0) is the one-way inter-node link latency a remote session pays on
     every request and reply — an application tier reaching an ODS node
-    across the cluster interconnect (§1.3 scale-out). *)
+    across the cluster interconnect (§1.3 scale-out).  With [obs], each
+    transaction gets a root span on track ["client"] that the servers it
+    touches parent their spans under, and response times feed the
+    registry's [txn.response_ns] stat (plus [txn.insert_wait_ns] and
+    [txn.commit_call_ns] for the two client-visible waits). *)
 
 val cpu : t -> Cpu.t
 

@@ -14,6 +14,7 @@ type cell = {
 val run_cell :
   ?seed:int64 ->
   ?config:Tp.System.config ->
+  ?obs:Obs.t ->
   mode:Tp.System.log_mode ->
   drivers:int ->
   inserts_per_txn:int ->
@@ -21,7 +22,43 @@ val run_cell :
   unit ->
   cell
 (** Build a fresh system and run one hot-stock configuration.  Safe to
-    call outside process context (it owns its simulation). *)
+    call outside process context (it owns its simulation).  With [obs],
+    the whole system reports into that context — pass a context with
+    spans enabled to trace the run, or read the metrics registry
+    afterwards. *)
+
+(** {1 Commit-latency breakdown (machine-readable)} *)
+
+type stage = { stage_name : string; stage_ns : float; stage_share : float }
+(** One commit-path stage: its mean per-transaction contribution in
+    nanoseconds and as a fraction of mean response time. *)
+
+type mode_breakdown = {
+  b_mode : Tp.System.log_mode;
+  b_commits : int;
+  b_rt_ns : float;  (** mean response time *)
+  b_stages : stage list;  (** lock wait, audit flush wait, MAT record, other *)
+  b_flush_share : float;
+      (** fraction of response time waiting on trail durability (audit
+          flush wait + commit record) — the cost PM trails attack *)
+}
+
+type breakdown = {
+  bd_drivers : int;
+  bd_boxcar : int;
+  bd_disk : mode_breakdown;
+  bd_pm : mode_breakdown;
+  bd_disk_flush_share : float;
+  bd_pm_flush_share : float;
+}
+
+val breakdown :
+  ?records_per_driver:int -> ?drivers:int -> ?boxcar:int -> unit -> breakdown
+(** Run one disk-mode and one PM-mode cell under a metrics registry and
+    attribute where commit latency goes in each.  Defaults: 2 000
+    records, 1 driver, boxcar 8.  Expect [bd_disk_flush_share] to
+    dominate disk-mode commit time and [bd_pm_flush_share] to be small
+    — the paper's whole argument, as data. *)
 
 (** {1 Figure 1 — response-time speedup vs transaction size} *)
 
