@@ -323,9 +323,18 @@ let sweep_mirror_cmd =
     (Cmd.info "sweep-mirror" ~doc:"E4: mirroring-cost ablation")
     Term.(const sweep_mirror $ records_arg 4_000)
 
+(* Recovery failures must reach the operator: message on stderr, exit
+   non-zero — not a line lost in a table on stdout. *)
+let or_die f =
+  try f ()
+  with Failure msg ->
+    prerr_endline ("odsbench: " ^ msg);
+    exit 1
+
 (* --- E5 MTTR --- *)
 
 let mttr records =
+  or_die @@ fun () ->
   Printf.printf "E5: crash-recovery time (MTTR), disk scan vs PM fine-grained state\n";
   hr ();
   List.iter
@@ -359,6 +368,7 @@ let scale_adp_cmd =
 (* --- E7 failover --- *)
 
 let failover records =
+  or_die @@ fun () ->
   Printf.printf "E7: ADP process-pair failover under load (disk mode)\n";
   hr ();
   let r = Figures.failover_under_load ~records_per_driver:records () in
@@ -373,6 +383,161 @@ let failover_cmd =
   Cmd.v
     (Cmd.info "failover" ~doc:"E7: process-pair takeover under load")
     Term.(const failover $ records_arg 400)
+
+(* --- drill: fault schedule + durability audit --- *)
+
+let drill_json (r : Tp.Drill.report) =
+  let a = r.Tp.Drill.availability in
+  Json.Obj
+    [
+      ("mode", Json.String (mode_to_string r.Tp.Drill.mode));
+      ("seed", Json.String (Printf.sprintf "0x%Lx" r.Tp.Drill.seed));
+      ("elapsed_s", Json.Float (Time.to_sec r.Tp.Drill.elapsed));
+      ( "faults",
+        Json.List
+          (List.map
+             (fun (t, desc) ->
+               Json.Obj [ ("at_ms", Json.Float (Time.to_ms t)); ("fault", Json.String desc) ])
+             r.Tp.Drill.faults) );
+      ("attempted_txns", Json.Int r.Tp.Drill.attempted_txns);
+      ("committed", Json.Int r.Tp.Drill.committed);
+      ("failed_txns", Json.Int r.Tp.Drill.failed_txns);
+      ("acked_rows", Json.Int r.Tp.Drill.acked_rows);
+      ("recovered_rows", Json.Int r.Tp.Drill.recovered_rows);
+      ("lost_rows", Json.Int r.Tp.Drill.lost_rows);
+      ("zero_loss", Json.Bool (Tp.Drill.zero_loss r));
+      ( "response_ms",
+        Json.Obj
+          [
+            ("mean", Json.Float (r.Tp.Drill.response.Stat.mean /. 1e6));
+            ("p50", Json.Float (r.Tp.Drill.response.Stat.p50 /. 1e6));
+            ("p99", Json.Float (r.Tp.Drill.response.Stat.p99 /. 1e6));
+          ] );
+      ( "availability",
+        Json.Obj
+          [
+            ( "takeovers",
+              Json.Obj
+                [
+                  ("adp", Json.Int a.Tp.Drill.adp_takeovers);
+                  ("dp2", Json.Int a.Tp.Drill.dp2_takeovers);
+                  ("tmf", Json.Int a.Tp.Drill.tmf_takeovers);
+                  ("pmm", Json.Int a.Tp.Drill.pmm_takeovers);
+                ] );
+            ("outage_ms", Json.Float (Time.to_ms a.Tp.Drill.outage));
+            ("degraded_writes", Json.Int a.Tp.Drill.degraded_writes);
+            ("pm_write_retries", Json.Int a.Tp.Drill.pm_write_retries);
+            ("packet_retries", Json.Int a.Tp.Drill.packet_retries);
+          ] );
+      ( "recovery",
+        Json.Obj
+          [
+            ("mttr_ms", Json.Float (Time.to_ms r.Tp.Drill.recovery.Tp.Recovery.mttr));
+            ( "outcome_source",
+              Json.String
+                (match r.Tp.Drill.recovery.Tp.Recovery.outcome_source with
+                | Tp.Recovery.Mat_scan -> "mat_scan"
+                | Tp.Recovery.Pm_txn_table -> "pm_txn_table") );
+            ("committed_txns", Json.Int r.Tp.Drill.recovery.Tp.Recovery.committed_txns);
+            ("in_doubt_txns", Json.Int r.Tp.Drill.recovery.Tp.Recovery.in_doubt_txns);
+            ("rows_rebuilt", Json.Int r.Tp.Drill.recovery.Tp.Recovery.rows_rebuilt);
+          ] );
+    ]
+
+let drill_text (r : Tp.Drill.report) =
+  let a = r.Tp.Drill.availability in
+  Printf.printf "drill: mode=%s seed=0x%Lx — hot-stock load under a fault schedule\n"
+    (mode_to_string r.Tp.Drill.mode) r.Tp.Drill.seed;
+  hr ();
+  List.iter
+    (fun (t, desc) -> Printf.printf "%10.1f ms  %s\n" (Time.to_ms t) desc)
+    r.Tp.Drill.faults;
+  hr ();
+  Printf.printf "load elapsed       %.3f s\n" (Time.to_sec r.Tp.Drill.elapsed);
+  Printf.printf "transactions       %d attempted, %d acked, %d failed\n"
+    r.Tp.Drill.attempted_txns r.Tp.Drill.committed r.Tp.Drill.failed_txns;
+  Printf.printf "response mean/p99  %.2f / %.2f ms\n"
+    (r.Tp.Drill.response.Stat.mean /. 1e6)
+    (r.Tp.Drill.response.Stat.p99 /. 1e6);
+  Printf.printf "takeovers          adp=%d dp2=%d tmf=%d pmm=%d (outage %s)\n"
+    a.Tp.Drill.adp_takeovers a.Tp.Drill.dp2_takeovers a.Tp.Drill.tmf_takeovers
+    a.Tp.Drill.pmm_takeovers
+    (Time.to_string a.Tp.Drill.outage);
+  Printf.printf "degraded PM writes %d (retried %d, packet retries %d)\n"
+    a.Tp.Drill.degraded_writes a.Tp.Drill.pm_write_retries a.Tp.Drill.packet_retries;
+  Printf.printf "recovery           MTTR %s, %d committed txns, %d rows\n"
+    (Time.to_string r.Tp.Drill.recovery.Tp.Recovery.mttr)
+    r.Tp.Drill.recovery.Tp.Recovery.committed_txns
+    r.Tp.Drill.recovery.Tp.Recovery.rows_rebuilt;
+  Printf.printf "durability         %d acked rows, %d recovered, %d LOST — %s\n"
+    r.Tp.Drill.acked_rows r.Tp.Drill.recovered_rows r.Tp.Drill.lost_rows
+    (if Tp.Drill.zero_loss r then "zero loss" else "DATA LOSS");
+  hr ()
+
+let drill mode plan_name drivers boxcar records seed json =
+  let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
+  let plan =
+    match plan_name with
+    | "standard" -> Tp.Drill.standard_plan mode
+    | "kills" ->
+        (* Process-pair decapitations only. *)
+        List.filter
+          (fun ev ->
+            match ev.Tp.Faultplan.action with
+            | Tp.Faultplan.Kill_primary _ -> true
+            | _ -> false)
+          (Tp.Drill.standard_plan mode)
+    | "none" -> []
+    | other ->
+        prerr_endline ("odsbench drill: unknown plan '" ^ other ^ "' (standard|kills|none)");
+        exit 2
+  in
+  let params =
+    {
+      Tp.Drill.default_params with
+      Tp.Drill.drivers;
+      records_per_driver = records;
+      inserts_per_txn = boxcar;
+    }
+  in
+  match Tp.Drill.run ~seed:(Int64.of_int seed) ~params ~mode ~plan () with
+  | Error e ->
+      prerr_endline ("odsbench drill: " ^ e);
+      exit 1
+  | Ok r ->
+      if json then print_endline (Json.to_string (drill_json r)) else drill_text r;
+      if not (Tp.Drill.zero_loss r) then begin
+        Printf.eprintf "odsbench drill: %d acknowledged rows lost after recovery\n"
+          r.Tp.Drill.lost_rows;
+        exit 1
+      end
+
+let drill_cmd =
+  let mode =
+    Arg.(value & opt string "pm" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+  in
+  let plan =
+    Arg.(
+      value & opt string "standard"
+      & info [ "plan" ] ~docv:"standard|kills|none"
+          ~doc:
+            "Fault schedule: $(b,standard) is the full drill (PM: PMM kill, NPMU \
+             power-cycle, rail flap, CRC noise, resync), $(b,kills) keeps only the \
+             process-pair kills, $(b,none) runs faultless.")
+  in
+  let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
+  let boxcar =
+    Arg.(value & opt int 8 & info [ "boxcar" ] ~docv:"N" ~doc:"Inserts per transaction.")
+  in
+  let seed =
+    Arg.(value & opt int 0xD5177 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+  in
+  Cmd.v
+    (Cmd.info "drill"
+       ~doc:
+         "Run hot-stock load under a fault schedule, crash, recover, and audit that no \
+          acknowledged commit was lost")
+    Term.(const drill $ mode $ plan $ drivers $ boxcar $ records_arg 400 $ seed $ json_arg)
 
 (* --- domain workloads --- *)
 
@@ -565,6 +730,7 @@ let main_cmd =
       mttr_cmd;
       scale_adp_cmd;
       failover_cmd;
+      drill_cmd;
       telco_cmd;
       orders_cmd;
       bank_cmd;

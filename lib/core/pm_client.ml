@@ -6,6 +6,10 @@ type config = {
   write_penalty : Time.span;
   mgmt_timeout : Time.span;
   mgmt_retries : int;
+  mgmt_backoff : Time.span;
+  data_retries : int;
+  data_backoff : Time.span;
+  fail_fast_after : int;
 }
 
 let default_config =
@@ -14,6 +18,10 @@ let default_config =
     write_penalty = 0;
     mgmt_timeout = Time.sec 2;
     mgmt_retries = 3;
+    mgmt_backoff = Time.ms 100;
+    data_retries = 2;
+    data_backoff = Time.us 100;
+    fail_fast_after = 8;
   }
 
 type t = {
@@ -21,7 +29,16 @@ type t = {
   fabric : Servernet.Fabric.t;
   pmm : Pmm.server;
   cfg : config;
+  rng : Rng.t;
   mutable degraded : int;
+  mutable retried_writes : int;
+  mutable read_failovers : int;
+  mutable mgmt_retried : int;
+  (* Consecutive data-path failures per device of the mirror pair; past
+     [fail_fast_after] the client stops burning retries on a device it
+     has every reason to believe is down, until a success resets it. *)
+  mutable primary_strikes : int;
+  mutable mirror_strikes : int;
   latency : Stat.t;
   obs : Obs.t option;
 }
@@ -34,7 +51,13 @@ let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
     fabric;
     pmm;
     cfg = config;
+    rng = Rng.split (Sim.rng (Cpu.sim cpu));
     degraded = 0;
+    retried_writes = 0;
+    read_failovers = 0;
+    mgmt_retried = 0;
+    primary_strikes = 0;
+    mirror_strikes = 0;
     latency =
       (* With an observability context every client aggregates into the
          one registry-owned stat; otherwise each keeps a private one. *)
@@ -44,23 +67,41 @@ let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
     obs;
   }
 
+let bump_counter t name =
+  match t.obs with
+  | Some o -> Stat.Counter.incr (Metrics.counter (Obs.metrics o) name)
+  | None -> ()
+
+(* Exponential backoff with full jitter: attempt [i] sleeps uniformly in
+   [0, base * 2^i], capped at 2^6.  Jitter decorrelates the many clients
+   that all saw the same takeover at the same instant. *)
+let backoff_sleep t ~base ~attempt =
+  let scale = 1 lsl min attempt 6 in
+  let ceiling = max 1 (base * scale) in
+  Sim.sleep (Time.ns 1 + Rng.uniform_span t.rng ceiling)
+
 let cpu t = t.client_cpu
 
 let info h = h.region
 
-(* Management RPC with retry across PMM takeovers. *)
+(* Management RPC with jittered exponential backoff across PMM
+   takeovers.  A takeover strands every outstanding call at once; backing
+   off exponentially with jitter spreads the retry herd instead of having
+   all clients hammer the promoted backup on the same 100 ms beat. *)
 let mgmt_call t req =
-  let rec go attempts =
+  let rec go attempt =
     match Msgsys.call t.pmm ~from:t.client_cpu ~timeout:t.cfg.mgmt_timeout req with
     | Ok resp -> Ok resp
     | Error (Msgsys.Server_down | Msgsys.Timed_out) ->
-        if attempts <= 0 then Error Pm_types.Manager_down
+        if attempt >= t.cfg.mgmt_retries then Error Pm_types.Manager_down
         else begin
-          Sim.sleep (Time.ms 100);
-          go (attempts - 1)
+          t.mgmt_retried <- t.mgmt_retried + 1;
+          bump_counter t "pm.mgmt_retries";
+          backoff_sleep t ~base:t.cfg.mgmt_backoff ~attempt;
+          go (attempt + 1)
         end
   in
-  go t.cfg.mgmt_retries
+  go 0
 
 let region_result t = function
   | Ok (Pmm.R_region region) -> Ok { t; region }
@@ -116,14 +157,41 @@ let write ?span t h ~off ~data =
     let addr = region.Pm_types.net_base + off in
     let src = Cpu.endpoint t.client_cpu in
     if t.cfg.write_penalty > 0 then Sim.sleep t.cfg.write_penalty;
+    (* One device's worth of the mirrored write, with bounded retry of
+       transient fabric errors (a rail flapping, a burst of CRC noise)
+       before the attempt counts as a device failure.  Once a device has
+       racked up [fail_fast_after] consecutive failures the retries are
+       skipped — it is down, not noisy — so a long outage degrades every
+       write once instead of stalling each one through a retry ladder. *)
+    let write_device ~strikes ~note dst =
+      let rec go attempt =
+        match Servernet.Fabric.rdma_write ~span:sp t.fabric ~src ~dst ~addr ~data with
+        | Ok () ->
+            note 0;
+            Ok ()
+        | Error (Servernet.Fabric.Unreachable | Servernet.Fabric.No_path
+                | Servernet.Fabric.Crc_failure)
+          when attempt < t.cfg.data_retries && strikes < t.cfg.fail_fast_after ->
+            t.retried_writes <- t.retried_writes + 1;
+            bump_counter t "pm.write_retries";
+            backoff_sleep t ~base:t.cfg.data_backoff ~attempt;
+            go (attempt + 1)
+        | Error e ->
+            note (strikes + 1);
+            Error e
+      in
+      go 0
+    in
     let primary_result =
-      Servernet.Fabric.rdma_write ~span:sp t.fabric ~src ~dst:region.Pm_types.primary_npmu
-        ~addr ~data
+      write_device ~strikes:t.primary_strikes
+        ~note:(fun n -> t.primary_strikes <- n)
+        region.Pm_types.primary_npmu
     in
     let mirror_result =
       if t.cfg.mirrored_writes then
-        Servernet.Fabric.rdma_write ~span:sp t.fabric ~src ~dst:region.Pm_types.mirror_npmu
-          ~addr ~data
+        write_device ~strikes:t.mirror_strikes
+          ~note:(fun n -> t.mirror_strikes <- n)
+          region.Pm_types.mirror_npmu
       else primary_result
     in
     let outcome =
@@ -131,6 +199,7 @@ let write ?span t h ~off ~data =
       | Ok (), Ok () -> Ok ()
       | Ok (), Error _ | Error _, Ok () ->
           t.degraded <- t.degraded + 1;
+          bump_counter t "pm.degraded_writes";
           Ok ()
       | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied), _
       | _, Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
@@ -150,20 +219,44 @@ let read t h ~off ~len =
   else begin
     let addr = region.Pm_types.net_base + off in
     let src = Cpu.endpoint t.client_cpu in
-    match Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.primary_npmu ~addr ~len with
-    | Ok data -> Ok data
-    | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
-        Error Pm_types.Permission_denied
-    | Error _ -> (
-        match
-          Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.mirror_npmu ~addr ~len
-        with
-        | Ok data -> Ok data
-        | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
-            Error Pm_types.Permission_denied
-        | Error _ -> Error Pm_types.Device_failed)
+    (* Rounds of primary-then-mirror: a transient fabric error on both
+       devices (rail flap mid-burst) earns a jittered backoff and another
+       round, bounded by [data_retries]. *)
+    let rec round attempt =
+      match
+        Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.primary_npmu ~addr
+          ~len
+      with
+      | Ok data -> Ok data
+      | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+          Error Pm_types.Permission_denied
+      | Error _ -> (
+          match
+            Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.mirror_npmu ~addr
+              ~len
+          with
+          | Ok data ->
+              t.read_failovers <- t.read_failovers + 1;
+              bump_counter t "pm.read_failovers";
+              Ok data
+          | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+              Error Pm_types.Permission_denied
+          | Error _ ->
+              if attempt >= t.cfg.data_retries then Error Pm_types.Device_failed
+              else begin
+                backoff_sleep t ~base:t.cfg.data_backoff ~attempt;
+                round (attempt + 1)
+              end)
+    in
+    round 0
   end
 
 let degraded_writes t = t.degraded
+
+let write_retries t = t.retried_writes
+
+let read_failovers t = t.read_failovers
+
+let mgmt_retries_used t = t.mgmt_retried
 
 let write_latency t = t.latency

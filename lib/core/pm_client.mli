@@ -18,6 +18,17 @@ type config = {
       (** extra per-write device latency, for slower-media sweeps (E3) *)
   mgmt_timeout : Time.span;  (** patience for PMM replies across takeovers *)
   mgmt_retries : int;
+  mgmt_backoff : Time.span;
+      (** base of the jittered exponential backoff between management
+          retries: attempt [i] sleeps uniformly in [0, base * 2^i] *)
+  data_retries : int;
+      (** bounded retries of transient fabric errors ([Unreachable],
+          [No_path], [Crc_failure]) per device on the data path before
+          the attempt counts as a device failure *)
+  data_backoff : Time.span;  (** base of the data-path retry backoff *)
+  fail_fast_after : int;
+      (** consecutive failures after which a device is presumed down and
+          data-path retries are skipped until it answers again *)
 }
 
 val default_config : config
@@ -63,10 +74,21 @@ val write :
     wire traffic). *)
 
 val read : t -> handle -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
-(** Read from the primary device, failing over to the mirror. *)
+(** Read from the primary device, failing over to the mirror; transient
+    fabric errors on both devices are retried up to [data_retries]
+    rounds with jittered backoff. *)
 
 val degraded_writes : t -> int
 (** Writes that persisted on only one device. *)
+
+val write_retries : t -> int
+(** Transient data-path errors retried before a write settled. *)
+
+val read_failovers : t -> int
+(** Reads the primary device missed and the mirror served. *)
+
+val mgmt_retries_used : t -> int
+(** Management calls re-sent across PMM takeovers or timeouts. *)
 
 val write_latency : t -> Stat.t
 (** Distribution of {!write} completion times. *)

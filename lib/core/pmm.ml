@@ -181,6 +181,8 @@ let pair_exn t =
 
 let takeovers t = Procpair.takeovers (pair_exn t)
 
+let kill_primary t = Procpair.kill_primary (pair_exn t)
+
 let outage_time t = Procpair.outage_time (pair_exn t)
 
 let halt t = Procpair.halt (pair_exn t)

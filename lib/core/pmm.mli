@@ -103,6 +103,11 @@ val last_recovery_time : t -> Time.span option
 
 val takeovers : t -> int
 
+val kill_primary : t -> unit
+(** Fault injection: kill the primary manager process; the backup takes
+    over from the checkpointed metadata (and, on its first request, the
+    PM-resident metadata region). *)
+
 val outage_time : t -> Time.span
 
 val halt : t -> unit

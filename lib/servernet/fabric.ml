@@ -70,6 +70,7 @@ type t = {
   mutable endpoints : endpoint list;
   mutable next_id : int;
   rail_up : bool array;
+  mutable crc_rate : float;
   mutable st_writes : int;
   mutable st_reads : int;
   mutable st_bytes_written : int;
@@ -89,6 +90,7 @@ let create sim ?(config = default_config) () =
     endpoints = [];
     next_id = 0;
     rail_up = Array.make config.rails true;
+    crc_rate = config.crc_error_rate;
     st_writes = 0;
     st_reads = 0;
     st_bytes_written = 0;
@@ -162,6 +164,12 @@ let set_rail t rail up =
 
 let rail_is_up t rail = t.rail_up.(rail)
 
+let set_crc_error_rate t rate =
+  if rate < 0.0 || rate >= 1.0 then invalid_arg "Fabric.set_crc_error_rate: rate in [0,1)";
+  t.crc_rate <- rate
+
+let crc_error_rate t = t.crc_rate
+
 let pick_rail t =
   let n = Array.length t.rail_up in
   let rec go i = if i >= n then None else if t.rail_up.(i) then Some i else go (i + 1) in
@@ -178,13 +186,13 @@ let transfer_time t ~bytes =
 (* Sample the number of CRC retransmissions needed for [packets] packets;
    [None] means some packet exceeded max_retries. *)
 let sample_retries t packets =
-  if t.cfg.crc_error_rate <= 0.0 then Some 0
+  if t.crc_rate <= 0.0 then Some 0
   else
     let total = ref 0 in
     let failed = ref false in
     for _ = 1 to packets do
       let tries = ref 0 in
-      while (not !failed) && Rng.bool t.rng t.cfg.crc_error_rate do
+      while (not !failed) && Rng.bool t.rng t.crc_rate do
         incr tries;
         if !tries > t.cfg.max_retries then failed := true
       done;

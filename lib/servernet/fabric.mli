@@ -86,6 +86,15 @@ val set_rail : t -> int -> bool -> unit
 
 val rail_is_up : t -> int -> bool
 
+val set_crc_error_rate : t -> float -> unit
+(** Change the per-packet corruption probability at runtime — fault
+    plans use this to model a noisy-link window ([Crc_noise_burst]).
+    Starts at the config's [crc_error_rate].  Raises [Invalid_argument]
+    outside [0, 1). *)
+
+val crc_error_rate : t -> float
+(** The corruption probability currently in force. *)
+
 (** {1 RDMA operations}
 
     Both calls block the calling process for the operation's duration and

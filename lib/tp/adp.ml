@@ -181,6 +181,16 @@ let handle t s req respond =
         note_flush_wait t 0;
         respond (Flushed { durable = s.durable })
       end
+      else if Log_backend.synchronous t.backend then
+        (* PM path: appends are durable at reply time, so an ASN above
+           the durable horizon means an append failed and its records
+           are gone.  There is no flusher to kick — surface the
+           degradation instead of parking the caller on a mailbox nobody
+           reads until its RPC times out. *)
+        respond
+          (A_failed
+             (Printf.sprintf "trail degraded: ASN %d past durable horizon %d" through
+                s.durable))
       else begin
         let sp = start_span t ~parent:(Msgsys.caller_span t.srv) "adp.flush_wait" in
         Span.annotate sp ~key:"through" (string_of_int through);
@@ -272,6 +282,8 @@ let flushes_performed t = Log_backend.writes t.backend
 let flush_requests t = t.flush_reqs
 
 let pair_takeovers t = Procpair.takeovers (pair_exn t)
+
+let outage_time t = Procpair.outage_time (pair_exn t)
 
 let checkpoint_bytes t = Procpair.checkpoint_bytes (pair_exn t)
 

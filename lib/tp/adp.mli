@@ -70,6 +70,9 @@ val flush_requests : t -> int
 
 val pair_takeovers : t -> int
 
+val outage_time : t -> Simkit.Time.span
+(** Cumulative time this trail writer had no serving process. *)
+
 val checkpoint_bytes : t -> int
 (** Process-pair checkpoint traffic this ADP generated. *)
 

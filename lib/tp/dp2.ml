@@ -345,3 +345,5 @@ let kill_primary t = Procpair.kill_primary (pair_exn t)
 let halt t = Procpair.halt (pair_exn t)
 
 let pair_takeovers t = Procpair.takeovers (pair_exn t)
+
+let outage_time t = Procpair.outage_time (pair_exn t)

@@ -1,0 +1,232 @@
+open Simkit
+open Nsk
+
+type params = {
+  drivers : int;
+  records_per_driver : int;
+  record_bytes : int;
+  inserts_per_txn : int;
+  settle : Time.span;
+  begin_retries : int;
+}
+
+let default_params =
+  {
+    drivers = 2;
+    records_per_driver = 400;
+    record_bytes = 4096;
+    inserts_per_txn = 8;
+    settle = Time.ms 500;
+    begin_retries = 8;
+  }
+
+type availability = {
+  adp_takeovers : int;
+  dp2_takeovers : int;
+  tmf_takeovers : int;
+  pmm_takeovers : int;
+  outage : Time.span;
+  degraded_writes : int;
+  pm_write_retries : int;
+  packet_retries : int;
+}
+
+type report = {
+  mode : System.log_mode;
+  seed : int64;
+  elapsed : Time.span;
+  faults : (Time.t * string) list;
+  attempted_txns : int;
+  committed : int;
+  failed_txns : int;
+  acked_rows : int;
+  recovered_rows : int;
+  lost_rows : int;
+  response : Stat.summary;
+  availability : availability;
+  recovery : Recovery.report;
+}
+
+let zero_loss r = r.lost_rows = 0
+
+(* Offsets tuned so every fault lands while default-params load is still
+   running (PM-mode load is an order of magnitude shorter than disk's,
+   hence the compressed schedule); the resync runs last, after the
+   cycled mirror is powered again. *)
+let standard_plan mode =
+  match mode with
+  | System.Pm_audit ->
+      Faultplan.
+        [
+          at (Time.ms 20) (Kill_primary Pmm);
+          at (Time.ms 40)
+            (Npmu_power_cycle { device = 1; off_for = Time.ms 60 });
+          at (Time.ms 60) (Rail_down 0);
+          at (Time.ms 90) (Rail_up 0);
+          at (Time.ms 110) (Crc_noise_burst { rate = 0.02; duration = Time.ms 40 });
+          at (Time.ms 200) Pmm_resync;
+        ]
+  | System.Disk_audit ->
+      Faultplan.
+        [
+          at (Time.ms 200) (Kill_primary (Adp 1));
+          at (Time.ms 600) (Kill_primary (Dp2 2));
+          at (Time.sec 1) (Rail_down 1);
+          at (Time.ms 1_300) (Rail_up 1);
+          at (Time.ms 1_500) (Kill_primary Tmf);
+          at (Time.sec 2) (Crc_noise_burst { rate = 0.02; duration = Time.ms 300 });
+        ]
+
+let config_for base mode =
+  match mode with
+  | System.Disk_audit -> { base with System.log_mode = System.Disk_audit }
+  | System.Pm_audit ->
+      { base with System.log_mode = System.Pm_audit; txn_state_in_pm = true }
+
+(* The hot-stock insert mix, tolerant of the system dropping out from
+   under it: [begin] is retried across takeovers, commit failures are
+   counted and the driver moves on.  Only [Ok] commit replies put keys
+   in [acked] — that set is the durability contract the auditor checks. *)
+let driver system params ~index ~acked ~response_stat ~committed ~failed ~on_done () =
+  let cfg = System.config system in
+  let session = System.session system ~cpu:(index mod cfg.System.worker_cpus) in
+  let files = cfg.System.files in
+  let key_base = (index + 1) * 100_000_000 in
+  let total = params.records_per_driver in
+  let per_txn = params.inserts_per_txn in
+  let sim = System.sim system in
+  let begin_with_retry () =
+    let rec go attempts =
+      match Txclient.begin_txn session with
+      | Ok txn -> Some txn
+      | Error _ when attempts > 0 ->
+          Sim.sleep (Time.ms 250);
+          go (attempts - 1)
+      | Error _ -> None
+    in
+    go params.begin_retries
+  in
+  let seq = ref 0 in
+  let rec txn_loop () =
+    if !seq < total then begin
+      let t0 = Sim.now sim in
+      let in_this_txn = min per_txn (total - !seq) in
+      let keys =
+        List.init in_this_txn (fun i ->
+            let idx = !seq + i in
+            ((idx mod files), key_base + idx + (idx / per_txn)))
+      in
+      seq := !seq + in_this_txn;
+      (match begin_with_retry () with
+      | None -> incr failed
+      | Some txn -> (
+          List.iter
+            (fun (file, key) ->
+              Txclient.insert_async session txn ~file ~key ~len:params.record_bytes ())
+            keys;
+          match Txclient.commit session txn with
+          | Ok () ->
+              incr committed;
+              acked := List.rev_append keys !acked;
+              Stat.add_span response_stat (Sim.now sim - t0)
+          | Error _ -> incr failed));
+      txn_loop ()
+    end
+  in
+  txn_loop ();
+  on_done ()
+
+let availability_of system =
+  let sum_arr f arr = Array.fold_left (fun acc x -> acc + f x) 0 arr in
+  let adps = System.adps system in
+  let dp2s = System.dp2s system in
+  let tmf = System.tmf system in
+  let pmm_takeovers, pmm_outage =
+    match System.pmm system with
+    | Some p -> (Pm.Pmm.takeovers p, Pm.Pmm.outage_time p)
+    | None -> (0, 0)
+  in
+  let fs = Servernet.Fabric.stats (Node.fabric (System.node system)) in
+  {
+    adp_takeovers = sum_arr Adp.pair_takeovers adps + Adp.pair_takeovers (System.mat system);
+    dp2_takeovers = sum_arr Dp2.pair_takeovers dp2s;
+    tmf_takeovers = Tmf.pair_takeovers tmf;
+    pmm_takeovers;
+    outage =
+      sum_arr Adp.outage_time adps
+      + Adp.outage_time (System.mat system)
+      + sum_arr Dp2.outage_time dp2s
+      + Tmf.outage_time tmf + pmm_outage;
+    degraded_writes = System.degraded_pm_writes system;
+    pm_write_retries = System.pm_write_retries system;
+    packet_retries = fs.Servernet.Fabric.packet_retries;
+  }
+
+let run ?(seed = 0xD5177L) ?config ?obs ?(params = default_params) ~mode ~plan () =
+  if params.drivers < 1 then invalid_arg "Drill.run: need at least one driver";
+  let base = Option.value config ~default:System.default_config in
+  let cfg = config_for base mode in
+  let cfg = { cfg with System.seed } in
+  let sim = Sim.create ~seed () in
+  let out = ref (Error "drill: simulation did not complete") in
+  let (_ : Sim.pid) =
+    Sim.spawn sim ~name:"drill-main" (fun () ->
+        let system = System.build ?obs sim cfg in
+        match Faultplan.validate system plan with
+        | Error e -> out := Error ("fault plan: " ^ e)
+        | Ok () ->
+            let node = System.node system in
+            let response_stat = Stat.create ~name:"drill-rt" () in
+            let acked = ref [] in
+            let committed = ref 0 in
+            let failed = ref 0 in
+            let gate = Gate.create params.drivers in
+            let started = Sim.now sim in
+            let frun = Faultplan.launch system plan in
+            for index = 0 to params.drivers - 1 do
+              let cpu = Node.cpu node (index mod cfg.System.worker_cpus) in
+              ignore
+                (Cpu.spawn cpu
+                   ~name:(Printf.sprintf "drill-driver%d" index)
+                   (driver system params ~index ~acked ~response_stat ~committed ~failed
+                      ~on_done:(fun () -> Gate.arrive gate)))
+            done;
+            Gate.await gate;
+            let elapsed = Sim.now sim - started in
+            Faultplan.await frun;
+            Sim.sleep params.settle;
+            (* Crash: every DP2 loses its in-memory image; the only
+               truth left is the trails and the PM state. *)
+            Array.iter (fun d -> Dp2.load_table d []) (System.dp2s system);
+            match Recovery.run system with
+            | Error e -> out := Error ("recovery failed: " ^ e)
+            | Ok recovery ->
+                let routing = System.routing system in
+                let dp2s = System.dp2s system in
+                let lost =
+                  List.filter
+                    (fun (file, key) ->
+                      let d = dp2s.(routing.Txclient.dp2_of ~file ~key) in
+                      Dp2.lookup_direct d ~file ~key = None)
+                    !acked
+                in
+                out :=
+                  Ok
+                    {
+                      mode;
+                      seed;
+                      elapsed;
+                      faults = Faultplan.injected frun;
+                      attempted_txns = !committed + !failed;
+                      committed = !committed;
+                      failed_txns = !failed;
+                      acked_rows = List.length !acked;
+                      recovered_rows = recovery.Recovery.rows_rebuilt;
+                      lost_rows = List.length lost;
+                      response = Stat.summary response_stat;
+                      availability = availability_of system;
+                      recovery;
+                    })
+  in
+  Sim.run sim;
+  !out

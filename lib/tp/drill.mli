@@ -1,0 +1,82 @@
+open Simkit
+
+(** Availability/durability drill harness.
+
+    A drill builds a fresh system, runs the hot-stock insert mix while a
+    {!Faultplan.t} fires against it, then crashes the node (wipes every
+    DP2 image), runs {!Recovery.run}, and audits durability: every
+    transaction the client saw acknowledged must be present after
+    recovery.  Acknowledged-but-lost rows are the one unforgivable
+    failure ({!report.lost_rows}); transactions that visibly failed
+    during the faults are availability loss, counted separately.
+
+    The driver is deliberately fault-tolerant where
+    {!Workloads.Hot_stock} is strict: it retries [begin] across
+    takeovers and treats commit errors as data, because a drill's
+    subject is the system's behaviour under faults, not the driver's.
+
+    Everything is derived from the simulation seed, so a drill replays
+    bit-for-bit: same seed, same plan, same report. *)
+
+type params = {
+  drivers : int;
+  records_per_driver : int;
+  record_bytes : int;
+  inserts_per_txn : int;
+  settle : Time.span;
+      (** quiet period after the load and the plan finish, before the
+          crash — lets lock-release and checkpoint tails drain *)
+  begin_retries : int;
+      (** driver-side retries of [begin] across a monitor takeover *)
+}
+
+val default_params : params
+(** 2 drivers x 400 records, 4 KiB rows, boxcar 8, 500 ms settle. *)
+
+type availability = {
+  adp_takeovers : int;
+  dp2_takeovers : int;
+  tmf_takeovers : int;
+  pmm_takeovers : int;
+  outage : Time.span;  (** cumulative headless time across all pairs *)
+  degraded_writes : int;  (** PM writes that reached one device only *)
+  pm_write_retries : int;  (** transient PM data-path errors retried *)
+  packet_retries : int;  (** fabric CRC retransmissions *)
+}
+
+type report = {
+  mode : System.log_mode;
+  seed : int64;
+  elapsed : Time.span;  (** load phase duration *)
+  faults : (Time.t * string) list;  (** injection log, oldest first *)
+  attempted_txns : int;
+  committed : int;  (** acknowledged commits — the durability contract *)
+  failed_txns : int;  (** begins or commits the client saw fail *)
+  acked_rows : int;  (** rows inside acknowledged transactions *)
+  recovered_rows : int;  (** rows recovery rebuilt *)
+  lost_rows : int;  (** acknowledged rows missing after recovery: must be 0 *)
+  response : Stat.summary;  (** response times of acknowledged commits *)
+  availability : availability;
+  recovery : Recovery.report;
+}
+
+val zero_loss : report -> bool
+(** [lost_rows = 0] — the invariant every drill asserts. *)
+
+val standard_plan : System.log_mode -> Faultplan.t
+(** The default schedule.  PM mode: PMM primary kill, a mirror-NPMU
+    power cycle, a rail flap, a CRC noise burst, then a mirror resync.
+    Disk mode: ADP, DP2 and TMF primary kills plus the rail flap and
+    noise burst.  Offsets assume {!default_params}-scale load. *)
+
+val run :
+  ?seed:int64 ->
+  ?config:System.config ->
+  ?obs:Obs.t ->
+  ?params:params ->
+  mode:System.log_mode ->
+  plan:Faultplan.t ->
+  unit ->
+  (report, string) result
+(** Owns its simulation; safe to call outside process context.  [Error]
+    carries a recovery or plan-validation failure. *)

@@ -1,0 +1,193 @@
+open Simkit
+open Nsk
+
+type target = Adp of int | Dp2 of int | Tmf | Pmm
+
+type action =
+  | Kill_primary of target
+  | Npmu_power_cycle of { device : int; off_for : Time.span }
+  | Rail_down of int
+  | Rail_up of int
+  | Crc_noise_burst of { rate : float; duration : Time.span }
+  | Pmm_resync
+
+type event = { after : Time.span; action : action }
+
+type t = event list
+
+let at after action = { after; action }
+
+let action_name = function
+  | Kill_primary (Adp _) -> "kill_adp"
+  | Kill_primary (Dp2 _) -> "kill_dp2"
+  | Kill_primary Tmf -> "kill_tmf"
+  | Kill_primary Pmm -> "kill_pmm"
+  | Npmu_power_cycle _ -> "npmu_power_cycle"
+  | Rail_down _ -> "rail_down"
+  | Rail_up _ -> "rail_up"
+  | Crc_noise_burst _ -> "crc_noise_burst"
+  | Pmm_resync -> "pmm_resync"
+
+let describe = function
+  | Kill_primary (Adp i) -> Printf.sprintf "kill ADP %d primary" i
+  | Kill_primary (Dp2 i) -> Printf.sprintf "kill DP2 %d primary" i
+  | Kill_primary Tmf -> "kill TMF primary"
+  | Kill_primary Pmm -> "kill PMM primary"
+  | Npmu_power_cycle { device; off_for } ->
+      Printf.sprintf "power-cycle NPMU %d (off %s)" device (Time.to_string off_for)
+  | Rail_down r -> Printf.sprintf "rail %d down" r
+  | Rail_up r -> Printf.sprintf "rail %d up" r
+  | Crc_noise_burst { rate; duration } ->
+      Printf.sprintf "CRC noise %.4f for %s" rate (Time.to_string duration)
+  | Pmm_resync -> "PMM mirror resync"
+
+let validate system plan =
+  let cfg = System.config system in
+  let pm_mode = cfg.System.log_mode = System.Pm_audit in
+  let n_adps = Array.length (System.adps system) in
+  let n_dp2s = Array.length (System.dp2s system) in
+  let n_devices = List.length (System.npmus system) in
+  let rails = (Servernet.Fabric.config (Node.fabric (System.node system))).rails in
+  let reject fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check ev =
+    let pm_only what = reject "%s requires a PM-mode system" what in
+    match ev.action with
+    | Kill_primary (Adp i) when i < 0 || i >= n_adps ->
+        reject "kill_adp: index %d out of range (have %d)" i n_adps
+    | Kill_primary (Dp2 i) when i < 0 || i >= n_dp2s ->
+        reject "kill_dp2: index %d out of range (have %d)" i n_dp2s
+    | Kill_primary Pmm when not pm_mode -> pm_only "kill_pmm"
+    | Pmm_resync when not pm_mode -> pm_only "pmm_resync"
+    | Npmu_power_cycle _ when not pm_mode -> pm_only "npmu_power_cycle"
+    | Npmu_power_cycle { device; _ } when device < 0 || device >= n_devices ->
+        reject "npmu_power_cycle: device %d out of range (have %d)" device n_devices
+    | Npmu_power_cycle { off_for; _ } when off_for <= 0 ->
+        reject "npmu_power_cycle: off_for must be positive"
+    | (Rail_down r | Rail_up r) when r < 0 || r >= rails ->
+        reject "rail event: rail %d out of range (have %d)" r rails
+    | Crc_noise_burst { rate; _ } when rate < 0.0 || rate >= 1.0 ->
+        reject "crc_noise_burst: rate %.3f outside [0, 1)" rate
+    | Crc_noise_burst { duration; _ } when duration <= 0 ->
+        reject "crc_noise_burst: duration must be positive"
+    | _ when ev.after < 0 -> reject "event offset must be non-negative"
+    | _ -> Ok ()
+  in
+  List.fold_left
+    (fun acc ev -> match acc with Error _ -> acc | Ok () -> check ev)
+    (Ok ()) plan
+
+type run = {
+  r_system : System.t;
+  mutable r_injected : (Time.t * string) list;  (* newest first *)
+  r_done : unit Ivar.t;
+}
+
+let injected r = List.rev r.r_injected
+
+let await r = Ivar.read r.r_done
+
+let record run ?(detail = "") action =
+  let system = run.r_system in
+  let sim = System.sim system in
+  let now = Sim.now sim in
+  let desc =
+    if detail = "" then describe action else describe action ^ " — " ^ detail
+  in
+  run.r_injected <- (now, desc) :: run.r_injected;
+  match System.obs system with
+  | None -> ()
+  | Some o ->
+      let m = Obs.metrics o in
+      Stat.Counter.incr (Metrics.counter m "fault.injected");
+      Stat.Counter.incr (Metrics.counter m ("fault." ^ action_name action))
+
+(* Injection runs in the scheduler process; anything that must happen at
+   the end of a window (power restore, noise end) is a non-blocking
+   [Sim.at] callback. *)
+let inject run action =
+  let system = run.r_system in
+  let sim = System.sim system in
+  let sp =
+    match System.obs system with
+    | None -> Span.null
+    | Some o ->
+        let sp = Span.start (Obs.spans o) ~track:"fault" (action_name action) in
+        Span.annotate sp ~key:"fault" (describe action);
+        sp
+  in
+  let finish () =
+    match System.obs system with Some o -> Span.finish (Obs.spans o) sp | None -> ()
+  in
+  (match action with
+  | Kill_primary (Adp i) ->
+      Adp.kill_primary (System.adps system).(i);
+      record run action
+  | Kill_primary (Dp2 i) ->
+      Dp2.kill_primary (System.dp2s system).(i);
+      record run action
+  | Kill_primary Tmf ->
+      Tmf.kill_primary (System.tmf system);
+      record run action
+  | Kill_primary Pmm ->
+      (match System.pmm system with
+      | Some pmm -> Pm.Pmm.kill_primary pmm
+      | None -> ());
+      record run action
+  | Npmu_power_cycle { device; off_for } ->
+      let d = List.nth (System.npmus system) device in
+      Pm.Npmu.power_loss d;
+      Sim.at sim ~after:off_for (fun () -> Pm.Npmu.power_restore d);
+      record run action
+  | Rail_down r ->
+      Servernet.Fabric.set_rail (Node.fabric (System.node system)) r false;
+      record run action
+  | Rail_up r ->
+      Servernet.Fabric.set_rail (Node.fabric (System.node system)) r true;
+      record run action
+  | Crc_noise_burst { rate; duration } ->
+      let fabric = Node.fabric (System.node system) in
+      let previous = Servernet.Fabric.crc_error_rate fabric in
+      Servernet.Fabric.set_crc_error_rate fabric rate;
+      Sim.at sim ~after:duration (fun () ->
+          Servernet.Fabric.set_crc_error_rate fabric previous);
+      record run action
+  | Pmm_resync -> (
+      match System.pmm system with
+      | None -> ()
+      | Some pmm ->
+          (* The copy streams every region through the manager CPU, so
+             give it a whole-device worth of patience; retries ride out
+             a takeover happening underneath the call. *)
+          let from = Node.cpu (System.node system) 0 in
+          let detail =
+            match
+              Rpc.call_retry (Pm.Pmm.server pmm) ~from ~attempts:3
+                ~timeout:(Time.sec 120) ~span:sp
+                (Pm.Pmm.Resync { from_primary = true })
+            with
+            | Ok (Pm.Pmm.R_resynced { bytes }) -> Printf.sprintf "copied %d bytes" bytes
+            | Ok (Pm.Pmm.R_error e) -> "failed: " ^ Pm.Pm_types.error_to_string e
+            | Ok _ -> "failed: unexpected response"
+            | Error _ -> "failed: manager unreachable"
+          in
+          Span.annotate sp ~key:"result" detail;
+          record run ~detail action));
+  finish ()
+
+let launch system plan =
+  (match validate system plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Faultplan.launch: " ^ msg));
+  let run = { r_system = system; r_injected = []; r_done = Ivar.create () } in
+  let sim = System.sim system in
+  let start = Sim.now sim in
+  let ordered = List.stable_sort (fun a b -> compare a.after b.after) plan in
+  ignore
+    (Sim.spawn sim ~name:"fault-scheduler" (fun () ->
+         List.iter
+           (fun ev ->
+             Sim.wait_until (start + ev.after);
+             inject run ev.action)
+           ordered;
+         Ivar.fill run.r_done ()));
+  run

@@ -1,0 +1,75 @@
+open Simkit
+
+(** Declarative fault schedules (drill plans).
+
+    A plan is a list of timed fault events against a running
+    {!System.t}: process-pair primary kills, NPMU power cycles, rail
+    flaps, CRC noise bursts, and mirror resyncs — the failure modes the
+    paper's availability story rests on (§3.4, §4.1).  {!launch} spawns
+    one scheduler process that sleeps to each event's offset and
+    injects it, so a plan plus the simulation seed fully determines a
+    run: the same drill replays bit-for-bit.
+
+    Every injected fault is recorded as a span on track ["fault"] and
+    counted under [fault.injected] (plus a per-kind counter) when the
+    system has an observability context. *)
+
+(** Which process pair to decapitate. *)
+type target =
+  | Adp of int  (** data ADP by index *)
+  | Dp2 of int  (** disk-process partition by index *)
+  | Tmf  (** the transaction monitor *)
+  | Pmm  (** the PM manager pair (PM mode only) *)
+
+type action =
+  | Kill_primary of target
+  | Npmu_power_cycle of { device : int; off_for : Time.span }
+      (** Power-lose NPMU [device] (by {!System.npmus} index) and
+          restore it [off_for] later.  Contents survive — that is the
+          point — but writes during the window degrade to the
+          surviving mirror, leaving the cycled device stale until a
+          {!Pmm_resync}. *)
+  | Rail_down of int
+  | Rail_up of int
+  | Crc_noise_burst of { rate : float; duration : Time.span }
+      (** Raise the fabric's per-packet corruption probability to
+          [rate] for [duration], then restore the previous rate. *)
+  | Pmm_resync
+      (** Ask the PMM to rebuild the mirror from the primary device
+          (a management call that blocks the scheduler for the copy's
+          duration, riding out takeovers via {!Rpc.call_retry}). *)
+
+type event = { after : Time.span; action : action }
+(** [after] is the offset from {!launch}, not an absolute time. *)
+
+type t = event list
+
+val at : Time.span -> action -> event
+
+val action_name : action -> string
+(** Short kind tag: ["kill_adp"], ["rail_down"], ... *)
+
+val describe : action -> string
+(** Human-readable one-liner with parameters. *)
+
+val validate : System.t -> t -> (unit, string) result
+(** Check every event against the system: target and device indices in
+    range, rail indices within the fabric, CRC rates in [0, 1), and no
+    PM-only events (PMM kill, NPMU cycle, resync) against a disk-mode
+    system. *)
+
+(** A plan in flight. *)
+type run
+
+val launch : System.t -> t -> run
+(** Validate and start executing the plan against the system.  Raises
+    [Invalid_argument] if {!validate} rejects it.  Safe to call outside
+    process context; the scheduler is its own process. *)
+
+val await : run -> unit
+(** Block the calling process until the last event has been injected
+    (including a final resync's completion).  Process context only. *)
+
+val injected : run -> (Time.t * string) list
+(** The faults injected so far, oldest first, with their injection
+    times — the drill report's fault log. *)

@@ -50,6 +50,10 @@ type pm_parts = {
   pmm : Pm.Pmm.t;
   devices : Pm.Npmu.t list;
   txn_state : (Pm.Pm_client.t * Pm.Pm_client.handle) option;
+  (* Client attachments by CPU index; lazily populated as ADPs take
+     their backends, so availability accounting folds over the table at
+     query time rather than snapshotting it here. *)
+  clients : (int, Pm.Pm_client.t) Hashtbl.t;
 }
 
 type t = {
@@ -210,7 +214,7 @@ let build ?obs sim cfg =
           end
           else None
         in
-        (Some { pmm; devices; txn_state }, make_backend)
+        (Some { pmm; devices; txn_state; clients }, make_backend)
   in
   let adps =
     Array.init cfg.adps_per_node (fun i ->
@@ -286,6 +290,17 @@ let pmm t = match t.sys_pm with Some p -> Some p.pmm | None -> None
 let npmus t = match t.sys_pm with Some p -> p.devices | None -> []
 
 let txn_state_region t = match t.sys_pm with Some p -> p.txn_state | None -> None
+
+let pm_clients t =
+  match t.sys_pm with
+  | None -> []
+  | Some p -> Hashtbl.fold (fun _ c acc -> c :: acc) p.clients []
+
+let degraded_pm_writes t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.degraded_writes c) 0 (pm_clients t)
+
+let pm_write_retries t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.write_retries c) 0 (pm_clients t)
 
 let obs t = t.sys_obs
 

@@ -87,6 +87,18 @@ val npmus : t -> Pm.Npmu.t list
 
 val txn_state_region : t -> (Pm.Pm_client.t * Pm.Pm_client.handle) option
 
+val pm_clients : t -> Pm.Pm_client.t list
+(** Every PM client attachment the system made (trail writers plus the
+    transaction-state table's).  Empty in disk mode. *)
+
+val degraded_pm_writes : t -> int
+(** Writes that persisted on one device only, across all clients — the
+    drill report's degraded-mode evidence. *)
+
+val pm_write_retries : t -> int
+(** Transient fabric errors retried on the PM data path, across all
+    clients. *)
+
 val obs : t -> Obs.t option
 (** The context passed to {!build}, if any. *)
 

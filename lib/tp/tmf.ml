@@ -98,8 +98,8 @@ let state t =
    state change.  Status codes: 1 active, 2 committed, 3 aborted. *)
 let record_state ?span t txn status =
   match t.txn_state with
-  | None -> ()
-  | Some (client, handle) ->
+  | None -> Ok ()
+  | Some (client, handle) -> (
       let entry = Bytes.create t.cfg.state_entry_bytes in
       let enc = Pm.Codec.Enc.create () in
       Pm.Codec.Enc.u64 enc txn;
@@ -108,7 +108,17 @@ let record_state ?span t txn status =
       Bytes.blit src 0 entry 0 (Bytes.length src);
       let slots = (Pm.Pm_client.info handle).Pm.Pm_types.length / t.cfg.state_entry_bytes in
       let off = txn mod slots * t.cfg.state_entry_bytes in
-      ignore (Pm.Pm_client.write ?span client handle ~off ~data:entry)
+      match Pm.Pm_client.write ?span client handle ~off ~data:entry with
+      | Ok () -> Ok ()
+      | Error e -> Error (Pm.Pm_types.error_to_string e))
+
+(* Outcome statuses feed recovery's fast path: in PM mode the table is
+   the source of truth for outcomes, so a commit may only be
+   acknowledged once its committed status is persistent.  Begin/abort
+   entries are advisory — a missing entry reads as "never committed",
+   which discards only unacknowledged work. *)
+let record_state_advisory ?span t txn status =
+  match record_state ?span t txn status with Ok () | Error _ -> ()
 
 let flush_trails ?span t flushes =
   let calls =
@@ -169,7 +179,7 @@ let handle t s req respond =
       s.next_txn <- txn + 1;
       Hashtbl.replace s.active txn ();
       t.n_begun <- t.n_begun + 1;
-      record_state t txn 1;
+      record_state_advisory t txn 1;
       Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_begin txn);
       respond (Began { txn })
   | Commit_txn { txn; flushes; involved } ->
@@ -207,9 +217,17 @@ let handle t s req respond =
               match mat_result with
               | Error e -> finish_failed ("commit record: " ^ e)
               | Ok () ->
+              match record_state ~span:csp t txn 2 with
+              | Error e ->
+                  (* The MAT holds a commit record but the PM outcome
+                     table — recovery's source of truth in PM mode —
+                     could not be written.  Acknowledging now would risk
+                     an acked-but-lost transaction; fail the commit and
+                     leave the outcome to recovery's conservative side. *)
+                  finish_failed ("txn-state record: " ^ e)
+              | Ok () ->
                   Hashtbl.remove s.active txn;
                   t.n_committed <- t.n_committed + 1;
-                  record_state ~span:csp t txn 2;
                   Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, true));
                   Stat.add_span t.latency (Sim.now (Cpu.sim (current_cpu t)) - started);
                   finish_span t csp;
@@ -234,7 +252,7 @@ let handle t s req respond =
         | Ok _ | Error _ -> ());
         Hashtbl.remove s.active txn;
         t.n_aborted <- t.n_aborted + 1;
-        record_state t txn 3;
+        record_state_advisory t txn 3;
         Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, false));
         respond Aborted;
         Mailbox.send t.finish_queue { fj_txn = txn; fj_committed = false; fj_involved = involved }
@@ -257,12 +275,14 @@ let handle t s req respond =
           | Ok () -> (
               match write_mat_record ~span:psp t (Audit.Prepared { txn }) with
               | Error e -> respond (T_failed ("prepared record: " ^ e))
-              | Ok () ->
-                  Hashtbl.remove s.active txn;
-                  Hashtbl.replace s.prepared txn involved;
-                  record_state t txn 4;
-                  Procpair.checkpoint (pair_exn t) ~bytes:32 (Ck_prepared (txn, involved));
-                  respond Prepared_ok)
+              | Ok () -> (
+                  match record_state t txn 4 with
+                  | Error e -> respond (T_failed ("txn-state record: " ^ e))
+                  | Ok () ->
+                      Hashtbl.remove s.active txn;
+                      Hashtbl.replace s.prepared txn involved;
+                      Procpair.checkpoint (pair_exn t) ~bytes:32 (Ck_prepared (txn, involved));
+                      respond Prepared_ok))
       in
       ignore (Cpu.spawn (current_cpu t) ~name:(t.tmf_name ^ ":prepare") prepare_work)
   | Decide_txn { txn; commit } -> (
@@ -275,10 +295,12 @@ let handle t s req respond =
             match write_mat_record t record with
             | Error e -> respond (T_failed ("decision record: " ^ e))
             | Ok () ->
+            match record_state t txn (if commit then 2 else 3) with
+            | Error e when commit -> respond (T_failed ("txn-state record: " ^ e))
+            | Ok () | Error _ ->
                 Hashtbl.remove s.prepared txn;
                 if commit then t.n_committed <- t.n_committed + 1
                 else t.n_aborted <- t.n_aborted + 1;
-                record_state t txn (if commit then 2 else 3);
                 Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, commit));
                 respond Decided;
                 Mailbox.send t.finish_queue
@@ -393,3 +415,5 @@ let kill_primary t = Procpair.kill_primary (pair_exn t)
 let halt t = Procpair.halt (pair_exn t)
 
 let pair_takeovers t = Procpair.takeovers (pair_exn t)
+
+let outage_time t = Procpair.outage_time (pair_exn t)

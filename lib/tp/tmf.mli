@@ -98,3 +98,6 @@ val kill_primary : t -> unit
 val halt : t -> unit
 
 val pair_takeovers : t -> int
+
+val outage_time : t -> Simkit.Time.span
+(** Cumulative time the monitor had no serving process. *)

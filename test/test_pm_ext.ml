@@ -256,6 +256,53 @@ let test_resync_rebuilds_stale_mirror () =
       let rebuilt = Npmu.peek topo.npmu_b ~off:info.Pm_types.net_base ~len:9 in
       check_str "mirror rebuilt" "only-on-a" (Bytes.to_string rebuilt))
 
+let test_primary_death_failover_and_rebuild () =
+  let topo = make_topo () in
+  Test_util.run_in topo.sim (fun () ->
+      let c = client topo 2 in
+      let h = Test_util.ok_or_fail ~msg:"create" (Pm_client.create_region c ~name:"r" ~size:8192) in
+      let info = Pm_client.info h in
+      Test_util.check_result_ok "healthy write"
+        (Pm_client.write c h ~off:0 ~data:(Bytes.of_string "mirrored!"));
+      check_int "no degradation yet" 0 (Pm_client.degraded_writes c);
+      (* Primary device dies.  Writes persist on the mirror alone and are
+         counted as degraded; reads fail over to the mirror. *)
+      Npmu.power_loss topo.npmu_a;
+      Test_util.check_result_ok "degraded write"
+        (Pm_client.write c h ~off:0 ~data:(Bytes.of_string "on-b-only"));
+      check_int "degraded write counted" 1 (Pm_client.degraded_writes c);
+      (match Pm_client.read c h ~off:0 ~len:9 with
+      | Ok d -> check_str "mirror serves the read" "on-b-only" (Bytes.to_string d)
+      | Error e -> Alcotest.fail ("read failed: " ^ Pm_types.error_to_string e));
+      check_bool "failover counted" true (Pm_client.read_failovers c >= 1);
+      let failovers_after_outage = Pm_client.read_failovers c in
+      (* Power returns: the primary holds pre-outage data and must not be
+         trusted until rebuilt from the surviving mirror. *)
+      Npmu.power_restore topo.npmu_a;
+      let stale = Npmu.peek topo.npmu_a ~off:info.Pm_types.net_base ~len:9 in
+      check_str "primary is stale" "mirrored!" (Bytes.to_string stale);
+      (match
+         Msgsys.call (Pmm.server topo.pmm) ~from:(Node.cpu topo.node 2)
+           ~timeout:(Time.sec 60) (Pmm.Resync { from_primary = false })
+       with
+      | Ok (Pmm.R_resynced { bytes }) -> check_bool "copied bytes" true (bytes >= 8192)
+      | _ -> Alcotest.fail "resync failed");
+      let rebuilt = Npmu.peek topo.npmu_a ~off:info.Pm_types.net_base ~len:9 in
+      check_str "primary rebuilt from mirror" "on-b-only" (Bytes.to_string rebuilt);
+      (* Full service restored: reads hit the primary again and writes
+         mirror cleanly. *)
+      (match Pm_client.read c h ~off:0 ~len:9 with
+      | Ok d -> check_str "read after rebuild" "on-b-only" (Bytes.to_string d)
+      | Error _ -> Alcotest.fail "read after rebuild failed");
+      check_int "no further failovers" failovers_after_outage (Pm_client.read_failovers c);
+      Test_util.check_result_ok "healthy write again"
+        (Pm_client.write c h ~off:0 ~data:(Bytes.of_string "both-agai"));
+      check_int "no further degradation" 1 (Pm_client.degraded_writes c);
+      let on_a = Npmu.peek topo.npmu_a ~off:info.Pm_types.net_base ~len:9 in
+      let on_b = Npmu.peek topo.npmu_b ~off:info.Pm_types.net_base ~len:9 in
+      check_str "primary current" "both-agai" (Bytes.to_string on_a);
+      check_str "mirror current" "both-agai" (Bytes.to_string on_b))
+
 let test_resync_takes_time () =
   let topo = make_topo ~capacity:(1 lsl 21) () in
   Test_util.run_in topo.sim (fun () ->
@@ -295,6 +342,8 @@ let suite =
     ( "pm.resync",
       [
         Alcotest.test_case "rebuilds a stale mirror" `Quick test_resync_rebuilds_stale_mirror;
+        Alcotest.test_case "primary death: failover, degraded writes, rebuild" `Quick
+          test_primary_death_failover_and_rebuild;
         Alcotest.test_case "resync pays transfer time" `Quick test_resync_takes_time;
       ] );
   ]

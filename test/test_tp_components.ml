@@ -723,53 +723,112 @@ let dtx_cases =
 
 let suite = suite @ [ ("tp.dtx", dtx_cases) ]
 
-(* --- Chaos: random primary kills under load --- *)
+(* --- Drills: seeded deterministic fault schedules under load ---
 
-let test_chaos_random_takeovers () =
-  (* Kill several component primaries at random times during a run; the
-     benchmark must complete, and recovery must still account for every
-     committed transaction's rows. *)
-  let sim = Sim.create ~seed:0xC405L () in
-  let out = ref None in
-  let (_ : Sim.pid) =
-    Sim.spawn sim ~name:"main" (fun () ->
-        let system = System.build sim System.default_config in
-        let rng = Rng.create 0xBADL in
-        (* Schedule five kills across the first two seconds: data ADPs
-           and DP2s (their backups must absorb them). *)
-        for i = 1 to 5 do
-          let when_ = Time.ms (200 + Rng.int rng 1800) in
-          Sim.at sim ~after:when_ (fun () ->
-              if i mod 2 = 0 then
-                Adp.kill_primary (System.adps system).(Rng.int rng 4)
-              else Dp2.kill_primary (System.dp2s system).(Rng.int rng 16))
-        done;
-        let params =
-          Workloads.Hot_stock.scaled_params ~drivers:2 ~inserts_per_txn:8 ~records_per_driver:400
-        in
-        let r = Workloads.Hot_stock.run system params in
-        Sim.sleep (Time.sec 2);
-        let takeovers =
-          Array.fold_left (fun acc a -> acc + Adp.pair_takeovers a) 0 (System.adps system)
-          + Array.fold_left (fun acc d -> acc + Dp2.pair_takeovers d) 0 (System.dp2s system)
-        in
-        (* Wipe and recover: all committed rows must come back. *)
-        Array.iter (fun d -> Dp2.load_table d []) (System.dp2s system);
-        match Recovery.run system with
-        | Ok report -> out := Some (r, takeovers, report)
-        | Error e -> Alcotest.fail ("chaos recovery: " ^ e))
+   One drill per kill target; each runs the hot-stock mix while the
+   plan fires, crashes, recovers, and asserts the zero-loss invariant:
+   every acknowledged commit survives.  Plans are explicit and the seed
+   fixed, so a failure here replays bit-for-bit. *)
+
+let run_drill ?(seed = 0xD211L) ~mode plan =
+  match Drill.run ~seed ~mode ~plan () with
+  | Ok report -> report
+  | Error e -> Alcotest.fail ("drill: " ^ e)
+
+let assert_zero_loss r =
+  check_bool
+    (Printf.sprintf "zero loss (%d acked rows, %d lost)" r.Drill.acked_rows r.Drill.lost_rows)
+    true (Drill.zero_loss r);
+  check_bool
+    (Printf.sprintf "made progress (%d committed)" r.Drill.committed)
+    true
+    (r.Drill.committed > 0)
+
+let test_drill_adp_kills () =
+  let r =
+    run_drill ~mode:System.Disk_audit
+      Faultplan.
+        [
+          at (Time.ms 300) (Kill_primary (Adp 1));
+          at (Time.ms 900) (Kill_primary (Adp 2));
+        ]
   in
-  Sim.run sim;
-  match !out with
-  | None -> Alcotest.fail "chaos run incomplete"
-  | Some (r, takeovers, report) ->
-      check_int "all transactions committed" 100 r.Workloads.Hot_stock.committed;
-      check_bool (Printf.sprintf "some takeovers happened (%d)" takeovers) true (takeovers >= 3);
-      check_int "all rows recovered" 800 report.Recovery.rows_rebuilt
+  assert_zero_loss r;
+  check_bool
+    (Printf.sprintf "ADP takeovers (%d)" r.Drill.availability.Drill.adp_takeovers)
+    true
+    (r.Drill.availability.Drill.adp_takeovers >= 2)
 
-let chaos_cases = [ Alcotest.test_case "random takeovers under load" `Slow test_chaos_random_takeovers ]
+let test_drill_dp2_kills () =
+  let r =
+    run_drill ~mode:System.Disk_audit
+      Faultplan.
+        [
+          at (Time.ms 300) (Kill_primary (Dp2 3));
+          at (Time.ms 800) (Kill_primary (Dp2 7));
+          at (Time.ms 1_300) (Kill_primary (Dp2 11));
+        ]
+  in
+  assert_zero_loss r;
+  check_bool
+    (Printf.sprintf "DP2 takeovers (%d)" r.Drill.availability.Drill.dp2_takeovers)
+    true
+    (r.Drill.availability.Drill.dp2_takeovers >= 3)
 
-let suite = suite @ [ ("tp.chaos", chaos_cases) ]
+let test_drill_tmf_kill () =
+  let r =
+    run_drill ~mode:System.Disk_audit Faultplan.[ at (Time.ms 800) (Kill_primary Tmf) ]
+  in
+  assert_zero_loss r;
+  check_int "TMF takeover" 1 r.Drill.availability.Drill.tmf_takeovers
+
+let test_drill_pmm_kill () =
+  let r = run_drill ~mode:System.Pm_audit Faultplan.[ at (Time.ms 20) (Kill_primary Pmm) ] in
+  assert_zero_loss r;
+  check_int "PMM takeover" 1 r.Drill.availability.Drill.pmm_takeovers;
+  check_bool "recovery read outcomes from PM" true
+    (r.Drill.recovery.Recovery.outcome_source = Recovery.Pm_txn_table)
+
+let test_drill_standard_pm_deterministic () =
+  (* The full standard schedule, twice with one seed: identical reports. *)
+  let plan = Drill.standard_plan System.Pm_audit in
+  let a = run_drill ~mode:System.Pm_audit plan in
+  let b = run_drill ~mode:System.Pm_audit plan in
+  assert_zero_loss a;
+  check_bool "faults injected" true (List.length a.Drill.faults >= 5);
+  check_int "committed deterministic" a.Drill.committed b.Drill.committed;
+  check_int "acked rows deterministic" a.Drill.acked_rows b.Drill.acked_rows;
+  check_int "degraded writes deterministic" a.Drill.availability.Drill.degraded_writes
+    b.Drill.availability.Drill.degraded_writes;
+  check_bool "elapsed deterministic" true (a.Drill.elapsed = b.Drill.elapsed);
+  check_bool "fault log deterministic" true (a.Drill.faults = b.Drill.faults)
+
+let test_drill_plan_validation () =
+  (* PM-only events are rejected against a disk-mode system, out-of-range
+     targets against any. *)
+  (match
+     Drill.run ~mode:System.Disk_audit ~plan:Faultplan.[ at 0 (Kill_primary Pmm) ] ()
+   with
+  | Error e -> check_bool "pm-only rejected" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "kill_pmm accepted in disk mode");
+  match
+    Drill.run ~mode:System.Disk_audit ~plan:Faultplan.[ at 0 (Kill_primary (Adp 99)) ] ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range ADP accepted"
+
+let drill_cases =
+  [
+    Alcotest.test_case "ADP kills, zero loss" `Slow test_drill_adp_kills;
+    Alcotest.test_case "DP2 kills, zero loss" `Slow test_drill_dp2_kills;
+    Alcotest.test_case "TMF kill, zero loss" `Slow test_drill_tmf_kill;
+    Alcotest.test_case "PMM kill, zero loss" `Quick test_drill_pmm_kill;
+    Alcotest.test_case "standard PM drill is deterministic" `Quick
+      test_drill_standard_pm_deterministic;
+    Alcotest.test_case "plans are validated" `Quick test_drill_plan_validation;
+  ]
+
+let suite = suite @ [ ("tp.drill", drill_cases) ]
 
 (* --- Dtx locked reads --- *)
 
