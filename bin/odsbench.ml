@@ -21,6 +21,51 @@ let json_arg =
   let doc = "Emit the table as a JSON document on stdout instead of text." in
   Cmdliner.Arg.(value & flag & info [ "json" ] ~doc)
 
+(* Shared cell setup for the hot-stock/metrics/trace/timeline commands:
+   derive a config from mode+device, build a system, run the mix —
+   optionally under an observability context with a telemetry sampler
+   running from build to workload end. *)
+let run_hot_stock_cell ?obs ?sample_interval ?(device = "npmu") ?(seed = 0xF19L) ~mode
+    ~drivers ~boxcar ~records () =
+  let base =
+    if device = "pmp" then
+      { Tp.System.pm_config with Tp.System.pm_device_kind = Tp.System.Prototype_pmp }
+    else Tp.System.default_config
+  in
+  let cfg =
+    match mode with
+    | Tp.System.Disk_audit -> { base with Tp.System.log_mode = Tp.System.Disk_audit }
+    | Tp.System.Pm_audit ->
+        { base with Tp.System.log_mode = Tp.System.Pm_audit; txn_state_in_pm = true }
+  in
+  let sim = Sim.create ~seed () in
+  let out = ref None in
+  let ts = ref None in
+  let (_ : Sim.pid) =
+    Sim.spawn sim ~name:"cell" (fun () ->
+        let system = Tp.System.build ?obs sim cfg in
+        (match (sample_interval, obs) with
+        | Some interval, Some o ->
+            let t = Timeseries.create ~sim ~metrics:(Obs.metrics o) ~interval () in
+            Timeseries.start t;
+            ts := Some t
+        | _ -> ());
+        let params =
+          { Hot_stock.drivers; records_per_driver = records; record_bytes = 4096;
+            inserts_per_txn = boxcar }
+        in
+        let result = Hot_stock.run system params in
+        (match !ts with Some t -> Timeseries.stop t | None -> ());
+        out := Some (system, result))
+  in
+  Sim.run sim;
+  match !out with
+  | Some (system, result) ->
+      (system, { Figures.mode; drivers; inserts_per_txn = boxcar; result }, !ts)
+  | None -> failwith "cell incomplete"
+
+let parse_mode = function "pm" -> Tp.System.Pm_audit | _ -> Tp.System.Disk_audit
+
 (* --- fig1 --- *)
 
 let fig1_json points =
@@ -166,11 +211,11 @@ let breakdown_cmd =
 (* --- trace: span capture to a Chrome/Perfetto trace file --- *)
 
 let trace mode drivers boxcar records out =
-  let mode = if mode = "pm" then Tp.System.Pm_audit else Tp.System.Disk_audit in
+  let mode = parse_mode mode in
   let obs = Obs.create () in
   Span.enable (Obs.spans obs);
-  let (_ : Figures.cell) =
-    Figures.run_cell ~obs ~mode ~drivers ~inserts_per_txn:boxcar ~records_per_driver:records ()
+  let _system, (_ : Figures.cell), _ts =
+    run_hot_stock_cell ~obs ~mode ~drivers ~boxcar ~records ()
   in
   let spans = Obs.spans obs in
   let oc = open_out out in
@@ -202,10 +247,10 @@ let trace_cmd =
 (* --- metrics: dump the full registry for one cell --- *)
 
 let metrics_dump mode drivers boxcar records json =
-  let mode = if mode = "pm" then Tp.System.Pm_audit else Tp.System.Disk_audit in
+  let mode = parse_mode mode in
   let obs = Obs.create () in
-  let (_ : Figures.cell) =
-    Figures.run_cell ~obs ~mode ~drivers ~inserts_per_txn:boxcar ~records_per_driver:records ()
+  let _system, (_ : Figures.cell), _ts =
+    run_hot_stock_cell ~obs ~mode ~drivers ~boxcar ~records ()
   in
   let m = Obs.metrics obs in
   if json then print_endline (Metrics.to_json m)
@@ -226,31 +271,8 @@ let metrics_cmd =
 (* --- single cell --- *)
 
 let cell mode device drivers boxcar records verbose =
-  let mode = if mode = "pm" then Tp.System.Pm_audit else Tp.System.Disk_audit in
-  let config =
-    if device = "pmp" then
-      { Tp.System.pm_config with Tp.System.pm_device_kind = Tp.System.Prototype_pmp }
-    else Tp.System.default_config
-  in
-  let sim = Sim.create ~seed:0xF19L () in
-  let cfg = if mode = Tp.System.Pm_audit && device <> "pmp" then
-      { config with Tp.System.log_mode = Tp.System.Pm_audit; txn_state_in_pm = true }
-    else if mode = Tp.System.Pm_audit then config
-    else { config with Tp.System.log_mode = Tp.System.Disk_audit }
-  in
-  let out = ref None in
-  let (_ : Sim.pid) =
-    Sim.spawn sim ~name:"cell" (fun () ->
-        let system = Tp.System.build sim cfg in
-        let params =
-          { Hot_stock.drivers; records_per_driver = records; record_bytes = 4096;
-            inserts_per_txn = boxcar }
-        in
-        out := Some (system, Hot_stock.run system params))
-  in
-  Sim.run sim;
-  let system, result = match !out with Some v -> v | None -> failwith "cell incomplete" in
-  let c = { Figures.mode; drivers; inserts_per_txn = boxcar; result } in
+  let mode = parse_mode mode in
+  let system, c, _ts = run_hot_stock_cell ~device ~mode ~drivers ~boxcar ~records () in
   if verbose then Format.printf "%a" Tp.System.report system;
   let r = c.Figures.result in
   Printf.printf "hot-stock: mode=%s drivers=%d boxcar=%d records=%d\n" (mode_to_string mode)
@@ -442,7 +464,43 @@ let drill_json (r : Tp.Drill.report) =
             ("in_doubt_txns", Json.Int r.Tp.Drill.recovery.Tp.Recovery.in_doubt_txns);
             ("rows_rebuilt", Json.Int r.Tp.Drill.recovery.Tp.Recovery.rows_rebuilt);
           ] );
+      ( "timeline",
+        match r.Tp.Drill.timeline with
+        | Some ts ->
+            Json.Obj
+              [
+                ("series", Timeseries.json ts);
+                ("bottlenecks", Timeseries.attribution_json ts);
+              ]
+        | None -> Json.Null );
     ]
+
+(* Event-aligned availability overlay: the sampled commit/failure gauges
+   interleaved, in time order, with the fault injections as marks. *)
+let drill_overlay (ts : Timeseries.t) =
+  Printf.printf "availability overlay (sampled every %s):\n"
+    (Time.to_string (Timeseries.interval ts));
+  Printf.printf "%12s %10s %8s\n" "t(ms)" "committed" "failed";
+  let value s key =
+    match List.assoc_opt key s.Timeseries.s_values with Some v -> v | None -> 0.0
+  in
+  let rec go samples marks =
+    match (samples, marks) with
+    | [], [] -> ()
+    | _, (mt, label) :: ms
+      when (match samples with
+           | [] -> true
+           | s :: _ -> mt <= s.Timeseries.s_time) ->
+        Printf.printf "%12.1f  >> fault: %s\n" (Time.to_ms mt) label;
+        go samples ms
+    | s :: ss, _ ->
+        Printf.printf "%12.1f %10.0f %8.0f\n"
+          (Time.to_ms s.Timeseries.s_time)
+          (value s "drill.committed") (value s "drill.failed");
+        go ss marks
+    | [], _ :: _ -> ()
+  in
+  go (Timeseries.samples ts) (Timeseries.marks ts)
 
 let drill_text (r : Tp.Drill.report) =
   let a = r.Tp.Drill.availability in
@@ -472,9 +530,17 @@ let drill_text (r : Tp.Drill.report) =
   Printf.printf "durability         %d acked rows, %d recovered, %d LOST — %s\n"
     r.Tp.Drill.acked_rows r.Tp.Drill.recovered_rows r.Tp.Drill.lost_rows
     (if Tp.Drill.zero_loss r then "zero loss" else "DATA LOSS");
-  hr ()
+  hr ();
+  match r.Tp.Drill.timeline with
+  | Some ts ->
+      drill_overlay ts;
+      hr ();
+      Printf.printf "bottleneck attribution (load phase):\n";
+      Format.printf "%a@?" Timeseries.pp_attribution ts;
+      hr ()
+  | None -> ()
 
-let drill mode plan_name drivers boxcar records seed json =
+let drill mode plan_name drivers boxcar records seed interval_ms json =
   let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
   let plan =
     match plan_name with
@@ -500,7 +566,11 @@ let drill mode plan_name drivers boxcar records seed json =
       inserts_per_txn = boxcar;
     }
   in
-  match Tp.Drill.run ~seed:(Int64.of_int seed) ~params ~mode ~plan () with
+  let obs, sample_interval =
+    if interval_ms > 0 then (Some (Obs.create ()), Some (Time.ms interval_ms))
+    else (None, None)
+  in
+  match Tp.Drill.run ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params ~mode ~plan () with
   | Error e ->
       prerr_endline ("odsbench drill: " ^ e);
       exit 1
@@ -532,12 +602,149 @@ let drill_cmd =
   let seed =
     Arg.(value & opt int 0xD5177 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
   in
+  let interval_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:
+            "Record a telemetry timeline on this cadence and print the event-aligned \
+             availability overlay (0 disables sampling).")
+  in
   Cmd.v
     (Cmd.info "drill"
        ~doc:
          "Run hot-stock load under a fault schedule, crash, recover, and audit that no \
           acknowledged commit was lost")
-    Term.(const drill $ mode $ plan $ drivers $ boxcar $ records_arg 400 $ seed $ json_arg)
+    Term.(
+      const drill $ mode $ plan $ drivers $ boxcar $ records_arg 400 $ seed $ interval_ms
+      $ json_arg)
+
+(* --- timeline: continuous telemetry + bottleneck attribution --- *)
+
+(* When both modes run against one --csv path, insert the mode name
+   before the extension: out.csv -> out-disk.csv / out-pm.csv. *)
+let mode_csv_path path mode_str =
+  let ext = Filename.extension path in
+  if ext = "" then path ^ "-" ^ mode_str
+  else Filename.remove_extension path ^ "-" ^ mode_str ^ ext
+
+let timeline mode_str device drivers boxcar records interval_ms csv json =
+  let modes =
+    match mode_str with
+    | "disk" -> [ Tp.System.Disk_audit ]
+    | "pm" -> [ Tp.System.Pm_audit ]
+    | "both" -> [ Tp.System.Disk_audit; Tp.System.Pm_audit ]
+    | other ->
+        prerr_endline ("odsbench timeline: unknown mode '" ^ other ^ "' (disk|pm|both)");
+        exit 2
+  in
+  if interval_ms < 1 then begin
+    prerr_endline "odsbench timeline: --interval-ms must be at least 1";
+    exit 2
+  end;
+  let interval = Time.ms interval_ms in
+  let results =
+    List.map
+      (fun mode ->
+        let obs = Obs.create () in
+        let _system, c, ts =
+          run_hot_stock_cell ~obs ~sample_interval:interval ~device ~mode ~drivers ~boxcar
+            ~records ()
+        in
+        let ts = match ts with Some t -> t | None -> assert false in
+        (mode, c, ts))
+      modes
+  in
+  let both = List.length results > 1 in
+  (match csv with
+  | Some path ->
+      List.iter
+        (fun (mode, _, ts) ->
+          let p = if both then mode_csv_path path (mode_to_string mode) else path in
+          let oc = open_out p in
+          output_string oc (Timeseries.to_csv ts);
+          close_out oc;
+          if not json then
+            Printf.printf "wrote %s (%d samples, %d columns)\n" p
+              (Timeseries.sample_count ts)
+              (List.length (Timeseries.paths ts)))
+        results
+  | None -> ());
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            (List.map
+               (fun (mode, c, ts) ->
+                 let r = c.Figures.result in
+                 ( mode_to_string mode,
+                   Json.Obj
+                     [
+                       ("elapsed_s", Json.Float (Time.to_sec r.Hot_stock.elapsed));
+                       ("committed", Json.Int r.Hot_stock.committed);
+                       ("throughput_tps", Json.Float r.Hot_stock.throughput_tps);
+                       ("timeline", Timeseries.json ts);
+                       ("bottlenecks", Timeseries.attribution_json ts);
+                     ] ))
+               results)))
+  else
+    List.iter
+      (fun (mode, c, ts) ->
+        let r = c.Figures.result in
+        Printf.printf
+          "timeline: mode=%s drivers=%d boxcar=%d records=%d interval=%d ms\n"
+          (mode_to_string mode) drivers boxcar records interval_ms;
+        hr ();
+        Printf.printf "samples      %d (%d columns, %d evicted)\n"
+          (Timeseries.sample_count ts)
+          (List.length (Timeseries.paths ts))
+          (Timeseries.evicted ts);
+        Printf.printf "elapsed      %.3f s   committed %d   throughput %.1f txn/s\n"
+          (Time.to_sec r.Hot_stock.elapsed)
+          r.Hot_stock.committed r.Hot_stock.throughput_tps;
+        hr ();
+        Printf.printf "bottleneck attribution (where the time went):\n";
+        Format.printf "%a@?" Timeseries.pp_attribution ts;
+        hr ())
+      results
+
+let timeline_cmd =
+  let mode =
+    Arg.(
+      value & opt string "both"
+      & info [ "mode" ] ~docv:"disk|pm|both" ~doc:"Audit backend(s) to sample.")
+  in
+  let device =
+    Arg.(
+      value & opt string "npmu"
+      & info [ "device" ] ~docv:"npmu|pmp"
+          ~doc:"PM device kind (hardware NPMU or prototype PMP).")
+  in
+  let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
+  let boxcar =
+    Arg.(value & opt int 8 & info [ "boxcar" ] ~docv:"N" ~doc:"Inserts per transaction.")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt int 10
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Sampling interval in sim milliseconds.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Write the full series as CSV.  With --mode both, the mode name is inserted \
+             before the extension (out.csv -> out-disk.csv, out-pm.csv).")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run a hot-stock cell with the continuous-telemetry sampler on and print the \
+          bottleneck-attribution report (CSV/JSON export of the full series)")
+    Term.(
+      const timeline $ mode $ device $ drivers $ boxcar $ records_arg 2_000 $ interval_ms
+      $ csv $ json_arg)
 
 (* --- domain workloads --- *)
 
@@ -724,6 +931,7 @@ let main_cmd =
       breakdown_cmd;
       trace_cmd;
       metrics_cmd;
+      timeline_cmd;
       cell_cmd;
       sweep_latency_cmd;
       sweep_mirror_cmd;

@@ -1,5 +1,6 @@
 type t = {
   npmu_name : string;
+  npmu_sim : Simkit.Sim.t;
   capacity : int;
   mem : Bytes.t;
   ep : Servernet.Fabric.endpoint;
@@ -10,7 +11,6 @@ type t = {
 }
 
 let create sim fabric ~name ~capacity =
-  ignore sim;
   if capacity <= 0 then invalid_arg "Npmu.create: capacity must be positive";
   let mem = Bytes.make capacity '\000' in
   let st_writes = ref 0 and st_reads = ref 0 and st_bytes_written = ref 0 in
@@ -29,8 +29,8 @@ let create sim fabric ~name ~capacity =
     }
   in
   let ep = Servernet.Fabric.attach fabric ~name ~store in
-  { npmu_name = name; capacity; mem; ep; powered = true; st_writes; st_reads;
-    st_bytes_written }
+  { npmu_name = name; npmu_sim = sim; capacity; mem; ep; powered = true; st_writes;
+    st_reads; st_bytes_written }
 
 let instrument t metrics =
   let prefix = "npmu." ^ t.npmu_name in
@@ -39,7 +39,12 @@ let instrument t metrics =
   Simkit.Metrics.register_gauge metrics (prefix ^ ".reads") (fun () ->
       float_of_int !(t.st_reads));
   Simkit.Metrics.register_gauge metrics (prefix ^ ".bytes_written") (fun () ->
-      float_of_int !(t.st_bytes_written))
+      float_of_int !(t.st_bytes_written));
+  (* Outstanding RDMA operations targeting this NPMU, accounted by the
+     fabric at the target side. *)
+  let p = Simkit.Metrics.probe metrics ("npmu." ^ t.npmu_name) in
+  Simkit.Probe.set_clock p (fun () -> Simkit.Sim.now t.npmu_sim);
+  Servernet.Fabric.set_endpoint_probe t.ep p
 
 let writes t = !(t.st_writes)
 

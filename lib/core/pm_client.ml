@@ -41,6 +41,7 @@ type t = {
   mutable mirror_strikes : int;
   latency : Stat.t;
   obs : Obs.t option;
+  write_probe : Probe.t option;
 }
 
 type handle = { t : t; region : Pm_types.region_info }
@@ -65,6 +66,14 @@ let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
       | Some o -> Metrics.stat (Obs.metrics o) "pm.write_ns"
       | None -> Stat.create ~name:"pm_write" ());
     obs;
+    write_probe =
+      (match obs with
+      | Some o ->
+          (* Aggregate across clients: depth = mirrored writes in flight. *)
+          let p = Metrics.probe (Obs.metrics o) "pm.client_writes" in
+          Probe.set_clock p (fun () -> Sim.now (Cpu.sim cpu));
+          Some p
+      | None -> None);
   }
 
 let bump_counter t name =
@@ -156,6 +165,7 @@ let write ?span t h ~off ~data =
     in
     let addr = region.Pm_types.net_base + off in
     let src = Cpu.endpoint t.client_cpu in
+    (match t.write_probe with Some p -> Probe.enqueue p | None -> ());
     if t.cfg.write_penalty > 0 then Sim.sleep t.cfg.write_penalty;
     (* One device's worth of the mirrored write, with bounded retry of
        transient fabric errors (a rail flapping, a burst of CRC noise)
@@ -209,6 +219,11 @@ let write ?span t h ~off ~data =
     (match outcome with
     | Ok () -> Stat.add_span t.latency (Sim.now (Cpu.sim t.client_cpu) - started)
     | Error _ -> ());
+    (match t.write_probe with
+    | Some p ->
+        Probe.busy_span p (Sim.now (Cpu.sim t.client_cpu) - started);
+        Probe.dequeue p
+    | None -> ());
     (match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ());
     outcome
   end

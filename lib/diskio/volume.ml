@@ -33,6 +33,9 @@ type t = {
   mutable obs : Obs.t option;
   mutable svc_stat : Stat.t option;
   mutable rot_stat : Stat.t option;
+  mutable probe : Probe.t option;
+  mutable ops_counter : Stat.Counter.t option;
+  mutable hit_counter : Stat.Counter.t option;
 }
 
 let finish_span t sp =
@@ -100,6 +103,7 @@ let server t () =
     | Some req ->
         if not t.up then begin
           finish_span t req.req_span;
+          (match t.probe with Some p -> Probe.dequeue p | None -> ());
           Ivar.fill req.done_ (Error Volume_down)
         end
         else begin
@@ -108,6 +112,9 @@ let server t () =
           in
           let dt = Disk.parts_total parts in
           (match t.svc_stat with Some st -> Stat.add_span st dt | None -> ());
+          (match t.ops_counter with Some c -> Stat.Counter.incr c | None -> ());
+          if parts.Disk.cache_hit then
+            (match t.hit_counter with Some c -> Stat.Counter.incr c | None -> ());
           if req.kind = `Write && parts.Disk.rotation > 0 then begin
             (match t.rot_stat with
             | Some st -> Stat.add_span st parts.Disk.rotation
@@ -120,6 +127,11 @@ let server t () =
           t.head_hint <- req.block;
           Sim.sleep dt;
           t.busy <- t.busy + dt;
+          (match t.probe with
+          | Some p ->
+              Probe.busy_span p dt;
+              Probe.dequeue p
+          | None -> ());
           finish_span t req.req_span;
           if t.up then begin
             t.ops <- t.ops + 1;
@@ -151,6 +163,9 @@ let create sim ~name ?geometry ?cache ?(scheduling = Fifo) () =
       obs = None;
       svc_stat = None;
       rot_stat = None;
+      probe = None;
+      ops_counter = None;
+      hit_counter = None;
     }
   in
   let (_ : Sim.pid) = Sim.spawn sim ~name:("vol:" ^ name) (server t) in
@@ -164,7 +179,20 @@ let set_obs t obs =
   t.obs <- Some obs;
   let m = Obs.metrics obs in
   t.svc_stat <- Some (Metrics.stat m "disk.service_ns");
-  t.rot_stat <- Some (Metrics.stat m "disk.rotational_miss_ns")
+  t.rot_stat <- Some (Metrics.stat m "disk.rotational_miss_ns");
+  (* Per-volume queue/utilization probe, plus fleet-wide write-cache hit
+     accounting shared across every volume. *)
+  let p = Metrics.probe m ("vol." ^ t.vol_name) in
+  Probe.set_clock p (fun () -> Sim.now t.sim);
+  t.probe <- Some p;
+  let ops = Metrics.counter m "disk.ops" in
+  let hits = Metrics.counter m "disk.cache_hits" in
+  t.ops_counter <- Some ops;
+  t.hit_counter <- Some hits;
+  if Metrics.find m "disk.cache_hit_ratio" = None then
+    Metrics.register_gauge m "disk.cache_hit_ratio" (fun () ->
+        let n = Stat.Counter.get ops in
+        if n = 0 then 0.0 else float_of_int (Stat.Counter.get hits) /. float_of_int n)
 
 let submit ?parent t ~kind ~block ~len =
   let req_span =
@@ -184,9 +212,11 @@ let submit ?parent t ~kind ~block ~len =
     finish_span t req_span;
     Ivar.fill done_ (Error Volume_down)
   end
-  else
+  else begin
+    (match t.probe with Some p -> Probe.enqueue p | None -> ());
     Mailbox.send t.queue
-      { kind; block; len; issued = Sim.now t.sim; done_; req_span };
+      { kind; block; len; issued = Sim.now t.sim; done_; req_span }
+  end;
   done_
 
 let write ?parent t ~block ~len = Ivar.read (submit ?parent t ~kind:`Write ~block ~len)

@@ -9,6 +9,7 @@ type t = {
   mutable failure_hooks : (unit -> unit) list;
   mutable busy_until : Time.t;
   mutable busy : Time.span;
+  mutable probe : Probe.t option;
 }
 
 let create sim fabric ~index =
@@ -23,6 +24,7 @@ let create sim fabric ~index =
     failure_hooks = [];
     busy_until = Time.zero;
     busy = 0;
+    probe = None;
   }
 
 let index t = t.idx
@@ -52,6 +54,7 @@ let execute t span =
   let finish = start + span in
   t.busy_until <- finish;
   t.busy <- t.busy + span;
+  (match t.probe with Some p -> Probe.busy_span p span | None -> ());
   Sim.wait_until finish
 
 let fail t =
@@ -74,3 +77,5 @@ let restart t =
 let on_failure t hook = t.failure_hooks <- hook :: t.failure_hooks
 
 let busy_time t = t.busy
+
+let set_probe t p = t.probe <- Some p

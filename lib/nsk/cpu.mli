@@ -46,3 +46,7 @@ val on_failure : t -> (unit -> unit) -> unit
 
 val busy_time : t -> Time.span
 (** Total time consumed through {!execute}. *)
+
+val set_probe : t -> Probe.t -> unit
+(** Mirror {!execute} spans into a utilization probe so the time-series
+    sampler can report per-CPU busy fraction. *)

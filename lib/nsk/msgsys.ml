@@ -24,6 +24,7 @@ type ('req, 'resp) server = {
   mutable last_span : Span.span;
   mutable hop_stat : Stat.t option;
   mutable req_counter : Stat.Counter.t option;
+  mutable inbox_probe : Probe.t option;
 }
 
 let create_server fabric ~cpu ~name =
@@ -38,15 +39,28 @@ let create_server fabric ~cpu ~name =
     last_span = Span.null;
     hop_stat = None;
     req_counter = None;
+    inbox_probe = None;
   }
 
 let set_obs s obs =
   let m = Obs.metrics obs in
   s.hop_stat <- Some (Metrics.stat m "msg.hop_ns");
-  s.req_counter <- Some (Metrics.counter m "msg.requests")
+  s.req_counter <- Some (Metrics.counter m "msg.requests");
+  (* One aggregate probe across every server: depth = total queued
+     requests, busy = wire time spent moving envelopes. *)
+  let p = Metrics.probe m "msgsys.inbox" in
+  Probe.set_clock p (fun () -> Sim.now (Cpu.sim s.cpu));
+  s.inbox_probe <- Some p
 
 let note_hop s dt =
-  match s.hop_stat with Some st -> Stat.add_span st dt | None -> ()
+  (match s.hop_stat with Some st -> Stat.add_span st dt | None -> ());
+  match s.inbox_probe with Some p -> Probe.busy_span p dt | None -> ()
+
+let probe_enqueue s =
+  match s.inbox_probe with Some p -> Probe.enqueue p | None -> ()
+
+let probe_dequeue s =
+  match s.inbox_probe with Some p -> Probe.dequeue p | None -> ()
 
 let set_extra_latency s span =
   if span < 0 then invalid_arg "Msgsys.set_extra_latency: negative span";
@@ -72,6 +86,7 @@ let call_async s ~from ?(req_bytes = 256) ?(resp_bytes = 256) ?span payload =
         if not (Cpu.is_up s.cpu) then ignore (Ivar.try_fill reply (Error Server_down))
         else begin
           s.outstanding <- reply :: s.outstanding;
+          probe_enqueue s;
           Mailbox.send s.inbox { payload; resp_bytes; reply; env_span }
         end)
   end;
@@ -92,6 +107,7 @@ let caller_span s = s.last_span
 
 let next_request s =
   let env = Mailbox.recv s.inbox in
+  probe_dequeue s;
   s.last_span <- env.env_span;
   let epoch = s.epoch in
   let respond resp =
@@ -111,6 +127,7 @@ let next_request_timeout s span =
   match Mailbox.recv_timeout s.inbox span with
   | None -> None
   | Some env ->
+      probe_dequeue s;
       s.last_span <- env.env_span;
       let epoch = s.epoch in
       let respond resp =
@@ -134,6 +151,7 @@ let fail_outstanding s =
     match Mailbox.try_recv s.inbox with
     | None -> ()
     | Some env ->
+        probe_dequeue s;
         ignore (Ivar.try_fill env.reply (Error Server_down));
         drain ()
   in

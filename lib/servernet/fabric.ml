@@ -52,6 +52,7 @@ type endpoint = {
   ep_avt : Avt.t;
   mutable ep_alive : bool;
   mutable nic_free_at : Time.t;
+  mutable ep_probe : Probe.t option;
 }
 
 type stats = {
@@ -79,6 +80,8 @@ type t = {
   mutable st_failures : int;
   mutable obs : Obs.t option;
   mutable xfer_stat : Stat.t option;
+  mutable rail_probe : Probe.t option;
+  mutable retry_counter : Stat.Counter.t option;
 }
 
 let create sim ?(config = default_config) () =
@@ -99,6 +102,8 @@ let create sim ?(config = default_config) () =
     st_failures = 0;
     obs = None;
     xfer_stat = None;
+    rail_probe = None;
+    retry_counter = None;
   }
 
 let set_obs t obs =
@@ -111,7 +116,16 @@ let set_obs t obs =
       float_of_int t.st_bytes_written);
   Metrics.register_gauge m "fabric.bytes_read" (fun () -> float_of_int t.st_bytes_read);
   Metrics.register_gauge m "fabric.packet_retries" (fun () -> float_of_int t.st_retries);
-  Metrics.register_gauge m "fabric.failures" (fun () -> float_of_int t.st_failures)
+  Metrics.register_gauge m "fabric.failures" (fun () -> float_of_int t.st_failures);
+  (* In-flight RDMA operations across the whole fabric; busy time is the
+     initiator-observed duration, so an aggregate util above 1.0 means
+     concurrent transfers. *)
+  let p = Metrics.probe m "fabric.rail" in
+  Probe.set_clock p (fun () -> Sim.now t.sim);
+  t.rail_probe <- Some p;
+  t.retry_counter <- Some (Metrics.counter m "fabric.retries")
+
+let set_endpoint_probe ep p = ep.ep_probe <- Some p
 
 let start_span t ?parent name ~bytes =
   match t.obs with
@@ -121,11 +135,27 @@ let start_span t ?parent name ~bytes =
       Span.annotate sp ~key:"bytes" (string_of_int bytes);
       sp
 
+let op_begin t = match t.rail_probe with Some p -> Probe.enqueue p | None -> ()
+
 let finish_op t sp ~t0 =
-  (match t.xfer_stat with
-  | Some st -> Stat.add_span st (Sim.now t.sim - t0)
+  let dt = Sim.now t.sim - t0 in
+  (match t.xfer_stat with Some st -> Stat.add_span st dt | None -> ());
+  (match t.rail_probe with
+  | Some p ->
+      Probe.busy_span p dt;
+      Probe.dequeue p
   | None -> ());
   match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
+
+let target_probe_begin target =
+  match target.ep_probe with Some p -> Probe.enqueue p | None -> ()
+
+let target_probe_end t target ~t0 =
+  match target.ep_probe with
+  | Some p ->
+      Probe.busy_span p (Sim.now t.sim - t0);
+      Probe.dequeue p
+  | None -> ()
 
 let config t = t.cfg
 
@@ -138,6 +168,7 @@ let attach t ~name ~store =
       ep_avt = Avt.create ();
       ep_alive = true;
       nic_free_at = Time.zero;
+      ep_probe = None;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -213,6 +244,9 @@ let do_transfer t src dst bytes =
         match retries with Some r -> (r, true) | None -> (t.cfg.max_retries, false)
       in
       t.st_retries <- t.st_retries + retry_count;
+      (match t.retry_counter with
+      | Some c -> Stat.Counter.add c retry_count
+      | None -> ());
       let duration =
         transfer_time t ~bytes
         + (retry_count * (t.cfg.per_packet_overhead + Time.ns 4096))
@@ -248,25 +282,31 @@ let rdma_write ?span t ~src ~dst ~addr ~data =
   let len = Bytes.length data in
   let t0 = Sim.now t.sim in
   let sp = start_span t ?parent:span "fabric.rdma_write" ~bytes:len in
+  op_begin t;
   let result =
     match resolve_target t dst with
     | Error e -> fail t e
-    | Ok target -> (
-        if not src.ep_alive then fail t Unreachable
-        else
-          match transfer_with_failover t src target len ~attempts:t.cfg.rails with
-          | Error e -> fail t e
-          | Ok () -> (
-              (* Address validation happens in the target NIC on arrival. *)
-              match
-                Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Write ~addr ~len
-              with
-              | Error e -> fail t (Avt_error e)
-              | Ok phys ->
-                  target.ep_store.write ~off:phys ~data;
-                  t.st_writes <- t.st_writes + 1;
-                  t.st_bytes_written <- t.st_bytes_written + len;
-                  Ok ()))
+    | Ok target ->
+        target_probe_begin target;
+        let r =
+          if not src.ep_alive then fail t Unreachable
+          else
+            match transfer_with_failover t src target len ~attempts:t.cfg.rails with
+            | Error e -> fail t e
+            | Ok () -> (
+                (* Address validation happens in the target NIC on arrival. *)
+                match
+                  Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Write ~addr ~len
+                with
+                | Error e -> fail t (Avt_error e)
+                | Ok phys ->
+                    target.ep_store.write ~off:phys ~data;
+                    t.st_writes <- t.st_writes + 1;
+                    t.st_bytes_written <- t.st_bytes_written + len;
+                    Ok ())
+        in
+        target_probe_end t target ~t0;
+        r
   in
   (match result with
   | Ok () -> ()
@@ -277,24 +317,30 @@ let rdma_write ?span t ~src ~dst ~addr ~data =
 let rdma_read ?span t ~src ~dst ~addr ~len =
   let t0 = Sim.now t.sim in
   let sp = start_span t ?parent:span "fabric.rdma_read" ~bytes:len in
+  op_begin t;
   let result =
     match resolve_target t dst with
     | Error e -> fail t e
-    | Ok target -> (
-        if not src.ep_alive then fail t Unreachable
-        else
-          match
-            Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Read ~addr ~len
-          with
-          | Error e -> fail t (Avt_error e)
-          | Ok phys -> (
-              match transfer_with_failover t src target len ~attempts:t.cfg.rails with
-              | Error e -> fail t e
-              | Ok () ->
-                  let data = target.ep_store.read ~off:phys ~len in
-                  t.st_reads <- t.st_reads + 1;
-                  t.st_bytes_read <- t.st_bytes_read + len;
-                  Ok data))
+    | Ok target ->
+        target_probe_begin target;
+        let r =
+          if not src.ep_alive then fail t Unreachable
+          else
+            match
+              Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Read ~addr ~len
+            with
+            | Error e -> fail t (Avt_error e)
+            | Ok phys -> (
+                match transfer_with_failover t src target len ~attempts:t.cfg.rails with
+                | Error e -> fail t e
+                | Ok () ->
+                    let data = target.ep_store.read ~off:phys ~len in
+                    t.st_reads <- t.st_reads + 1;
+                    t.st_bytes_read <- t.st_bytes_read + len;
+                    Ok data)
+        in
+        target_probe_end t target ~t0;
+        r
   in
   (match result with
   | Ok _ -> ()

@@ -57,8 +57,15 @@ val create : Sim.t -> ?config:config -> unit -> t
 val set_obs : t -> Obs.t -> unit
 (** Observe the fabric: operation durations feed [fabric.xfer_ns], each
     RDMA op gets a span on track ["fabric"] (parented under the caller's
-    [?span]), and the cumulative counters below double as gauges
-    ([fabric.rdma_writes], [fabric.bytes_written], ...). *)
+    [?span]), the cumulative counters below double as gauges
+    ([fabric.rdma_writes], [fabric.bytes_written], ...), a [fabric.rail]
+    probe tracks in-flight RDMA operations, and [fabric.retries] counts
+    CRC retransmissions as a counter the sampler can turn into a rate. *)
+
+val set_endpoint_probe : endpoint -> Probe.t -> unit
+(** Account RDMA operations {e targeting} this endpoint (outstanding ops
+    and target-observed service time) to [p] — used by NPMUs to expose
+    outstanding persistent-memory operations. *)
 
 val config : t -> config
 

@@ -3,6 +3,7 @@ type instrument =
   | Counter of Stat.Counter.t
   | Histogram of Stat.Histogram.t
   | Gauge of (unit -> float)
+  | Probe of Probe.t
 
 type t = { tbl : (string, instrument) Hashtbl.t }
 
@@ -13,6 +14,7 @@ let kind_name = function
   | Counter _ -> "counter"
   | Histogram _ -> "histogram"
   | Gauge _ -> "gauge"
+  | Probe _ -> "probe"
 
 let register t path instrument = Hashtbl.replace t.tbl path instrument
 
@@ -20,6 +22,7 @@ let register_stat t path s = register t path (Stat s)
 let register_counter t path c = register t path (Counter c)
 let register_histogram t path h = register t path (Histogram h)
 let register_gauge t path fn = register t path (Gauge fn)
+let register_probe t path p = register t path (Probe p)
 
 let wrong_kind path found want =
   invalid_arg
@@ -53,6 +56,15 @@ let histogram t path =
       register t path (Histogram h);
       h
 
+let probe t path =
+  match Hashtbl.find_opt t.tbl path with
+  | Some (Probe p) -> p
+  | Some other -> wrong_kind path other "probe"
+  | None ->
+      let p = Probe.create ~name:path () in
+      register t path (Probe p);
+      p
+
 let find t path = Hashtbl.find_opt t.tbl path
 
 let stat_total t path =
@@ -80,10 +92,19 @@ let pp_table ppf t =
       | Gauge fn ->
           Format.fprintf ppf "%-36s %-9s %12.0f %12s %12s %8s@." path "gauge" (fn ()) "-" "-"
             "-"
+      | Probe p ->
+          (* value = current depth, mean = cumulative busy (ms), n = completions *)
+          Format.fprintf ppf "%-36s %-9s %12d %12.1f %12s %8d@." path "probe" (Probe.depth p)
+            (float_of_int (Probe.busy_total p) /. 1e6)
+            "-" (Probe.dequeued p)
       | Histogram h ->
-          let buckets = Stat.Histogram.buckets h in
-          let n = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
-          Format.fprintf ppf "%-36s %-9s %12s %12s %12s %8d@." path "histogram" "-" "-" "-" n)
+          let mode =
+            match Stat.Histogram.max_bucket h with
+            | Some (ub, _) -> Printf.sprintf "<=%d" ub
+            | None -> "-"
+          in
+          Format.fprintf ppf "%-36s %-9s %12s %12s %12s %8d@." path "histogram" mode "-" "-"
+            (Stat.Histogram.total h))
     (instruments t)
 
 let to_json t =
@@ -106,6 +127,15 @@ let to_json t =
           ]
       | Counter c -> [ ("kind", Json.String "counter"); ("value", Json.Int (Stat.Counter.get c)) ]
       | Gauge fn -> [ ("kind", Json.String "gauge"); ("value", Json.Float (fn ())) ]
+      | Probe p ->
+          [
+            ("kind", Json.String "probe");
+            ("depth", Json.Int (Probe.depth p));
+            ("max_depth", Json.Int (Probe.max_depth p));
+            ("enqueued", Json.Int (Probe.enqueued p));
+            ("dequeued", Json.Int (Probe.dequeued p));
+            ("busy_ns", Json.Int (Probe.busy_total p));
+          ]
       | Histogram h ->
           [
             ("kind", Json.String "histogram");

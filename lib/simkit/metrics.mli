@@ -15,6 +15,10 @@ type instrument =
   | Gauge of (unit -> float)
       (** Sampled at dump time — register a closure over an existing
           mutable counter instead of double-counting. *)
+  | Probe of Probe.t
+      (** Busy-time / queue-depth accounting; the time-series sampler
+          derives per-interval utilization and mean queue length from
+          its cumulative totals. *)
 
 type t
 
@@ -27,6 +31,11 @@ val stat : t -> string -> Stat.t
 val counter : t -> string -> Stat.Counter.t
 val histogram : t -> string -> Stat.Histogram.t
 
+val probe : t -> string -> Probe.t
+(** Find-or-create, like {!stat}.  The caller is responsible for
+    attaching a clock ({!Probe.set_clock}) so the depth integral
+    advances against simulated time. *)
+
 val register : t -> string -> instrument -> unit
 (** Register (or replace) an existing instrument under [path]. *)
 
@@ -34,6 +43,7 @@ val register_stat : t -> string -> Stat.t -> unit
 val register_counter : t -> string -> Stat.Counter.t -> unit
 val register_histogram : t -> string -> Stat.Histogram.t -> unit
 val register_gauge : t -> string -> (unit -> float) -> unit
+val register_probe : t -> string -> Probe.t -> unit
 
 val find : t -> string -> instrument option
 

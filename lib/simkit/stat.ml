@@ -80,6 +80,10 @@ let percentile (t : t) p =
 
 let stdev (t : t) = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
 
+let samples_from (t : t) from =
+  let from = max 0 (min from t.n) in
+  Array.sub t.samples from (t.n - from)
+
 let summary (t : t) =
   if t.n = 0 then
     { n = 0; mean = 0.; stdev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
@@ -134,4 +138,32 @@ module Histogram = struct
       if t.counts.(b) > 0 then out := (1 lsl b, t.counts.(b)) :: !out
     done;
     !out
+
+  let total t = Array.fold_left ( + ) 0 t.counts
+
+  let max_bucket t =
+    let best = ref None in
+    Array.iteri
+      (fun b c ->
+        if c > 0 then
+          match !best with
+          | Some (_, bc) when bc >= c -> ()  (* ties go to the smaller bucket *)
+          | _ -> best := Some (1 lsl b, c))
+      t.counts;
+    !best
+
+  let pp ppf t =
+    let n = total t in
+    if n = 0 then Format.pp_print_string ppf "empty"
+    else begin
+      Format.fprintf ppf "n=%d" n;
+      (match max_bucket t with
+      | Some (ub, c) -> Format.fprintf ppf " mode<=%d (%d)" ub c
+      | None -> ());
+      Format.fprintf ppf " [";
+      List.iteri
+        (fun i (ub, c) -> Format.fprintf ppf "%s%d:%d" (if i = 0 then "" else " ") ub c)
+        (buckets t);
+      Format.fprintf ppf "]"
+    end
 end

@@ -38,6 +38,14 @@ val percentile : t -> float -> float
     so far (nearest-rank).  Total: returns [nan] if no samples, so a
     metrics dump over instruments that recorded nothing never aborts. *)
 
+val samples_from : t -> int -> float array
+(** [samples_from t i] copies samples [i..count-1] in insertion order —
+    the slice a periodic sampler needs to compute interval percentiles.
+    Caveat: a {!percentile} call sorts the backing array in place, so a
+    mid-run percentile read scrambles insertion order; the slice then
+    still holds [count - i] of the recorded values, just not necessarily
+    the latest ones. *)
+
 val summary : t -> summary
 
 val pp_summary : Format.formatter -> t -> unit
@@ -62,4 +70,14 @@ module Histogram : sig
   val add : t -> int -> unit
   val buckets : t -> (int * int) list
   (** [(upper_bound_ns, count)] for each non-empty bucket, ascending. *)
+
+  val total : t -> int
+  (** Total count across every bucket. *)
+
+  val max_bucket : t -> (int * int) option
+  (** [(upper_bound, count)] of the fullest bucket — the distribution's
+      mode.  Ties go to the smallest bucket; [None] when empty. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** ["n=12 mode<=4096 (7) [2048:5 4096:7]"], or ["empty"]. *)
 end

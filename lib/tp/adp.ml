@@ -248,7 +248,19 @@ let start ~fabric ~name ~primary ~backup ~backend ?(config = default_config) ?ob
         | None -> None);
     }
   in
-  (match obs with Some o -> Msgsys.set_obs srv o | None -> ());
+  (match obs with
+  | Some o ->
+      Msgsys.set_obs srv o;
+      let m = Obs.metrics o in
+      (* Gauges, not a probe: the ADP's flush busy time is the serial sum
+         of its primary+mirror volume writes, which would double-count
+         the disks in the bottleneck ranking. *)
+      Metrics.register_gauge m ("adp." ^ name ^ ".buffer") (fun () ->
+          let s = match t.live with Some s -> s | None -> t.shadow in
+          float_of_int (List.length s.buffer));
+      Metrics.register_gauge m ("adp." ^ name ^ ".flush_backlog") (fun () ->
+          float_of_int (List.length t.waiters))
+  | None -> ());
   let pair =
     Procpair.start ~fabric ~name ~primary ~backup
       ~apply:(fun ck -> apply_ckpt t ck)

@@ -76,6 +76,8 @@ type t = {
   mutable insert_count : int;
   mutable cp_asn : Audit.asn;
   mutable obs : Obs.t option;
+  mutable lookup_counter : Stat.Counter.t option;
+  mutable hit_counter : Stat.Counter.t option;
 }
 
 let new_state () = { files = Hashtbl.create 8; undo = Hashtbl.create 64 }
@@ -222,16 +224,21 @@ let handle ?(caller = Span.null) t s req respond =
           | Error e -> respond (D_failed (Format.asprintf "audit: %a" Msgsys.pp_error e))))
   | Lookup { file; key } -> (
       Cpu.execute (current_cpu t) t.cfg.lookup_cpu;
+      (match t.lookup_counter with Some c -> Stat.Counter.incr c | None -> ());
       match Btree.find (file_index s file) ~key with
-      | Some cell -> respond (Found { len = cell.len; crc = cell.crc; payload = cell.payload })
+      | Some cell ->
+          (match t.hit_counter with Some c -> Stat.Counter.incr c | None -> ());
+          respond (Found { len = cell.len; crc = cell.crc; payload = cell.payload })
       | None -> respond Absent)
   | Read { txn; file; key } -> (
       Cpu.execute (current_cpu t) t.cfg.lookup_cpu;
+      (match t.lookup_counter with Some c -> Stat.Counter.incr c | None -> ());
       match Lockmgr.acquire t.locks ~owner:txn ~key:(file, key) Lockmgr.Shared with
       | Error Lockmgr.Lock_timeout -> respond (D_failed "lock timeout")
       | Ok () -> (
           match Btree.find (file_index s file) ~key with
           | Some cell ->
+              (match t.hit_counter with Some c -> Stat.Counter.incr c | None -> ());
               respond (Found { len = cell.len; crc = cell.crc; payload = cell.payload })
           | None -> respond Absent))
   | Scan { file; lo; hi; limit } ->
@@ -294,9 +301,23 @@ let start ~fabric ~name ~dp2_index ~adp_index ~primary ~backup ~volume ~adp ~loc
       insert_count = 0;
       cp_asn = 0;
       obs;
+      lookup_counter = None;
+      hit_counter = None;
     }
   in
-  (match obs with Some o -> Msgsys.set_obs srv o | None -> ());
+  (match obs with
+  | Some o ->
+      Msgsys.set_obs srv o;
+      let m = Obs.metrics o in
+      let lookups = Metrics.counter m "dp2.lookups" in
+      let hits = Metrics.counter m "dp2.lookup_hits" in
+      t.lookup_counter <- Some lookups;
+      t.hit_counter <- Some hits;
+      if Metrics.find m "dp2.hit_ratio" = None then
+        Metrics.register_gauge m "dp2.hit_ratio" (fun () ->
+            let n = Stat.Counter.get lookups in
+            if n = 0 then 0.0 else float_of_int (Stat.Counter.get hits) /. float_of_int n)
+  | None -> ());
   let pair =
     Procpair.start ~fabric ~name ~primary ~backup
       ~apply:(fun ck -> apply_ckpt t ck)

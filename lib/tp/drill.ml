@@ -45,6 +45,7 @@ type report = {
   response : Stat.summary;
   availability : availability;
   recovery : Recovery.report;
+  timeline : Timeseries.t option;
 }
 
 let zero_loss r = r.lost_rows = 0
@@ -162,8 +163,12 @@ let availability_of system =
     packet_retries = fs.Servernet.Fabric.packet_retries;
   }
 
-let run ?(seed = 0xD5177L) ?config ?obs ?(params = default_params) ~mode ~plan () =
+let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_params) ~mode
+    ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run: need at least one driver";
+  (match (sample_interval, obs) with
+  | Some _, None -> invalid_arg "Drill.run: sample_interval requires obs"
+  | _ -> ());
   let base = Option.value config ~default:System.default_config in
   let cfg = config_for base mode in
   let cfg = { cfg with System.seed } in
@@ -182,6 +187,21 @@ let run ?(seed = 0xD5177L) ?config ?obs ?(params = default_params) ~mode ~plan (
             let failed = ref 0 in
             let gate = Gate.create params.drivers in
             let started = Sim.now sim in
+            (* Event-aligned overlay: commit/failure gauges sampled on
+               the telemetry cadence, with fault injections as marks. *)
+            let ts =
+              match (sample_interval, obs) with
+              | Some interval, Some o ->
+                  let m = Obs.metrics o in
+                  Metrics.register_gauge m "drill.committed" (fun () ->
+                      float_of_int !committed);
+                  Metrics.register_gauge m "drill.failed" (fun () ->
+                      float_of_int !failed);
+                  let t = Timeseries.create ~sim ~metrics:m ~interval () in
+                  Timeseries.start t;
+                  Some t
+              | _ -> None
+            in
             let frun = Faultplan.launch system plan in
             for index = 0 to params.drivers - 1 do
               let cpu = Node.cpu node (index mod cfg.System.worker_cpus) in
@@ -194,6 +214,13 @@ let run ?(seed = 0xD5177L) ?config ?obs ?(params = default_params) ~mode ~plan (
             Gate.await gate;
             let elapsed = Sim.now sim - started in
             Faultplan.await frun;
+            (match ts with
+            | Some t ->
+                Timeseries.stop t;
+                List.iter
+                  (fun (time, label) -> Timeseries.mark t ~time label)
+                  (Faultplan.injected frun)
+            | None -> ());
             Sim.sleep params.settle;
             (* Crash: every DP2 loses its in-memory image; the only
                truth left is the trails and the PM state. *)
@@ -226,6 +253,7 @@ let run ?(seed = 0xD5177L) ?config ?obs ?(params = default_params) ~mode ~plan (
                       response = Stat.summary response_stat;
                       availability = availability_of system;
                       recovery;
+                      timeline = ts;
                     })
   in
   Sim.run sim;

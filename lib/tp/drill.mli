@@ -58,6 +58,11 @@ type report = {
   response : Stat.summary;  (** response times of acknowledged commits *)
   availability : availability;
   recovery : Recovery.report;
+  timeline : Timeseries.t option;
+      (** continuous telemetry over the load phase when [sample_interval]
+          was given: cumulative [drill.committed]/[drill.failed] gauges
+          plus every layer probe, with fault injections as marks — the
+          event-aligned availability overlay *)
 }
 
 val zero_loss : report -> bool
@@ -73,10 +78,13 @@ val run :
   ?seed:int64 ->
   ?config:System.config ->
   ?obs:Obs.t ->
+  ?sample_interval:Time.span ->
   ?params:params ->
   mode:System.log_mode ->
   plan:Faultplan.t ->
   unit ->
   (report, string) result
 (** Owns its simulation; safe to call outside process context.  [Error]
-    carries a recovery or plan-validation failure. *)
+    carries a recovery or plan-validation failure.  [sample_interval]
+    (requires [obs], else [Invalid_argument]) records a telemetry
+    timeline into {!report.timeline}. *)

@@ -43,7 +43,13 @@ let create sim ?(timeout = Time.sec 5) ?obs () =
       let m = Obs.metrics o in
       Metrics.register_gauge m "lock.conflicts" (fun () ->
           float_of_int t.conflict_count);
-      Metrics.register_gauge m "lock.timeouts" (fun () -> float_of_int t.timed_out)
+      Metrics.register_gauge m "lock.timeouts" (fun () -> float_of_int t.timed_out);
+      Metrics.register_gauge m "lock.waiting" (fun () -> float_of_int t.blocked);
+      Metrics.register_gauge m "lock.held" (fun () ->
+          Hashtbl.fold
+            (fun _ e acc -> acc + List.length e.lock_holders)
+            t.table 0
+          |> float_of_int)
   | None -> ());
   t
 

@@ -123,7 +123,17 @@ let build ?obs sim cfg =
     Node.create sim ~fabric_config:cfg.fabric ~cpus:(cfg.worker_cpus + extra_cpus) ()
   in
   let fabric = Node.fabric node in
-  (match obs with Some o -> Servernet.Fabric.set_obs fabric o | None -> ());
+  (match obs with
+  | Some o ->
+      Servernet.Fabric.set_obs fabric o;
+      let m = Obs.metrics o in
+      for i = 0 to cfg.worker_cpus + extra_cpus - 1 do
+        let cpu = Node.cpu node i in
+        let p = Metrics.probe m (Printf.sprintf "cpu.%d" i) in
+        Probe.set_clock p (fun () -> Sim.now sim);
+        Cpu.set_probe cpu p
+      done
+  | None -> ());
   let observe_vol v =
     (match obs with Some o -> Diskio.Volume.set_obs v o | None -> ());
     v
@@ -178,7 +188,17 @@ let build ?obs sim cfg =
     | Pm_audit ->
         let pmm, devices = build_pm cfg sim node in
         (match obs with
-        | Some o -> List.iter (fun d -> Pm.Npmu.instrument d (Obs.metrics o)) devices
+        | Some o ->
+            let m = Obs.metrics o in
+            List.iter (fun d -> Pm.Npmu.instrument d m) devices;
+            (match devices with
+            | [ a; b ] ->
+                (* Mirror-resync lag: bytes the two halves of the pair
+                   disagree by.  Zero while both halves ack every write. *)
+                Metrics.register_gauge m "pm.mirror_lag_bytes" (fun () ->
+                    float_of_int
+                      (abs (Pm.Npmu.bytes_written a - Pm.Npmu.bytes_written b)))
+            | _ -> ())
         | None -> ());
         (* Trail regions, one per data ADP plus the MAT, plus the
            transaction-state table. *)

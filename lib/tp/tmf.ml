@@ -374,7 +374,13 @@ let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state
         | None -> None);
     }
   in
-  (match obs with Some o -> Msgsys.set_obs srv o | None -> ());
+  (match obs with
+  | Some o ->
+      Msgsys.set_obs srv o;
+      Metrics.register_gauge (Obs.metrics o) "tmf.active_txns" (fun () ->
+          let s = match t.live with Some s -> s | None -> t.shadow in
+          float_of_int (Hashtbl.length s.active))
+  | None -> ());
   let spawn_helpers cpu =
     ignore (Cpu.spawn cpu ~name:(name ^ ":finisher") (fun () -> finisher t ()))
   in

@@ -13,24 +13,45 @@ let config_for base mode =
   | Tp.System.Pm_audit ->
       { base with Tp.System.log_mode = Tp.System.Pm_audit; txn_state_in_pm = true }
 
-let run_cell ?(seed = 0xF19L) ?config ?obs ~mode ~drivers ~inserts_per_txn ~records_per_driver ()
-    =
+let run_cell_sampled ?(seed = 0xF19L) ?config ?obs ?sample_interval ?sample_capacity
+    ~mode ~drivers ~inserts_per_txn ~records_per_driver () =
+  (match (sample_interval, obs) with
+  | Some _, None ->
+      invalid_arg "Figures.run_cell_sampled: sample_interval requires obs"
+  | _ -> ());
   let base = Option.value config ~default:Tp.System.default_config in
   let cfg = config_for base mode in
   let sim = Sim.create ~seed () in
   let out = ref None in
+  let ts = ref None in
   let (_ : Sim.pid) =
     Sim.spawn sim ~name:"figure-cell" (fun () ->
         let system = Tp.System.build ?obs sim cfg in
+        (match (sample_interval, obs) with
+        | Some interval, Some o ->
+            let t =
+              Timeseries.create ?capacity:sample_capacity ~sim
+                ~metrics:(Obs.metrics o) ~interval ()
+            in
+            Timeseries.start t;
+            ts := Some t
+        | _ -> ());
         let params =
           { Hot_stock.drivers; records_per_driver; record_bytes = 4096; inserts_per_txn }
         in
-        out := Some (Hot_stock.run system params))
+        let result = Hot_stock.run system params in
+        (match !ts with Some t -> Timeseries.stop t | None -> ());
+        out := Some result)
   in
   Sim.run sim;
   match !out with
-  | Some result -> { mode; drivers; inserts_per_txn; result }
+  | Some result -> ({ mode; drivers; inserts_per_txn; result }, !ts)
   | None -> failwith "Figures.run_cell: simulation did not complete"
+
+let run_cell ?seed ?config ?obs ~mode ~drivers ~inserts_per_txn ~records_per_driver () =
+  fst
+    (run_cell_sampled ?seed ?config ?obs ~mode ~drivers ~inserts_per_txn
+       ~records_per_driver ())
 
 let boxcars = [ 8; 16; 32 ]
 

@@ -27,6 +27,25 @@ val run_cell :
     spans enabled to trace the run, or read the metrics registry
     afterwards. *)
 
+val run_cell_sampled :
+  ?seed:int64 ->
+  ?config:Tp.System.config ->
+  ?obs:Obs.t ->
+  ?sample_interval:Time.span ->
+  ?sample_capacity:int ->
+  mode:Tp.System.log_mode ->
+  drivers:int ->
+  inserts_per_txn:int ->
+  records_per_driver:int ->
+  unit ->
+  cell * Timeseries.t option
+(** {!run_cell} plus a continuous-telemetry recorder: with
+    [sample_interval] (requires [obs], else [Invalid_argument]), a
+    {!Simkit.Timeseries} samples every registered instrument on that
+    cadence from system build to workload end, and is returned for
+    export or bottleneck attribution.  Without [sample_interval] this is
+    exactly {!run_cell}. *)
+
 (** {1 Commit-latency breakdown (machine-readable)} *)
 
 type stage = { stage_name : string; stage_ns : float; stage_share : float }
