@@ -462,6 +462,8 @@ let drill_json (r : Tp.Drill.report) =
                 | Tp.Recovery.Pm_txn_table -> "pm_txn_table") );
             ("committed_txns", Json.Int r.Tp.Drill.recovery.Tp.Recovery.committed_txns);
             ("in_doubt_txns", Json.Int r.Tp.Drill.recovery.Tp.Recovery.in_doubt_txns);
+            ("resolved_commit", Json.Int r.Tp.Drill.recovery.Tp.Recovery.resolved_commit);
+            ("resolved_abort", Json.Int r.Tp.Drill.recovery.Tp.Recovery.resolved_abort);
             ("rows_rebuilt", Json.Int r.Tp.Drill.recovery.Tp.Recovery.rows_rebuilt);
           ] );
       ( "timeline",
@@ -540,7 +542,127 @@ let drill_text (r : Tp.Drill.report) =
       hr ()
   | None -> ()
 
+let cluster_drill_json (r : Tp.Drill.cluster_report) =
+  Json.Obj
+    [
+      ("mode", Json.String "cluster");
+      ("seed", Json.String (Printf.sprintf "0x%Lx" r.Tp.Drill.c_seed));
+      ("nodes", Json.Int r.Tp.Drill.c_nodes);
+      ("elapsed_s", Json.Float (Time.to_sec r.Tp.Drill.c_elapsed));
+      ( "faults",
+        Json.List
+          (List.map
+             (fun (t, desc) ->
+               Json.Obj [ ("at_ms", Json.Float (Time.to_ms t)); ("fault", Json.String desc) ])
+             r.Tp.Drill.c_faults) );
+      ("attempted_txns", Json.Int r.Tp.Drill.c_attempted);
+      ("committed", Json.Int r.Tp.Drill.c_committed);
+      ("failed_txns", Json.Int r.Tp.Drill.c_failed);
+      ("acked_rows", Json.Int r.Tp.Drill.c_acked_rows);
+      ("lost_rows", Json.Int r.Tp.Drill.c_lost_rows);
+      ("in_doubt_before", Json.Int r.Tp.Drill.c_in_doubt_before);
+      ("resolved_commit", Json.Int r.Tp.Drill.c_resolved_commit);
+      ("resolved_abort", Json.Int r.Tp.Drill.c_resolved_abort);
+      ("in_doubt_after", Json.Int r.Tp.Drill.c_in_doubt_after);
+      ("orphaned_locks", Json.Int r.Tp.Drill.c_orphaned_locks);
+      ("fence_checks", Json.Int r.Tp.Drill.c_fence_checks);
+      ("fence_failures", Json.Int r.Tp.Drill.c_fence_failures);
+      ("fenced_writes", Json.Int r.Tp.Drill.c_fenced_writes);
+      ("zero_loss", Json.Bool (Tp.Drill.cluster_zero_loss r));
+      ( "response_ms",
+        Json.Obj
+          [
+            ("mean", Json.Float (r.Tp.Drill.c_response.Stat.mean /. 1e6));
+            ("p50", Json.Float (r.Tp.Drill.c_response.Stat.p50 /. 1e6));
+            ("p99", Json.Float (r.Tp.Drill.c_response.Stat.p99 /. 1e6));
+          ] );
+      ( "recoveries",
+        Json.List
+          (List.map
+             (fun (rr : Tp.Recovery.report) ->
+               Json.Obj
+                 [
+                   ("mttr_ms", Json.Float (Time.to_ms rr.Tp.Recovery.mttr));
+                   ("committed_txns", Json.Int rr.Tp.Recovery.committed_txns);
+                   ("in_doubt_txns", Json.Int rr.Tp.Recovery.in_doubt_txns);
+                   ("resolved_commit", Json.Int rr.Tp.Recovery.resolved_commit);
+                   ("resolved_abort", Json.Int rr.Tp.Recovery.resolved_abort);
+                   ("rows_rebuilt", Json.Int rr.Tp.Recovery.rows_rebuilt);
+                 ])
+             r.Tp.Drill.c_recoveries) );
+    ]
+
+let cluster_drill_text (r : Tp.Drill.cluster_report) =
+  Printf.printf
+    "drill: mode=cluster nodes=%d seed=0x%Lx — distributed hot-stock load under a WAN \
+     partition\n"
+    r.Tp.Drill.c_nodes r.Tp.Drill.c_seed;
+  hr ();
+  List.iter
+    (fun (t, desc) -> Printf.printf "%10.1f ms  %s\n" (Time.to_ms t) desc)
+    r.Tp.Drill.c_faults;
+  hr ();
+  Printf.printf "load elapsed       %.3f s\n" (Time.to_sec r.Tp.Drill.c_elapsed);
+  Printf.printf "transactions       %d attempted, %d acked, %d failed\n"
+    r.Tp.Drill.c_attempted r.Tp.Drill.c_committed r.Tp.Drill.c_failed;
+  Printf.printf "response mean/p99  %.2f / %.2f ms\n"
+    (r.Tp.Drill.c_response.Stat.mean /. 1e6)
+    (r.Tp.Drill.c_response.Stat.p99 /. 1e6);
+  Printf.printf "in-doubt window    %d entering recovery, %d resolved commit, %d resolved \
+                 abort, %d left\n"
+    r.Tp.Drill.c_in_doubt_before r.Tp.Drill.c_resolved_commit r.Tp.Drill.c_resolved_abort
+    r.Tp.Drill.c_in_doubt_after;
+  Printf.printf "epoch fence        %d checks, %d failures, %d stale writes rejected\n"
+    r.Tp.Drill.c_fence_checks r.Tp.Drill.c_fence_failures r.Tp.Drill.c_fenced_writes;
+  Printf.printf "orphaned locks     %d\n" r.Tp.Drill.c_orphaned_locks;
+  List.iteri
+    (fun i (rr : Tp.Recovery.report) ->
+      Printf.printf "recovery node %d    MTTR %s, %d committed txns, %d rows\n" i
+        (Time.to_string rr.Tp.Recovery.mttr)
+        rr.Tp.Recovery.committed_txns rr.Tp.Recovery.rows_rebuilt)
+    r.Tp.Drill.c_recoveries;
+  Printf.printf "durability         %d acked rows, %d LOST — %s\n" r.Tp.Drill.c_acked_rows
+    r.Tp.Drill.c_lost_rows
+    (if Tp.Drill.cluster_zero_loss r then "zero loss" else "INVARIANT VIOLATED");
+  hr ()
+
+let drill_fail json e =
+  if json then print_endline (Json.to_string (Json.Obj [ ("error", Json.String e) ]));
+  prerr_endline ("odsbench drill: " ^ e);
+  exit 1
+
+let cluster_drill plan_name drivers seed interval_ms json =
+  if interval_ms > 0 then begin
+    prerr_endline "odsbench drill: --interval-ms is not supported in cluster mode";
+    exit 2
+  end;
+  let plan =
+    match plan_name with
+    | "partition" | "standard" -> Tp.Drill.partition_plan
+    | "none" -> []
+    | other ->
+        prerr_endline
+          ("odsbench drill: unknown cluster plan '" ^ other ^ "' (partition|none)");
+        exit 2
+  in
+  let params = { Tp.Drill.cluster_params with Tp.Drill.drivers } in
+  match Tp.Drill.run_cluster ~seed:(Int64.of_int seed) ~params ~plan () with
+  | Error e -> drill_fail json e
+  | Ok r ->
+      if json then print_endline (Json.to_string (cluster_drill_json r))
+      else cluster_drill_text r;
+      if not (Tp.Drill.cluster_zero_loss r) then begin
+        Printf.eprintf
+          "odsbench drill: invariant violated (lost=%d in-doubt=%d orphaned-locks=%d \
+           fence-failures=%d)\n"
+          r.Tp.Drill.c_lost_rows r.Tp.Drill.c_in_doubt_after r.Tp.Drill.c_orphaned_locks
+          r.Tp.Drill.c_fence_failures;
+        exit 1
+      end
+
 let drill mode plan_name drivers boxcar records seed interval_ms json =
+  if mode = "cluster" then cluster_drill plan_name drivers seed interval_ms json
+  else
   let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
   let plan =
     match plan_name with
@@ -571,9 +693,7 @@ let drill mode plan_name drivers boxcar records seed interval_ms json =
     else (None, None)
   in
   match Tp.Drill.run ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params ~mode ~plan () with
-  | Error e ->
-      prerr_endline ("odsbench drill: " ^ e);
-      exit 1
+  | Error e -> drill_fail json e
   | Ok r ->
       if json then print_endline (Json.to_string (drill_json r)) else drill_text r;
       if not (Tp.Drill.zero_loss r) then begin
@@ -584,16 +704,24 @@ let drill mode plan_name drivers boxcar records seed interval_ms json =
 
 let drill_cmd =
   let mode =
-    Arg.(value & opt string "pm" & info [ "mode" ] ~docv:"disk|pm" ~doc:"Audit backend.")
+    Arg.(
+      value & opt string "pm"
+      & info [ "mode" ] ~docv:"disk|pm|cluster"
+          ~doc:
+            "Audit backend, or $(b,cluster) for the multi-node partition drill \
+             (distributed 2PC load, WAN partition, in-doubt resolution, epoch-fence \
+             audit).")
   in
   let plan =
     Arg.(
       value & opt string "standard"
-      & info [ "plan" ] ~docv:"standard|kills|none"
+      & info [ "plan" ] ~docv:"standard|kills|none|partition"
           ~doc:
             "Fault schedule: $(b,standard) is the full drill (PM: PMM kill, NPMU \
              power-cycle, rail flap, CRC noise, resync), $(b,kills) keeps only the \
-             process-pair kills, $(b,none) runs faultless.")
+             process-pair kills, $(b,none) runs faultless.  In cluster mode, \
+             $(b,partition) (the default) severs the inter-node link mid-2PC, kills the \
+             coordinator, heals, takes over the PM manager and probes the epoch fence.")
   in
   let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
   let boxcar =

@@ -5,6 +5,7 @@ type t = {
   mem : Bytes.t;
   ep : Servernet.Fabric.endpoint;
   mutable powered : bool;
+  mutable st_power_cycles : int;
   st_writes : int ref;
   st_reads : int ref;
   st_bytes_written : int ref;
@@ -29,8 +30,8 @@ let create sim fabric ~name ~capacity =
     }
   in
   let ep = Servernet.Fabric.attach fabric ~name ~store in
-  { npmu_name = name; npmu_sim = sim; capacity; mem; ep; powered = true; st_writes;
-    st_reads; st_bytes_written }
+  { npmu_name = name; npmu_sim = sim; capacity; mem; ep; powered = true;
+    st_power_cycles = 0; st_writes; st_reads; st_bytes_written }
 
 let instrument t metrics =
   let prefix = "npmu." ^ t.npmu_name in
@@ -40,6 +41,8 @@ let instrument t metrics =
       float_of_int !(t.st_reads));
   Simkit.Metrics.register_gauge metrics (prefix ^ ".bytes_written") (fun () ->
       float_of_int !(t.st_bytes_written));
+  Simkit.Metrics.register_gauge metrics (prefix ^ ".fenced_writes") (fun () ->
+      float_of_int (Servernet.Avt.fenced (Servernet.Fabric.avt t.ep)));
   (* Outstanding RDMA operations targeting this NPMU, accounted by the
      fabric at the target side. *)
   let p = Simkit.Metrics.probe metrics ("npmu." ^ t.npmu_name) in
@@ -67,8 +70,13 @@ let is_powered t = t.powered
 let power_loss t =
   if t.powered then begin
     t.powered <- false;
+    t.st_power_cycles <- t.st_power_cycles + 1;
     Servernet.Fabric.set_alive t.ep false
   end
+
+let power_cycles t = t.st_power_cycles
+
+let fenced_writes t = Servernet.Avt.fenced (Servernet.Fabric.avt t.ep)
 
 let power_restore t =
   if not t.powered then begin

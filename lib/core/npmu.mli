@@ -38,6 +38,14 @@ val avt : t -> Servernet.Avt.t
 
 val is_powered : t -> bool
 
+val power_cycles : t -> int
+(** Number of {!power_loss} events since creation.  The PMM compares
+    this across a resync copy to detect a blip that happened entirely
+    inside one chunk transfer. *)
+
+val fenced_writes : t -> int
+(** Writes this device's AVT rejected with [Stale_epoch]. *)
+
 val power_loss : t -> unit
 (** The device disappears from the fabric; memory contents are retained
     (durable media, no refresh needed). *)

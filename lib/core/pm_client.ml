@@ -34,6 +34,7 @@ type t = {
   mutable retried_writes : int;
   mutable read_failovers : int;
   mutable mgmt_retried : int;
+  mutable fenced : int;
   (* Consecutive data-path failures per device of the mirror pair; past
      [fail_fast_after] the client stops burning retries on a device it
      has every reason to believe is down, until a success resets it. *)
@@ -44,7 +45,7 @@ type t = {
   write_probe : Probe.t option;
 }
 
-type handle = { t : t; region : Pm_types.region_info }
+type handle = { t : t; mutable region : Pm_types.region_info }
 
 let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
   {
@@ -57,6 +58,7 @@ let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
     retried_writes = 0;
     read_failovers = 0;
     mgmt_retried = 0;
+    fenced = 0;
     primary_strikes = 0;
     mirror_strikes = 0;
     latency =
@@ -149,84 +151,116 @@ let bounds_ok region ~off ~len =
   off >= 0 && len >= 0 && off + len <= region.Pm_types.length
 
 let write ?span t h ~off ~data =
-  let region = h.region in
-  let len = Bytes.length data in
-  if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "write out of bounds")
-  else begin
-    let started = Sim.now (Cpu.sim t.client_cpu) in
-    let sp =
-      match t.obs with
-      | None -> Span.null
-      | Some o ->
-          let sp = Span.start (Obs.spans o) ~track:"pm" ?parent:span "pm.write" in
-          Span.annotate sp ~key:"region" region.Pm_types.region_name;
-          Span.annotate sp ~key:"len" (string_of_int len);
-          sp
-    in
-    let addr = region.Pm_types.net_base + off in
-    let src = Cpu.endpoint t.client_cpu in
-    (match t.write_probe with Some p -> Probe.enqueue p | None -> ());
-    if t.cfg.write_penalty > 0 then Sim.sleep t.cfg.write_penalty;
-    (* One device's worth of the mirrored write, with bounded retry of
-       transient fabric errors (a rail flapping, a burst of CRC noise)
-       before the attempt counts as a device failure.  Once a device has
-       racked up [fail_fast_after] consecutive failures the retries are
-       skipped — it is down, not noisy — so a long outage degrades every
-       write once instead of stalling each one through a retry ladder. *)
-    let write_device ~strikes ~note dst =
-      let rec go attempt =
-        match Servernet.Fabric.rdma_write ~span:sp t.fabric ~src ~dst ~addr ~data with
-        | Ok () ->
-            note 0;
-            Ok ()
-        | Error (Servernet.Fabric.Unreachable | Servernet.Fabric.No_path
-                | Servernet.Fabric.Crc_failure)
-          when attempt < t.cfg.data_retries && strikes < t.cfg.fail_fast_after ->
-            t.retried_writes <- t.retried_writes + 1;
-            bump_counter t "pm.write_retries";
-            backoff_sleep t ~base:t.cfg.data_backoff ~attempt;
-            go (attempt + 1)
-        | Error e ->
-            note (strikes + 1);
-            Error e
+  (* A write bounced with [Stale_epoch] means the volume was fenced under
+     us (takeover or resync finished a new incarnation).  The grant is
+     refreshable: re-open the region at the PMM — the fresh grant carries
+     the new epoch — and retry, a bounded number of times. *)
+  let rec attempt refreshes =
+    let region = h.region in
+    let len = Bytes.length data in
+    if not (bounds_ok region ~off ~len) then
+      Error (Pm_types.Bad_request "write out of bounds")
+    else begin
+      let started = Sim.now (Cpu.sim t.client_cpu) in
+      let sp =
+        match t.obs with
+        | None -> Span.null
+        | Some o ->
+            let sp = Span.start (Obs.spans o) ~track:"pm" ?parent:span "pm.write" in
+            Span.annotate sp ~key:"region" region.Pm_types.region_name;
+            Span.annotate sp ~key:"len" (string_of_int len);
+            sp
       in
-      go 0
-    in
-    let primary_result =
-      write_device ~strikes:t.primary_strikes
-        ~note:(fun n -> t.primary_strikes <- n)
-        region.Pm_types.primary_npmu
-    in
-    let mirror_result =
-      if t.cfg.mirrored_writes then
-        write_device ~strikes:t.mirror_strikes
-          ~note:(fun n -> t.mirror_strikes <- n)
-          region.Pm_types.mirror_npmu
-      else primary_result
-    in
-    let outcome =
-      match (primary_result, mirror_result) with
-      | Ok (), Ok () -> Ok ()
-      | Ok (), Error _ | Error _, Ok () ->
-          t.degraded <- t.degraded + 1;
-          bump_counter t "pm.degraded_writes";
-          Ok ()
-      | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied), _
-      | _, Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
-          Error Pm_types.Permission_denied
-      | Error _, Error _ -> Error Pm_types.Device_failed
-    in
-    (match outcome with
-    | Ok () -> Stat.add_span t.latency (Sim.now (Cpu.sim t.client_cpu) - started)
-    | Error _ -> ());
-    (match t.write_probe with
-    | Some p ->
-        Probe.busy_span p (Sim.now (Cpu.sim t.client_cpu) - started);
-        Probe.dequeue p
-    | None -> ());
-    (match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ());
-    outcome
-  end
+      let addr = region.Pm_types.net_base + off in
+      let epoch = region.Pm_types.epoch in
+      let src = Cpu.endpoint t.client_cpu in
+      (match t.write_probe with Some p -> Probe.enqueue p | None -> ());
+      if t.cfg.write_penalty > 0 then Sim.sleep t.cfg.write_penalty;
+      (* One device's worth of the mirrored write, with bounded retry of
+         transient fabric errors (a rail flapping, a burst of CRC noise)
+         before the attempt counts as a device failure.  Once a device has
+         racked up [fail_fast_after] consecutive failures the retries are
+         skipped — it is down, not noisy — so a long outage degrades every
+         write once instead of stalling each one through a retry ladder. *)
+      let write_device ~strikes ~note dst =
+        let rec go attempt =
+          match
+            Servernet.Fabric.rdma_write ~span:sp ~epoch t.fabric ~src ~dst ~addr ~data
+          with
+          | Ok () ->
+              note 0;
+              Ok ()
+          | Error (Servernet.Fabric.Unreachable | Servernet.Fabric.No_path
+                  | Servernet.Fabric.Crc_failure)
+            when attempt < t.cfg.data_retries && strikes < t.cfg.fail_fast_after ->
+              t.retried_writes <- t.retried_writes + 1;
+              bump_counter t "pm.write_retries";
+              backoff_sleep t ~base:t.cfg.data_backoff ~attempt;
+              go (attempt + 1)
+          | Error e ->
+              note (strikes + 1);
+              Error e
+        in
+        go 0
+      in
+      let primary_result =
+        write_device ~strikes:t.primary_strikes
+          ~note:(fun n -> t.primary_strikes <- n)
+          region.Pm_types.primary_npmu
+      in
+      let mirror_result =
+        if t.cfg.mirrored_writes then
+          write_device ~strikes:t.mirror_strikes
+            ~note:(fun n -> t.mirror_strikes <- n)
+            region.Pm_types.mirror_npmu
+        else primary_result
+      in
+      let is_fenced = function
+        | Error (Servernet.Fabric.Avt_error Servernet.Avt.Stale_epoch) -> true
+        | _ -> false
+      in
+      let outcome =
+        (* A fence on either device outranks the degraded-write path: the
+           write may have half-landed, but this client's whole grant is
+           stale — acking would hide data the new incarnation won't see. *)
+        if is_fenced primary_result || is_fenced mirror_result then Error Pm_types.Fenced
+        else
+          match (primary_result, mirror_result) with
+          | Ok (), Ok () -> Ok ()
+          | Ok (), Error _ | Error _, Ok () ->
+              t.degraded <- t.degraded + 1;
+              bump_counter t "pm.degraded_writes";
+              Ok ()
+          | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied), _
+          | _, Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+              Error Pm_types.Permission_denied
+          | Error _, Error _ -> Error Pm_types.Device_failed
+      in
+      (match outcome with
+      | Ok () -> Stat.add_span t.latency (Sim.now (Cpu.sim t.client_cpu) - started)
+      | Error _ -> ());
+      (match t.write_probe with
+      | Some p ->
+          Probe.busy_span p (Sim.now (Cpu.sim t.client_cpu) - started);
+          Probe.dequeue p
+      | None -> ());
+      (match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ());
+      match outcome with
+      | Error Pm_types.Fenced ->
+          t.fenced <- t.fenced + 1;
+          bump_counter t "pm.fenced_writes";
+          if refreshes <= 0 then Error Pm_types.Fenced
+          else begin
+            match open_region t ~name:region.Pm_types.region_name with
+            | Ok fresh ->
+                h.region <- fresh.region;
+                attempt (refreshes - 1)
+            | Error _ -> Error Pm_types.Fenced
+          end
+      | outcome -> outcome
+    end
+  in
+  attempt 2
 
 let read t h ~off ~len =
   let region = h.region in
@@ -271,6 +305,8 @@ let degraded_writes t = t.degraded
 let write_retries t = t.retried_writes
 
 let read_failovers t = t.read_failovers
+
+let fenced_writes t = t.fenced
 
 let mgmt_retries_used t = t.mgmt_retried
 

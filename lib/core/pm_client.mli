@@ -71,7 +71,10 @@ val write :
     success is still persistent (and reported through {!degraded_writes}).
     Fails with [Device_failed] when no device accepted it, and with
     [Bad_request] on bounds violations (checked client-side before any
-    wire traffic). *)
+    wire traffic).  Writes carry the handle's volume epoch; if the volume
+    was fenced (takeover/resync) the client transparently re-opens the
+    region for a fresh grant and retries, failing with [Fenced] only when
+    the refresh itself cannot be completed. *)
 
 val read : t -> handle -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
 (** Read from the primary device, failing over to the mirror; transient
@@ -86,6 +89,10 @@ val write_retries : t -> int
 
 val read_failovers : t -> int
 (** Reads the primary device missed and the mirror served. *)
+
+val fenced_writes : t -> int
+(** Writes bounced with [Stale_epoch] before a grant refresh (also the
+    [pm.fenced_writes] counter when attached with [obs]). *)
 
 val mgmt_retries_used : t -> int
 (** Management calls re-sent across PMM takeovers or timeouts. *)

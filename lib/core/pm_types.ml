@@ -6,6 +6,7 @@ type error =
   | Region_busy
   | Device_failed
   | Manager_down
+  | Fenced
   | Bad_request of string
 
 let pp_error ppf = function
@@ -16,6 +17,7 @@ let pp_error ppf = function
   | Region_busy -> Format.pp_print_string ppf "region is open by clients"
   | Device_failed -> Format.pp_print_string ppf "both NPMUs unreachable"
   | Manager_down -> Format.pp_print_string ppf "persistent memory manager down"
+  | Fenced -> Format.pp_print_string ppf "write fenced: volume epoch advanced"
   | Bad_request msg -> Format.fprintf ppf "bad request: %s" msg
 
 let error_to_string e = Format.asprintf "%a" pp_error e
@@ -26,8 +28,11 @@ type region_info = {
   length : int;
   primary_npmu : int;
   mirror_npmu : int;
+  epoch : int;
+      (* volume epoch at grant time; write descriptors carry it so the
+         NPMUs can fence grants issued before a takeover or resync *)
 }
 
 let pp_region_info ppf r =
-  Format.fprintf ppf "%s @@0x%x len=%d npmu=(%d,%d)" r.region_name r.net_base r.length
-    r.primary_npmu r.mirror_npmu
+  Format.fprintf ppf "%s @@0x%x len=%d npmu=(%d,%d) epoch=%d" r.region_name r.net_base
+    r.length r.primary_npmu r.mirror_npmu r.epoch

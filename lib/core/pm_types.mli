@@ -8,6 +8,7 @@ type error =
   | Region_busy  (** delete attempted while clients hold the region open *)
   | Device_failed  (** no NPMU of the mirrored pair could be reached *)
   | Manager_down  (** PMM pair lost or unreachable *)
+  | Fenced  (** write rejected: region grant predates the volume epoch *)
   | Bad_request of string
 
 val pp_error : Format.formatter -> error -> unit
@@ -20,6 +21,9 @@ type region_info = {
   length : int;
   primary_npmu : int;  (** fabric endpoint id *)
   mirror_npmu : int;
+  epoch : int;
+      (** volume epoch when the grant was issued; stale-epoch writes are
+          fenced by the NPMUs after takeover/resync *)
 }
 
 val pp_region_info : Format.formatter -> region_info -> unit

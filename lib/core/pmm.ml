@@ -8,6 +8,7 @@ type device = {
   dev_avt : Servernet.Avt.t;
   dev_peek : off:int -> len:int -> Bytes.t;
   dev_poke : off:int -> data:Bytes.t -> unit;
+  dev_power_cycles : unit -> int;
 }
 
 let device_of_npmu npmu =
@@ -18,6 +19,7 @@ let device_of_npmu npmu =
     dev_avt = Npmu.avt npmu;
     dev_peek = (fun ~off ~len -> Npmu.peek npmu ~off ~len);
     dev_poke = (fun ~off ~data -> Npmu.poke npmu ~off ~data);
+    dev_power_cycles = (fun () -> Npmu.power_cycles npmu);
   }
 
 let device_of_pmp pmp =
@@ -28,6 +30,9 @@ let device_of_pmp pmp =
     dev_avt = Pmp.avt pmp;
     dev_peek = (fun ~off ~len -> Pmp.peek pmp ~off ~len);
     dev_poke = (fun ~off ~data -> Pmp.poke pmp ~off ~data);
+    (* A PMP's power loss is terminal; "has it ever died" is the whole
+       cycle history. *)
+    dev_power_cycles = (fun () -> if Pmp.is_alive pmp then 0 else 1);
   }
 
 type request =
@@ -65,7 +70,7 @@ let default_config = { meta_reserve = 64 * 1024; op_cpu_cost = Time.us 10; mgmt_
 
 type region = { rname : string; offset : int; length : int; mutable openers : int list }
 
-type meta = { mutable generation : int; mutable regions : region list }
+type meta = { mutable generation : int; mutable epoch : int; mutable regions : region list }
 
 let magic = 0x504D4D31 (* "PMM1" *)
 
@@ -83,6 +88,7 @@ let encode_meta meta =
   in
   List.iter encode_region meta.regions;
   Codec.Enc.u64 enc meta.generation;
+  Codec.Enc.u64 enc meta.epoch;
   Codec.Enc.to_bytes enc
 
 let decode_meta blob =
@@ -98,7 +104,8 @@ let decode_meta blob =
   in
   let regions = List.init count (fun _ -> decode_region ()) in
   let generation = Codec.Dec.u64 dec in
-  { generation; regions }
+  let epoch = Codec.Dec.u64 dec in
+  { generation; epoch; regions }
 
 (* A slot image: header (magic, generation, length, crc) then payload. *)
 let slot_image meta =
@@ -152,18 +159,19 @@ type t = {
 let slot_offset cfg slot = slot * (cfg.meta_reserve / 2)
 
 let format cfg prim mirr =
-  let meta = { generation = 1; regions = [] } in
+  let meta = { generation = 1; epoch = 1; regions = [] } in
   let image = slot_image meta in
   let write_device dev =
     dev.dev_poke ~off:(slot_offset cfg 0) ~data:image;
     dev.dev_poke ~off:(slot_offset cfg 1) ~data:image;
     (* Leave the metadata window open for management until a PMM claims
        the volume and narrows access to its own CPUs. *)
-    match
-      Servernet.Avt.map dev.dev_avt ~net_base:0 ~length:cfg.meta_reserve ~phys_base:0
-        ~access:(Servernet.Avt.read_write Servernet.Avt.Any_initiator)
-    with
-    | Ok () | Error _ -> ()
+    (match
+       Servernet.Avt.map dev.dev_avt ~net_base:0 ~length:cfg.meta_reserve ~phys_base:0
+         ~access:(Servernet.Avt.read_write Servernet.Avt.Any_initiator)
+     with
+    | Ok () | Error _ -> ());
+    Servernet.Avt.set_epoch dev.dev_avt meta.epoch
   in
   write_device prim;
   write_device mirr
@@ -215,7 +223,9 @@ let current_cpu t = Procpair.primary_cpu (pair_exn t)
 let src_endpoint t = Cpu.endpoint (current_cpu t)
 
 (* Persist the table to both devices (new generation, alternating slot).
-   Returns false when neither device accepted the write. *)
+   Returns false when neither device accepted the write.  Metadata writes
+   carry the table's own epoch, so a deposed primary that lost a takeover
+   race is fenced off the volume like any other stale writer. *)
 let persist t meta =
   meta.generation <- meta.generation + 1;
   let image = slot_image meta in
@@ -223,8 +233,8 @@ let persist t meta =
   let addr = slot_offset t.cfg slot in
   let write_dev dev =
     match
-      Servernet.Fabric.rdma_write t.fabric ~src:(src_endpoint t) ~dst:dev.dev_id ~addr
-        ~data:image
+      Servernet.Fabric.rdma_write ~epoch:meta.epoch t.fabric ~src:(src_endpoint t)
+        ~dst:dev.dev_id ~addr ~data:image
     with
     | Ok () -> true
     | Error _ -> false
@@ -238,6 +248,23 @@ let checkpoint_meta t meta =
   match t.pair with
   | Some pair -> Procpair.checkpoint pair ~bytes:(Bytes.length blob) blob
   | None -> ()
+
+(* Fence the volume: advance the epoch past anything either device has
+   seen, persist it durably, then arm both AVTs.  The persist happens
+   {e before} the AVTs move so the metadata write itself is never fenced;
+   from the set_epoch on, every write descriptor stamped with an older
+   grant bounces with [Stale_epoch]. *)
+let bump_epoch t meta =
+  let armed =
+    max
+      (Servernet.Avt.epoch t.prim_dev.dev_avt)
+      (Servernet.Avt.epoch t.mirr_dev.dev_avt)
+  in
+  meta.epoch <- max (meta.epoch + 1) (armed + 1);
+  ignore (persist t meta);
+  Servernet.Avt.set_epoch t.prim_dev.dev_avt meta.epoch;
+  Servernet.Avt.set_epoch t.mirr_dev.dev_avt meta.epoch;
+  checkpoint_meta t meta
 
 (* Narrow the metadata windows to this PMM's CPUs. *)
 let claim_metadata_windows t ~primary_cpu ~backup_cpu =
@@ -280,7 +307,9 @@ let recover t =
         | Some a, None -> Some a)
       None candidates
   in
-  let meta = match best with Some m -> m | None -> { generation = 1; regions = [] } in
+  let meta =
+    match best with Some m -> m | None -> { generation = 1; epoch = 1; regions = [] }
+  in
   (* Re-assert data windows (idempotent on devices that kept their AVT). *)
   let assert_windows dev = List.iter (program_window t dev) meta.regions in
   assert_windows t.prim_dev;
@@ -311,7 +340,10 @@ let region_info t r =
     length = r.length;
     primary_npmu = t.prim_dev.dev_id;
     mirror_npmu = t.mirr_dev.dev_id;
+    epoch = (live_exn t).epoch;
   }
+
+let epoch t = match t.live with Some m -> m.epoch | None -> 0
 
 let apply_mutation t meta =
   if persist t meta then begin
@@ -410,6 +442,15 @@ let handle_request t req =
       let src_dev, dst_dev =
         if from_primary then (t.prim_dev, t.mirr_dev) else (t.mirr_dev, t.prim_dev)
       in
+      let mark_dst_failed () =
+        if from_primary then t.mirr_ok <- false else t.prim_ok <- false
+      in
+      (* A power cycle entirely inside one chunk transfer is invisible to
+         the RDMA completion (the NIC only checks liveness at initiation),
+         so snapshot the devices' cycle counters and compare after the
+         copy: any blip means the rebuilt image cannot be trusted. *)
+      let cycles () = src_dev.dev_power_cycles () + dst_dev.dev_power_cycles () in
+      let cycles_before = cycles () in
       (* Copy the metadata reserve plus every allocated extent, in 64 KiB
          RDMA transfers through the manager's CPU. *)
       let chunk = 64 * 1024 in
@@ -444,14 +485,29 @@ let handle_request t req =
         | (off, len) :: rest -> (
             match copy_extent ~off ~len with Ok () -> copy_all rest | Error e -> Error e)
       in
-      match copy_all extents with
+      let result =
+        match copy_all extents with
+        | Error e -> Error e
+        | Ok () when cycles () <> cycles_before ->
+            Error "device power-cycled during copy"
+        | Ok () -> Ok ()
+      in
+      match result with
       | Ok () ->
           (* The rebuilt device also needs the AVT windows. *)
           List.iter (program_window t dst_dev) meta.regions;
           t.prim_ok <- true;
           t.mirr_ok <- true;
+          (* A rebuilt mirror is a new incarnation of the volume: fence
+             grants issued while it was degraded so clients re-open and
+             resume mirrored writes against the fresh pair. *)
+          bump_epoch t meta;
           R_resynced { bytes = !copied }
-      | Error e -> R_error (Pm_types.Bad_request ("resync: " ^ e)))
+      | Error e ->
+          (* The destination holds a half-built image: the volume stays
+             degraded until a clean resync completes. *)
+          mark_dst_failed ();
+          R_error (Pm_types.Bad_request ("resync: " ^ e)))
   | Stat ->
       let allocated = List.fold_left (fun acc r -> acc + r.length) 0 meta.regions in
       R_stat
@@ -469,9 +525,26 @@ let serve t () =
   | None -> (
       match t.shadow with
       | Some blob ->
-          (* Takeover: the checkpoint stream already built our state. *)
-          t.live <- Some (decode_meta blob)
-      | None -> t.live <- Some (recover t)));
+          (* Takeover: the checkpoint stream already built our state.
+             The promotion fences the volume — the deposed primary and
+             every client granted under it must re-open before writing. *)
+          let meta = decode_meta blob in
+          t.live <- Some meta;
+          bump_epoch t meta
+      | None ->
+          (* Boot/cold-boot: adopt the durable table and realign with
+             whatever epoch the devices already enforce (they may be
+             ahead if a previous incarnation's epoch persist was lost). *)
+          let meta = recover t in
+          let armed =
+            max
+              (Servernet.Avt.epoch t.prim_dev.dev_avt)
+              (Servernet.Avt.epoch t.mirr_dev.dev_avt)
+          in
+          meta.epoch <- max meta.epoch armed;
+          Servernet.Avt.set_epoch t.prim_dev.dev_avt meta.epoch;
+          Servernet.Avt.set_epoch t.mirr_dev.dev_avt meta.epoch;
+          t.live <- Some meta));
   while true do
     let req, respond = Msgsys.next_request t.srv in
     Cpu.execute (current_cpu t) t.cfg.op_cpu_cost;

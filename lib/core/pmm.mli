@@ -24,6 +24,9 @@ type device = {
   dev_avt : Servernet.Avt.t;
   dev_peek : off:int -> len:int -> Bytes.t;
   dev_poke : off:int -> data:Bytes.t -> unit;
+  dev_power_cycles : unit -> int;
+      (** monotone count of power-loss events; the resync path compares
+          it across the copy to catch blips invisible to RDMA *)
 }
 
 val device_of_npmu : Npmu.t -> device
@@ -41,7 +44,10 @@ type request =
   | Resync of { from_primary : bool }
       (** administrative mirror rebuild: copy every allocated region (and
           the metadata) from one device of the pair onto the other, e.g.
-          after a replaced or power-cycled NPMU came back stale *)
+          after a replaced or power-cycled NPMU came back stale.  Fails —
+          leaving the volume degraded — if either device power-cycles
+          during the copy; on success the volume epoch is bumped so stale
+          grants are fenced. *)
 
 type stat_info = {
   capacity : int;  (** data capacity (metadata reserve excluded) *)
@@ -96,6 +102,12 @@ val server : t -> server
 val config : t -> config
 
 val degraded : t -> bool
+
+val epoch : t -> int
+(** Current volume epoch (0 before the first serve loop runs).  Bumped
+    durably on every promotion — boot, takeover, cold-boot recovery —
+    and on every successful resync; region grants carry it and the
+    device AVTs fence writes stamped with an older value. *)
 
 val last_recovery_time : t -> Time.span option
 (** Wall-clock (simulated) duration of the most recent metadata recovery,

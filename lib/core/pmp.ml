@@ -47,6 +47,8 @@ let avt t = Servernet.Fabric.avt t.ep
 
 let is_alive t = t.alive
 
+let fenced_writes t = Servernet.Avt.fenced (Servernet.Fabric.avt t.ep)
+
 let power_loss t =
   if t.alive then begin
     t.alive <- false;

@@ -27,6 +27,9 @@ val avt : t -> Servernet.Avt.t
 
 val is_alive : t -> bool
 
+val fenced_writes : t -> int
+(** Writes this endpoint's AVT rejected with [Stale_epoch]. *)
+
 val power_loss : t -> unit
 (** Simulated power loss: the process dies and, being DRAM-hosted, the
     memory contents are cleared. *)

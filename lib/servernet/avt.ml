@@ -8,22 +8,35 @@ let read_write who = { readers = who; writers = who }
 
 let read_only who = { readers = who; writers = Initiators [] }
 
-type error = Unmapped | Access_denied | Crosses_window
+type error = Unmapped | Access_denied | Crosses_window | Stale_epoch
 
 let pp_error ppf = function
   | Unmapped -> Format.pp_print_string ppf "unmapped address"
   | Access_denied -> Format.pp_print_string ppf "access denied"
   | Crosses_window -> Format.pp_print_string ppf "access crosses window boundary"
+  | Stale_epoch -> Format.pp_print_string ppf "stale volume epoch (fenced)"
 
 type window = { net_base : int; length : int; phys_base : int; mutable access : access }
 
-type t = { mutable windows : window list (* sorted by net_base *) }
+type t = {
+  mutable windows : window list; (* sorted by net_base *)
+  mutable current_epoch : int;
+  mutable fenced : int;
+}
 
 let address_space_bits = 32
 
 let space_limit = 1 lsl address_space_bits
 
-let create () = { windows = [] }
+let create () = { windows = []; current_epoch = 0; fenced = 0 }
+
+let epoch t = t.current_epoch
+
+let set_epoch t e =
+  if e < t.current_epoch then invalid_arg "Avt.set_epoch: epoch must not decrease";
+  t.current_epoch <- e
+
+let fenced t = t.fenced
 
 let overlaps a b =
   a.net_base < b.net_base + b.length && b.net_base < a.net_base + a.length
@@ -59,14 +72,26 @@ let set_access t ~net_base access =
 let allowed who initiator =
   match who with Any_initiator -> true | Initiators l -> List.mem initiator l
 
-let translate t ~initiator ~op ~addr ~len =
+let translate ?epoch t ~initiator ~op ~addr ~len =
   match List.find_opt (fun w -> addr >= w.net_base && addr < w.net_base + w.length) t.windows with
   | None -> Error Unmapped
   | Some w ->
       if addr + len > w.net_base + w.length then Error Crosses_window
       else
-        let who = match op with `Read -> w.access.readers | `Write -> w.access.writers in
-        if allowed who initiator then Ok (w.phys_base + (addr - w.net_base))
-        else Error Access_denied
+        (* Fencing applies to mutations only: a stale reader is harmless,
+           a stale writer can corrupt state owned by the new primary. *)
+        let stale =
+          match (op, epoch) with
+          | `Write, Some e when e < t.current_epoch -> true
+          | _ -> false
+        in
+        if stale then begin
+          t.fenced <- t.fenced + 1;
+          Error Stale_epoch
+        end
+        else
+          let who = match op with `Read -> w.access.readers | `Write -> w.access.writers in
+          if allowed who initiator then Ok (w.phys_base + (addr - w.net_base))
+          else Error Access_denied
 
 let windows t = List.map (fun w -> (w.net_base, w.length)) t.windows

@@ -26,6 +26,7 @@ type error =
   | Unmapped  (** no window covers the address *)
   | Access_denied  (** window exists but the initiator lacks the right *)
   | Crosses_window  (** the access runs past the end of its window *)
+  | Stale_epoch  (** write carried an epoch older than the table's current one *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -48,10 +49,23 @@ val set_access : t -> net_base:int -> access -> bool
 (** Reprogram permissions of an existing window. *)
 
 val translate :
+  ?epoch:int ->
   t -> initiator:initiator -> op:[ `Read | `Write ] -> addr:int -> len:int ->
   (int, error) result
 (** Validate an access of [len] bytes at network virtual address [addr]
-    and return the physical base offset on success. *)
+    and return the physical base offset on success.  A write carrying
+    [?epoch] older than {!epoch} is rejected with [Stale_epoch] before
+    the access check; reads and epoch-less writes are never fenced. *)
+
+val epoch : t -> int
+(** Current volume epoch enforced against write descriptors; 0 initially. *)
+
+val set_epoch : t -> int -> unit
+(** Advance the fencing epoch (monotone; raises on decrease).  Writes
+    stamped with an older epoch are rejected from then on. *)
+
+val fenced : t -> int
+(** Number of writes rejected with [Stale_epoch] since creation. *)
 
 val windows : t -> (int * int) list
 (** [(net_base, length)] of every programmed window, ascending. *)

@@ -278,7 +278,7 @@ let resolve_target t dst =
   | None -> Error Unreachable
   | Some ep -> if ep.ep_alive then Ok ep else Error Unreachable
 
-let rdma_write ?span t ~src ~dst ~addr ~data =
+let rdma_write ?span ?epoch t ~src ~dst ~addr ~data =
   let len = Bytes.length data in
   let t0 = Sim.now t.sim in
   let sp = start_span t ?parent:span "fabric.rdma_write" ~bytes:len in
@@ -296,7 +296,8 @@ let rdma_write ?span t ~src ~dst ~addr ~data =
             | Ok () -> (
                 (* Address validation happens in the target NIC on arrival. *)
                 match
-                  Avt.translate target.ep_avt ~initiator:src.ep_id ~op:`Write ~addr ~len
+                  Avt.translate ?epoch target.ep_avt ~initiator:src.ep_id ~op:`Write
+                    ~addr ~len
                 with
                 | Error e -> fail t (Avt_error e)
                 | Ok phys ->

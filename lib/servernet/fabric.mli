@@ -109,12 +109,17 @@ val crc_error_rate : t -> float
 
 val rdma_write :
   ?span:Span.span ->
+  ?epoch:int ->
   t ->
   src:endpoint ->
   dst:int ->
   addr:int ->
   data:Bytes.t ->
   (unit, error) result
+(** [?epoch] stamps the write descriptor with the initiator's view of
+    the target volume's epoch; the target AVT rejects it with
+    [Avt_error Stale_epoch] if the volume has since been fenced to a
+    newer epoch (takeover/resync). *)
 
 val rdma_read :
   ?span:Span.span ->

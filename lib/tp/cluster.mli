@@ -24,12 +24,29 @@ val system : t -> int -> System.t
 
 val wan_latency : t -> Time.span
 
+val partition : t -> unit
+(** Sever the inter-node link.  Cross-node calls in flight lose their
+    request or reply leg and time out; local traffic is unaffected. *)
+
+val heal : t -> unit
+
+val wan_is_up : t -> bool
+
 val local_session : t -> node:int -> cpu:int -> Txclient.t
 (** A session on [node] addressing its own data tier. *)
 
 val remote_session : t -> from_node:int -> target:int -> cpu:int -> Txclient.t
 (** A session hosted on [from_node]'s CPU [cpu] addressing [target]'s
-    data tier across the interconnect. *)
+    data tier across the interconnect.  Cross-node sessions observe
+    {!partition}: while the link is down their calls fail with
+    timeouts. *)
 
 val total_committed : t -> int
 (** Committed transactions across all nodes' monitors. *)
+
+val recover : t -> (Recovery.report list, string) result
+(** Run {!Recovery.run} on every node in order, resolving each node's
+    in-doubt branches by querying the gtid's coordinator node across the
+    interconnect ([Tmf.Query_outcome]).  Requires the link healed —
+    unreachable coordinators resolve to presumed abort.  Process context
+    only. *)

@@ -78,6 +78,45 @@ let standard_plan mode =
           at (Time.sec 2) (Crc_noise_burst { rate = 0.02; duration = Time.ms 300 });
         ]
 
+(* Cluster drills push fewer, smaller rows: every insert crosses the
+   interconnect and every commit runs two-phase, so default-params volume
+   would take minutes of simulated time without exercising anything
+   new. *)
+let cluster_params =
+  {
+    drivers = 2;
+    records_per_driver = 60;
+    record_bytes = 1024;
+    inserts_per_txn = 4;
+    settle = Time.ms 500;
+    begin_retries = 8;
+  }
+
+(* Partition mid-2PC, decapitate the coordinator's monitor while the
+   link is down, heal, then take over the PM manager (bumping the volume
+   epoch) and verify the fence is armed.
+
+   The short pulses before the long outage each sample a different phase
+   of the transaction cycle; the ones that land while a prepare or a
+   decide is crossing the interconnect lose the reply leg and strand a
+   prepared branch — the in-doubt window {!Cluster.recover}'s resolver
+   must drain. *)
+let partition_plan =
+  Faultplan.
+    [
+      at (Time.ms 8) Wan_partition;
+      at (Time.ms 11) Wan_heal;
+      at (Time.ms 16) Wan_partition;
+      at (Time.ms 19) Wan_heal;
+      at (Time.ms 25) Wan_partition;
+      at (Time.ms 28) Wan_heal;
+      at (Time.ms 34) Wan_partition;
+      at (Time.ms 40) (Kill_primary Tmf);
+      at (Time.ms 90) Wan_heal;
+      at (Time.ms 110) (Kill_primary Pmm);
+      at (Time.ms 130) Fence_check;
+    ]
+
 let config_for base mode =
   match mode with
   | System.Disk_audit -> { base with System.log_mode = System.Disk_audit }
@@ -254,6 +293,198 @@ let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_para
                       availability = availability_of system;
                       recovery;
                       timeline = ts;
+                    })
+  in
+  Sim.run sim;
+  !out
+
+(* --- Cluster partition drill --- *)
+
+type cluster_report = {
+  c_seed : int64;
+  c_nodes : int;
+  c_elapsed : Time.span;
+  c_faults : (Time.t * string) list;
+  c_attempted : int;
+  c_committed : int;
+  c_failed : int;
+  c_acked_rows : int;
+  c_lost_rows : int;
+  c_in_doubt_before : int;
+  c_resolved_commit : int;
+  c_resolved_abort : int;
+  c_in_doubt_after : int;
+  c_orphaned_locks : int;
+  c_fence_checks : int;
+  c_fence_failures : int;
+  c_fenced_writes : int;
+  c_recoveries : Recovery.report list;
+  c_response : Stat.summary;
+}
+
+let cluster_zero_loss r =
+  r.c_lost_rows = 0 && r.c_in_doubt_after = 0 && r.c_orphaned_locks = 0
+  && r.c_fence_failures = 0
+
+(* Distributed hot-stock mix: every transaction spreads its inserts
+   across the nodes and commits two-phase.  Failures are data — during
+   the partition cross-node calls time out fast and the driver moves
+   on — and only [Ok] commits contribute to [acked]. *)
+let cluster_driver cluster params ~index ~acked ~response_stat ~committed ~failed ~on_done
+    () =
+  let nodes = Cluster.node_count cluster in
+  let coordinator = index mod nodes in
+  let home = Cluster.system cluster coordinator in
+  let cfg = System.config home in
+  let sim = System.sim home in
+  let files = cfg.System.files in
+  let key_base = (index + 1) * 100_000_000 in
+  let total = params.records_per_driver in
+  let per_txn = params.inserts_per_txn in
+  let seq = ref 0 in
+  while !seq < total do
+    let t0 = Sim.now sim in
+    let in_this_txn = min per_txn (total - !seq) in
+    let keys =
+      List.init in_this_txn (fun i ->
+          let idx = !seq + i in
+          ((coordinator + idx) mod nodes, idx mod files, key_base + idx))
+    in
+    seq := !seq + in_this_txn;
+    let dtx = Dtx.begin_dtx cluster ~coordinator ~cpu:(index mod cfg.System.worker_cpus) in
+    let inserted =
+      List.fold_left
+        (fun acc (node, file, key) ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> Dtx.insert dtx ~node ~file ~key ~len:params.record_bytes)
+        (Ok ()) keys
+    in
+    (match inserted with
+    | Error _ ->
+        incr failed;
+        ignore (Dtx.abort dtx);
+        (* Back off so a dead monitor doesn't turn the loop into a
+           zero-work spin. *)
+        Sim.sleep (Time.ms 2)
+    | Ok () -> (
+        match Dtx.commit dtx with
+        | Ok () ->
+            incr committed;
+            acked := List.rev_append keys !acked;
+            Stat.add_span response_stat (Sim.now sim - t0)
+        | Error _ ->
+            incr failed;
+            Sim.sleep (Time.ms 2)))
+  done;
+  on_done ()
+
+let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?(params = cluster_params) ~plan ()
+    =
+  if params.drivers < 1 then invalid_arg "Drill.run_cluster: need at least one driver";
+  if nodes < 2 then invalid_arg "Drill.run_cluster: need at least two nodes";
+  let base = Option.value config ~default:System.pm_config in
+  let cfg = { (config_for base System.Pm_audit) with System.seed } in
+  let sim = Sim.create ~seed () in
+  let out = ref (Error "cluster drill: simulation did not complete") in
+  let (_ : Sim.pid) =
+    Sim.spawn sim ~name:"drill-main" (fun () ->
+        (* A fat interconnect latency widens the in-flight window of
+           every cross-node call, so a partition pulse reliably catches
+           prepares and decides mid-air. *)
+        let cluster = Cluster.build sim ~nodes ~wan_latency:(Time.us 500) cfg in
+        match Faultplan.validate_cluster cluster ~node:0 plan with
+        | Error e -> out := Error ("fault plan: " ^ e)
+        | Ok () ->
+            let response_stat = Stat.create ~name:"cluster-drill-rt" () in
+            let acked = ref [] in
+            let committed = ref 0 in
+            let failed = ref 0 in
+            let gate = Gate.create params.drivers in
+            let started = Sim.now sim in
+            (* Node-local faults (monitor and manager kills, the fence
+               probe) target node 0 — the coordinator side of every even
+               driver's transactions. *)
+            let frun = Faultplan.launch_cluster cluster ~node:0 plan in
+            for index = 0 to params.drivers - 1 do
+              let home = Cluster.system cluster (index mod nodes) in
+              let cpu =
+                Node.cpu (System.node home) (index mod cfg.System.worker_cpus)
+              in
+              ignore
+                (Cpu.spawn cpu
+                   ~name:(Printf.sprintf "drill-driver%d" index)
+                   (cluster_driver cluster params ~index ~acked ~response_stat ~committed
+                      ~failed ~on_done:(fun () -> Gate.arrive gate)))
+            done;
+            Gate.await gate;
+            let elapsed = Sim.now sim - started in
+            Faultplan.await frun;
+            Sim.sleep params.settle;
+            let sum_nodes f =
+              let acc = ref 0 in
+              for i = 0 to nodes - 1 do
+                acc := !acc + f (Cluster.system cluster i)
+              done;
+              !acc
+            in
+            let in_doubt_count s = List.length (Tmf.in_doubt (System.tmf s)) in
+            let in_doubt_before = sum_nodes in_doubt_count in
+            (* Crash every node: the DP2 images vanish; only the trails,
+               the PM state, and the monitors' checkpointed in-doubt
+               windows survive. *)
+            for i = 0 to nodes - 1 do
+              Array.iter (fun d -> Dp2.load_table d []) (System.dp2s (Cluster.system cluster i))
+            done;
+            match Cluster.recover cluster with
+            | Error e -> out := Error ("recovery failed: " ^ e)
+            | Ok recoveries ->
+                (* Lock release rides the monitors' finish queues, which
+                   drain behind the recovery replies. *)
+                Sim.sleep params.settle;
+                let lost =
+                  List.filter
+                    (fun (node, file, key) ->
+                      let s = Cluster.system cluster node in
+                      let routing = System.routing s in
+                      let d = (System.dp2s s).(routing.Txclient.dp2_of ~file ~key) in
+                      Dp2.lookup_direct d ~file ~key = None)
+                    !acked
+                in
+                let fenced =
+                  sum_nodes (fun s ->
+                      List.fold_left
+                        (fun acc d -> acc + Pm.Npmu.fenced_writes d)
+                        0 (System.npmus s))
+                in
+                out :=
+                  Ok
+                    {
+                      c_seed = seed;
+                      c_nodes = nodes;
+                      c_elapsed = elapsed;
+                      c_faults = Faultplan.injected frun;
+                      c_attempted = !committed + !failed;
+                      c_committed = !committed;
+                      c_failed = !failed;
+                      c_acked_rows = List.length !acked;
+                      c_lost_rows = List.length lost;
+                      c_in_doubt_before = in_doubt_before;
+                      c_resolved_commit =
+                        List.fold_left
+                          (fun acc r -> acc + r.Recovery.resolved_commit)
+                          0 recoveries;
+                      c_resolved_abort =
+                        List.fold_left
+                          (fun acc r -> acc + r.Recovery.resolved_abort)
+                          0 recoveries;
+                      c_in_doubt_after = sum_nodes in_doubt_count;
+                      c_orphaned_locks = sum_nodes (fun s -> Lockmgr.held_total (System.locks s));
+                      c_fence_checks = Faultplan.fence_checks frun;
+                      c_fence_failures = Faultplan.fence_failures frun;
+                      c_fenced_writes = fenced;
+                      c_recoveries = recoveries;
+                      c_response = Stat.summary response_stat;
                     })
   in
   Sim.run sim;

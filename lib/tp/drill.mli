@@ -33,6 +33,11 @@ type params = {
 val default_params : params
 (** 2 drivers x 400 records, 4 KiB rows, boxcar 8, 500 ms settle. *)
 
+val cluster_params : params
+(** Cluster-drill sizing: 2 drivers x 60 records, 1 KiB rows, boxcar 4 —
+    every insert crosses the interconnect and every commit runs
+    two-phase, so the volume is kept small. *)
+
 type availability = {
   adp_takeovers : int;
   dp2_takeovers : int;
@@ -74,6 +79,14 @@ val standard_plan : System.log_mode -> Faultplan.t
     Disk mode: ADP, DP2 and TMF primary kills plus the rail flap and
     noise burst.  Offsets assume {!default_params}-scale load. *)
 
+val partition_plan : Faultplan.t
+(** The cluster partition schedule: sever the inter-node link mid-2PC,
+    kill the coordinator node's monitor while the link is down, heal,
+    take over the PM manager (bumping the volume epoch), then verify the
+    epoch fence is armed.  Offsets assume {!cluster_params}-scale load;
+    cluster-scoped ({!run_cluster} / {!Faultplan.launch_cluster})
+    only. *)
+
 val run :
   ?seed:int64 ->
   ?config:System.config ->
@@ -88,3 +101,51 @@ val run :
     carries a recovery or plan-validation failure.  [sample_interval]
     (requires [obs], else [Invalid_argument]) records a telemetry
     timeline into {!report.timeline}. *)
+
+(** Result of a cluster drill: the per-node durability audit plus the
+    partition-specific invariants. *)
+type cluster_report = {
+  c_seed : int64;
+  c_nodes : int;
+  c_elapsed : Time.span;  (** load phase duration *)
+  c_faults : (Time.t * string) list;
+  c_attempted : int;
+  c_committed : int;  (** acknowledged distributed commits *)
+  c_failed : int;
+  c_acked_rows : int;
+  c_lost_rows : int;  (** acked rows missing after recovery: must be 0 *)
+  c_in_doubt_before : int;
+      (** prepared-but-undecided branches entering recovery, across all
+          nodes — the partition's wreckage *)
+  c_resolved_commit : int;  (** in-doubt branches committed by resolution *)
+  c_resolved_abort : int;  (** in-doubt branches aborted by resolution *)
+  c_in_doubt_after : int;  (** branches still undecided after: must be 0 *)
+  c_orphaned_locks : int;
+      (** locks still held anywhere after recovery settles: must be 0 *)
+  c_fence_checks : int;  (** epoch-fence probes executed *)
+  c_fence_failures : int;  (** probes whose stale write was accepted: must be 0 *)
+  c_fenced_writes : int;
+      (** stale-epoch writes the devices rejected (includes the probes) *)
+  c_recoveries : Recovery.report list;  (** per node, in node order *)
+  c_response : Stat.summary;
+}
+
+val cluster_zero_loss : cluster_report -> bool
+(** The cluster drill's invariant bundle: zero acked-but-lost rows, an
+    empty in-doubt window, no orphaned locks, and no fence failures. *)
+
+val run_cluster :
+  ?seed:int64 ->
+  ?nodes:int ->
+  ?config:System.config ->
+  ?params:params ->
+  plan:Faultplan.t ->
+  unit ->
+  (cluster_report, string) result
+(** A partition drill: build an [nodes]-node PM-mode cluster, run the
+    distributed hot-stock mix (every transaction spreads rows across
+    nodes and commits two-phase) while the plan fires, crash every
+    node's DP2 images, run {!Cluster.recover} — which resolves each
+    node's in-doubt branches against their coordinators — and audit the
+    {!cluster_zero_loss} invariants.  Always PM mode (the fence probe
+    requires it).  Owns its simulation. *)

@@ -77,8 +77,18 @@ let commit t =
       t.branch_list <- [];
       Txclient.commit b.session b.txn
   | bs -> (
+      (* The coordinator's branch is chosen before phase 1 so every
+         prepared record can carry the global transaction identity —
+         (coordinator node, coordinator branch txn) — the address an
+         in-doubt resolver asks after a failure. *)
+      let coord_branch =
+        match List.find_opt (fun b -> b.b_node = t.coordinator) bs with
+        | Some b -> b
+        | None -> List.hd (List.rev bs)
+      in
+      let gtid = (coord_branch.b_node, Txclient.txn_id coord_branch.txn) in
       (* Phase 1: every branch prepares (parallel trail forces). *)
-      match parallel_each t (fun b -> Txclient.prepare b.session b.txn) with
+      match parallel_each t (fun b -> Txclient.prepare ~gtid b.session b.txn) with
       | Error e ->
           let (_ : (unit, error) result) =
             parallel_each t (fun b ->
@@ -92,12 +102,7 @@ let commit t =
           Error e
       | Ok () -> (
           (* Phase 2: the decision becomes durable on the coordinator's
-             branch first, then propagates. *)
-          let coord_branch =
-            match List.find_opt (fun b -> b.b_node = t.coordinator) bs with
-            | Some b -> b
-            | None -> List.hd (List.rev bs)
-          in
+             branch first — the global commit point — then propagates. *)
           match Txclient.decide coord_branch.session coord_branch.txn ~commit:true with
           | Error e ->
               t.branch_list <- [];

@@ -10,6 +10,9 @@ type action =
   | Rail_up of int
   | Crc_noise_burst of { rate : float; duration : Time.span }
   | Pmm_resync
+  | Wan_partition
+  | Wan_heal
+  | Fence_check
 
 type event = { after : Time.span; action : action }
 
@@ -27,6 +30,9 @@ let action_name = function
   | Rail_up _ -> "rail_up"
   | Crc_noise_burst _ -> "crc_noise_burst"
   | Pmm_resync -> "pmm_resync"
+  | Wan_partition -> "wan_partition"
+  | Wan_heal -> "wan_heal"
+  | Fence_check -> "fence_check"
 
 let describe = function
   | Kill_primary (Adp i) -> Printf.sprintf "kill ADP %d primary" i
@@ -40,8 +46,11 @@ let describe = function
   | Crc_noise_burst { rate; duration } ->
       Printf.sprintf "CRC noise %.4f for %s" rate (Time.to_string duration)
   | Pmm_resync -> "PMM mirror resync"
+  | Wan_partition -> "sever the inter-node link"
+  | Wan_heal -> "heal the inter-node link"
+  | Fence_check -> "verify the volume epoch fence is armed"
 
-let validate system plan =
+let validate_scoped ~clustered system plan =
   let cfg = System.config system in
   let pm_mode = cfg.System.log_mode = System.Pm_audit in
   let n_adps = Array.length (System.adps system) in
@@ -69,6 +78,9 @@ let validate system plan =
         reject "crc_noise_burst: rate %.3f outside [0, 1)" rate
     | Crc_noise_burst { duration; _ } when duration <= 0 ->
         reject "crc_noise_burst: duration must be positive"
+    | (Wan_partition | Wan_heal) when not clustered ->
+        reject "%s requires a cluster-scoped plan" (action_name ev.action)
+    | Fence_check when not pm_mode -> pm_only "fence_check"
     | _ when ev.after < 0 -> reject "event offset must be non-negative"
     | _ -> Ok ()
   in
@@ -76,13 +88,25 @@ let validate system plan =
     (fun acc ev -> match acc with Error _ -> acc | Ok () -> check ev)
     (Ok ()) plan
 
+let validate system plan = validate_scoped ~clustered:false system plan
+
+let validate_cluster cluster ~node plan =
+  validate_scoped ~clustered:true (Cluster.system cluster node) plan
+
 type run = {
   r_system : System.t;
+  r_cluster : Cluster.t option;  (* scope for WAN partition events *)
   mutable r_injected : (Time.t * string) list;  (* newest first *)
+  mutable r_fence_checks : int;
+  mutable r_fence_failures : int;
   r_done : unit Ivar.t;
 }
 
 let injected r = List.rev r.r_injected
+
+let fence_checks r = r.r_fence_checks
+
+let fence_failures r = r.r_fence_failures
 
 let await r = Ivar.read r.r_done
 
@@ -151,6 +175,23 @@ let inject run action =
       Sim.at sim ~after:duration (fun () ->
           Servernet.Fabric.set_crc_error_rate fabric previous);
       record run action
+  | Wan_partition ->
+      (match run.r_cluster with Some c -> Cluster.partition c | None -> ());
+      record run action
+  | Wan_heal ->
+      (match run.r_cluster with Some c -> Cluster.heal c | None -> ());
+      record run action
+  | Fence_check ->
+      run.r_fence_checks <- run.r_fence_checks + 1;
+      let detail =
+        match System.fence_check system with
+        | Ok () -> "stale-epoch write rejected"
+        | Error e ->
+            run.r_fence_failures <- run.r_fence_failures + 1;
+            "FAILED: " ^ e
+      in
+      Span.annotate sp ~key:"result" detail;
+      record run ~detail action
   | Pmm_resync -> (
       match System.pmm system with
       | None -> ()
@@ -174,11 +215,17 @@ let inject run action =
           record run ~detail action));
   finish ()
 
-let launch system plan =
-  (match validate system plan with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Faultplan.launch: " ^ msg));
-  let run = { r_system = system; r_injected = []; r_done = Ivar.create () } in
+let start_run system ?cluster plan =
+  let run =
+    {
+      r_system = system;
+      r_cluster = cluster;
+      r_injected = [];
+      r_fence_checks = 0;
+      r_fence_failures = 0;
+      r_done = Ivar.create ();
+    }
+  in
   let sim = System.sim system in
   let start = Sim.now sim in
   let ordered = List.stable_sort (fun a b -> compare a.after b.after) plan in
@@ -191,3 +238,15 @@ let launch system plan =
            ordered;
          Ivar.fill run.r_done ()));
   run
+
+let launch system plan =
+  (match validate system plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Faultplan.launch: " ^ msg));
+  start_run system plan
+
+let launch_cluster cluster ~node plan =
+  (match validate_cluster cluster ~node plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Faultplan.launch_cluster: " ^ msg));
+  start_run (Cluster.system cluster node) ~cluster plan

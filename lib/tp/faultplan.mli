@@ -38,6 +38,14 @@ type action =
       (** Ask the PMM to rebuild the mirror from the primary device
           (a management call that blocks the scheduler for the copy's
           duration, riding out takeovers via {!Rpc.call_retry}). *)
+  | Wan_partition
+      (** Sever the cluster's inter-node link ({!Cluster.partition}).
+          Only valid in plans launched with {!launch_cluster}. *)
+  | Wan_heal  (** Restore the inter-node link. *)
+  | Fence_check
+      (** Run {!System.fence_check}: probe that a stale-epoch write is
+          rejected.  Pass/fail lands in the injection log and the run's
+          {!fence_checks} / {!fence_failures} counters.  PM mode only. *)
 
 type event = { after : Time.span; action : action }
 (** [after] is the offset from {!launch}, not an absolute time. *)
@@ -54,9 +62,13 @@ val describe : action -> string
 
 val validate : System.t -> t -> (unit, string) result
 (** Check every event against the system: target and device indices in
-    range, rail indices within the fabric, CRC rates in [0, 1), and no
-    PM-only events (PMM kill, NPMU cycle, resync) against a disk-mode
-    system. *)
+    range, rail indices within the fabric, CRC rates in [0, 1), no
+    PM-only events (PMM kill, NPMU cycle, resync, fence check) against a
+    disk-mode system, and no WAN events outside a cluster-scoped
+    launch. *)
+
+val validate_cluster : Cluster.t -> node:int -> t -> (unit, string) result
+(** {!validate} against [node]'s system, with WAN events permitted. *)
 
 (** A plan in flight. *)
 type run
@@ -66,6 +78,11 @@ val launch : System.t -> t -> run
     [Invalid_argument] if {!validate} rejects it.  Safe to call outside
     process context; the scheduler is its own process. *)
 
+val launch_cluster : Cluster.t -> node:int -> t -> run
+(** Like {!launch}, but scoped to a cluster: node-local events hit
+    [node]'s system, and [Wan_partition] / [Wan_heal] act on the
+    cluster's inter-node link. *)
+
 val await : run -> unit
 (** Block the calling process until the last event has been injected
     (including a final resync's completion).  Process context only. *)
@@ -73,3 +90,10 @@ val await : run -> unit
 val injected : run -> (Time.t * string) list
 (** The faults injected so far, oldest first, with their injection
     times — the drill report's fault log. *)
+
+val fence_checks : run -> int
+(** [Fence_check] events executed so far. *)
+
+val fence_failures : run -> int
+(** [Fence_check] events that did {e not} see the stale write rejected —
+    zero in a healthy run. *)

@@ -151,6 +151,9 @@ let holders t key =
 let held_by t owner =
   match Hashtbl.find_opt t.by_owner owner with Some keys -> !keys | None -> []
 
+let held_total t =
+  Hashtbl.fold (fun _ keys acc -> acc + List.length !keys) t.by_owner 0
+
 let waiting t = t.blocked
 
 let conflicts t = t.conflict_count

@@ -33,6 +33,11 @@ val holders : t -> key -> (Audit.txn_id * mode) list
 
 val held_by : t -> Audit.txn_id -> key list
 
+val held_total : t -> int
+(** Locks currently held across all owners — zero once every
+    transaction has finished or been resolved (the drills' no-orphaned-
+    locks invariant). *)
+
 val waiting : t -> int
 (** Transactions currently blocked, across all keys. *)
 

@@ -11,17 +11,19 @@ type report = {
   records_replayed : int;
   committed_txns : int;
   in_doubt_txns : int;
+  resolved_commit : int;
+  resolved_abort : int;
   discarded_updates : int;
   rows_rebuilt : int;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "MTTR=%a source=%s trails=%d bytes=%d replayed=%d committed=%d in-doubt=%d discarded=%d rows=%d"
+    "MTTR=%a source=%s trails=%d bytes=%d replayed=%d committed=%d in-doubt=%d resolved-commit=%d resolved-abort=%d discarded=%d rows=%d"
     Time.pp r.mttr
     (match r.outcome_source with Mat_scan -> "MAT-scan" | Pm_txn_table -> "PM-txn-table")
     r.trails_scanned r.bytes_scanned r.records_replayed r.committed_txns r.in_doubt_txns
-    r.discarded_updates r.rows_rebuilt
+    r.resolved_commit r.resolved_abort r.discarded_updates r.rows_rebuilt
 
 let apply_cpu_per_record = Time.ns 2_000
 
@@ -85,10 +87,25 @@ let outcomes_from_mat mat =
       in
       Ok (committed, in_doubt, Log_backend.bytes_written backend)
 
-let run system =
+let run ?outcome_of system =
   let sim = System.sim system in
   let cpu = Node.cpu (System.node system) 0 in
   let started = Sim.now sim in
+  (* In-doubt resolution happens before redo: each prepared-but-undecided
+     branch asks its coordinator (via [outcome_of], which a cluster
+     supplies as a cross-node Query_outcome) what the global decision
+     was.  Presumed abort — only an affirmative "committed" (status 2)
+     commits the branch; everything else, including an unreachable
+     coordinator, aborts it.  Resolved commits join the committed set so
+     the redo pass replays their updates. *)
+  let tmf = System.tmf system in
+  let decisions =
+    List.map
+      (fun (txn, _, gtid) ->
+        let status = match outcome_of with Some f -> f gtid | None -> 0 in
+        (txn, status = 2))
+      (Tmf.in_doubt tmf)
+  in
   let outcome =
     match System.txn_state_region system with
     | Some region -> (
@@ -103,6 +120,7 @@ let run system =
   match outcome with
   | Error e -> Error e
   | Ok (committed, in_doubt, outcome_bytes, outcome_source) -> (
+      List.iter (fun (txn, commit) -> if commit then Hashtbl.replace committed txn ()) decisions;
       (* Redo pass over every data trail. *)
       let n_dp2 = Array.length (System.dp2s system) in
       let rebuilt = Array.init n_dp2 (fun _ -> Hashtbl.create 1024) in
@@ -151,6 +169,40 @@ let run system =
               rows := !rows + List.length entries;
               Dp2.load_table (System.dp2s system).(i) entries)
             rebuilt;
+          (* Drive each resolution through the monitor: a durable outcome
+             record, then lock release behind the reply.  If the monitor
+             cannot take the decision, the locks are freed directly — an
+             orphaned lock outlives every retry. *)
+          let resolved_commit = ref 0 in
+          let resolved_abort = ref 0 in
+          let locks = System.locks system in
+          List.iter
+            (fun (txn, commit) ->
+              if commit then incr resolved_commit else incr resolved_abort;
+              match Msgsys.call (Tmf.server tmf) ~from:cpu (Tmf.Decide_txn { txn; commit }) with
+              | Ok Tmf.Decided -> ()
+              | Ok _ | Error _ -> Lockmgr.release_all locks ~owner:txn)
+            decisions;
+          (* Transactions still active at the crash never reached a
+             commit point: abort them and free whatever they hold. *)
+          List.iter
+            (fun txn ->
+              (match
+                 Msgsys.call (Tmf.server tmf) ~from:cpu (Tmf.Abort_txn { txn; involved = [] })
+               with
+              | Ok _ | Error _ -> ());
+              Lockmgr.release_all locks ~owner:txn)
+            (Tmf.active_txns tmf);
+          (match System.obs system with
+          | Some o ->
+              let m = Obs.metrics o in
+              for _ = 1 to !resolved_commit do
+                Stat.Counter.incr (Metrics.counter m "dtx.resolved_commit")
+              done;
+              for _ = 1 to !resolved_abort do
+                Stat.Counter.incr (Metrics.counter m "dtx.resolved_abort")
+              done
+          | None -> ());
           Ok
             {
               mttr = Sim.now sim - started;
@@ -160,6 +212,8 @@ let run system =
               records_replayed = !replayed;
               committed_txns = Hashtbl.length committed;
               in_doubt_txns = in_doubt;
+              resolved_commit = !resolved_commit;
+              resolved_abort = !resolved_abort;
               discarded_updates = !discarded;
               rows_rebuilt = !rows;
             })

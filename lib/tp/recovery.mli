@@ -22,12 +22,31 @@ type report = {
   committed_txns : int;
   in_doubt_txns : int;
       (** prepared under two-phase commit but undecided at the crash *)
+  resolved_commit : int;
+      (** in-doubt branches whose coordinator confirmed the commit *)
+  resolved_abort : int;
+      (** in-doubt branches aborted — coordinator said so, was
+          unreachable, or the branch carried no gtid (presumed abort) *)
   discarded_updates : int;  (** updates of transactions that never committed *)
   rows_rebuilt : int;
 }
 
 val pp_report : Format.formatter -> report -> unit
 
-val run : System.t -> (report, string) result
+val run :
+  ?outcome_of:((int * Audit.txn_id) option -> int) -> System.t -> (report, string) result
 (** Execute recovery and install the rebuilt tables into the DP2s
-    (maintenance path).  Process context only. *)
+    (maintenance path).  Process context only.
+
+    In-doubt resolution (presumed abort): before the redo pass, every
+    prepared-but-undecided branch in the monitor's window is decided by
+    asking [outcome_of] with its gtid — a cluster supplies a cross-node
+    [Query_outcome] to the coordinator here.  Only status 2 (committed)
+    commits the branch; any other answer, a missing [outcome_of], or a
+    [None] gtid aborts it.  Resolved commits are replayed by redo; after
+    the tables are installed each decision is driven through the monitor
+    (durable outcome record, lock release), with a direct lock-manager
+    backstop if the monitor refuses.  Transactions still active at the
+    crash are aborted and their locks freed.  With the system's [obs],
+    resolutions bump the [dtx.resolved_commit] / [dtx.resolved_abort]
+    counters. *)

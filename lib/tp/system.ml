@@ -260,10 +260,25 @@ let build ?obs sim cfg =
   in
   let dp2_servers = Array.map Dp2.server dp2s in
   let txn_state = match pm_parts with Some p -> p.txn_state | None -> None in
+  (* Outcome probe for in-doubt resolution without a PM table: scan the
+     durable master trail for the transaction's last word. *)
+  let outcome_probe txn =
+    match Log_backend.recovery_read (Adp.backend mat) with
+    | Error _ -> 0
+    | Ok records ->
+        List.fold_left
+          (fun acc (_, record) ->
+            match record with
+            | Audit.Commit { txn = x } when x = txn -> 2
+            | Audit.Abort { txn = x } when x = txn -> 3
+            | Audit.Prepared { txn = x } when x = txn && acc = 0 -> 4
+            | _ -> acc)
+          0 records
+  in
   let tmf =
     Tmf.start ~fabric ~name:"$TMF" ~primary:(Node.cpu node 0) ~backup:(Node.cpu node 1)
-      ~adps:adp_servers ~dp2s:dp2_servers ~mat:(Adp.server mat) ?txn_state ~config:cfg.tmf
-      ?obs ()
+      ~adps:adp_servers ~dp2s:dp2_servers ~mat:(Adp.server mat) ?txn_state ~outcome_probe
+      ~config:cfg.tmf ?obs ()
   in
   {
     sys_sim = sim;
@@ -321,6 +336,47 @@ let degraded_pm_writes t =
 
 let pm_write_retries t =
   List.fold_left (fun acc c -> acc + Pm.Pm_client.write_retries c) 0 (pm_clients t)
+
+let pm_fenced_writes t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.fenced_writes c) 0 (pm_clients t)
+
+(* Probe the epoch fence: a write stamped one epoch behind the volume
+   must bounce off the NPMU's AVT with [Stale_epoch].  The probe uses a
+   scratch endpoint that holds no write grant, so even a broken fence
+   cannot corrupt data — it would surface as [Access_denied], which the
+   check reports as a fencing failure. *)
+let fence_check t =
+  match t.sys_pm with
+  | None -> Error "fence check requires PM mode"
+  | Some p -> (
+      let client =
+        Hashtbl.fold (fun _ c acc -> match acc with Some _ -> acc | None -> Some c)
+          p.clients None
+      in
+      match client with
+      | None -> Error "fence check: no PM client attached"
+      | Some client -> (
+          match Pm.Pm_client.list_regions client with
+          | Error e -> Error ("fence check: " ^ Pm.Pm_types.error_to_string e)
+          | Ok [] -> Error "fence check: no regions to probe"
+          | Ok (r :: _) -> (
+              let fabric = Node.fabric t.sys_node in
+              let probe =
+                Servernet.Fabric.attach fabric ~name:"fence-probe"
+                  ~store:(Servernet.Fabric.byte_store 64)
+              in
+              let stale = r.Pm.Pm_types.epoch - 1 in
+              match
+                Servernet.Fabric.rdma_write fabric ~epoch:stale ~src:probe
+                  ~dst:r.Pm.Pm_types.primary_npmu ~addr:r.Pm.Pm_types.net_base
+                  ~data:(Bytes.create 8)
+              with
+              | Error (Servernet.Fabric.Avt_error Servernet.Avt.Stale_epoch) -> Ok ()
+              | Ok () -> Error "fence check: stale-epoch write was accepted"
+              | Error e ->
+                  Error
+                    ("fence check: stale-epoch write not fenced: "
+                    ^ Servernet.Fabric.error_to_string e))))
 
 let obs t = t.sys_obs
 

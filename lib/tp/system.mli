@@ -99,6 +99,18 @@ val pm_write_retries : t -> int
 (** Transient fabric errors retried on the PM data path, across all
     clients. *)
 
+val pm_fenced_writes : t -> int
+(** Writes bounced with [Stale_epoch] across all PM clients (each then
+    refreshed its grant and retried). *)
+
+val fence_check : t -> (unit, string) result
+(** Verify the epoch fence is armed: issue a write stamped one epoch
+    behind the volume and confirm the device rejects it as stale.  The
+    probe initiator holds no write grant, so the check cannot corrupt
+    data even if fencing is broken — any outcome other than
+    [Stale_epoch] is reported as a failure.  PM mode with at least one
+    region only; process context only. *)
+
 val obs : t -> Obs.t option
 (** The context passed to {!build}, if any. *)
 

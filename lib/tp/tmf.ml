@@ -13,8 +13,10 @@ type request =
       txn : Audit.txn_id;
       flushes : (int * Audit.asn) list;
       involved : int list;
+      gtid : (int * Audit.txn_id) option;
     }
   | Decide_txn of { txn : Audit.txn_id; commit : bool }
+  | Query_outcome of { txn : Audit.txn_id }
 
 type response =
   | Began of { txn : Audit.txn_id }
@@ -22,6 +24,7 @@ type response =
   | Aborted
   | Prepared_ok
   | Decided
+  | Outcome of { status : int }
   | T_failed of string
 
 type server = (request, response) Msgsys.server
@@ -33,12 +36,19 @@ let default_config = { begin_cpu = Time.us 30; commit_cpu = Time.us 60; state_en
 type ckpt =
   | Ck_begin of Audit.txn_id
   | Ck_outcome of Audit.txn_id * bool
-  | Ck_prepared of Audit.txn_id * int list
+  | Ck_prepared of Audit.txn_id * int list * (int * Audit.txn_id) option
+
+type prepared_info = {
+  pi_involved : int list;  (** DP2 indices holding the branch's locks *)
+  pi_gtid : (int * Audit.txn_id) option;
+      (** global transaction identity: (coordinator node, coordinator
+          branch txn) — who to ask when this branch is in doubt *)
+}
 
 type state = {
   mutable next_txn : Audit.txn_id;
   active : (Audit.txn_id, unit) Hashtbl.t;
-  prepared : (Audit.txn_id, int list) Hashtbl.t;  (** txn -> involved DP2s *)
+  prepared : (Audit.txn_id, prepared_info) Hashtbl.t;
 }
 
 type finish_job = { fj_txn : Audit.txn_id; fj_committed : bool; fj_involved : int list }
@@ -62,6 +72,10 @@ type t = {
   obs : Obs.t option;
   flush_wait_stat : Stat.t option;
   mat_write_stat : Stat.t option;
+  outcome_probe : (Audit.txn_id -> int) option;
+      (** disk-mode fallback for [Query_outcome]: derive a status code
+          from the durable MAT (2 committed / 3 aborted / 4 prepared /
+          0 unknown) *)
 }
 
 let pair_exn t = match t.pair with Some p -> p | None -> invalid_arg "Tmf: not started"
@@ -95,7 +109,8 @@ let state t =
       s
 
 (* Fine-grained txn-state table in PM: one small synchronous write per
-   state change.  Status codes: 1 active, 2 committed, 3 aborted. *)
+   state change.  Status codes: 1 active, 2 committed, 3 aborted,
+   4 prepared. *)
 let record_state ?span t txn status =
   match t.txn_state with
   | None -> Ok ()
@@ -119,6 +134,39 @@ let record_state ?span t txn status =
    which discards only unacknowledged work. *)
 let record_state_advisory ?span t txn status =
   match record_state ?span t txn status with Ok () | Error _ -> ()
+
+(* Read a transaction's durable status back from the PM txn-state table.
+   The table is a hash by txn id, so the slot must still name the same
+   transaction; otherwise the entry was overwritten and tells us
+   nothing. *)
+let read_state t txn =
+  match t.txn_state with
+  | None -> None
+  | Some (client, handle) -> (
+      let slots = (Pm.Pm_client.info handle).Pm.Pm_types.length / t.cfg.state_entry_bytes in
+      let off = txn mod slots * t.cfg.state_entry_bytes in
+      match Pm.Pm_client.read client handle ~off ~len:t.cfg.state_entry_bytes with
+      | Error _ -> None
+      | Ok data -> (
+          try
+            let dec = Pm.Codec.Dec.of_bytes data in
+            let stored = Pm.Codec.Dec.u64 dec in
+            let status = Pm.Codec.Dec.u8 dec in
+            if stored = txn then Some status else None
+          with Pm.Codec.Dec.Truncated -> None))
+
+(* Answer "what happened to transaction [txn]?" for a remote in-doubt
+   resolver, from the most durable source available: the PM txn-state
+   table, then live monitor state, then (disk mode) the MAT probe.
+   0 unknown, 1 active, 2 committed, 3 aborted, 4 still prepared.
+   Presumed abort means callers treat anything but 2 as an abort. *)
+let query_outcome t s txn =
+  match read_state t txn with
+  | Some ((2 | 3) as status) -> status
+  | _ ->
+      if Hashtbl.mem s.prepared txn then 4
+      else if Hashtbl.mem s.active txn then 1
+      else (match t.outcome_probe with Some probe -> probe txn | None -> 0)
 
 let flush_trails ?span t flushes =
   let calls =
@@ -257,7 +305,7 @@ let handle t s req respond =
         respond Aborted;
         Mailbox.send t.finish_queue { fj_txn = txn; fj_committed = false; fj_involved = involved }
       end
-  | Prepare_txn { txn; flushes; involved } ->
+  | Prepare_txn { txn; flushes; involved; gtid } ->
       let caller = Msgsys.caller_span t.srv in
       (* Phase 1 runs in its own worker like a commit. *)
       let prepare_work () =
@@ -280,15 +328,16 @@ let handle t s req respond =
                   | Error e -> respond (T_failed ("txn-state record: " ^ e))
                   | Ok () ->
                       Hashtbl.remove s.active txn;
-                      Hashtbl.replace s.prepared txn involved;
-                      Procpair.checkpoint (pair_exn t) ~bytes:32 (Ck_prepared (txn, involved));
+                      Hashtbl.replace s.prepared txn { pi_involved = involved; pi_gtid = gtid };
+                      Procpair.checkpoint (pair_exn t) ~bytes:32
+                        (Ck_prepared (txn, involved, gtid));
                       respond Prepared_ok))
       in
       ignore (Cpu.spawn (current_cpu t) ~name:(t.tmf_name ^ ":prepare") prepare_work)
   | Decide_txn { txn; commit } -> (
       match Hashtbl.find_opt s.prepared txn with
       | None -> respond (T_failed "transaction is not prepared")
-      | Some involved ->
+      | Some { pi_involved = involved; _ } ->
           let decide_work () =
             Cpu.execute (current_cpu t) t.cfg.commit_cpu;
             let record = if commit then Audit.Commit { txn } else Audit.Abort { txn } in
@@ -307,6 +356,11 @@ let handle t s req respond =
                   { fj_txn = txn; fj_committed = commit; fj_involved = involved }
           in
           ignore (Cpu.spawn (current_cpu t) ~name:(t.tmf_name ^ ":decide") decide_work))
+  | Query_outcome { txn } ->
+      (* Served inline — the resolver protocol is tiny and read-only.
+         The PM read needs process context, which the serve loop has. *)
+      Cpu.execute (current_cpu t) t.cfg.begin_cpu;
+      respond (Outcome { status = query_outcome t s txn })
 
 let serve t () =
   let s = state t in
@@ -336,11 +390,11 @@ let apply_ckpt t = function
   | Ck_outcome (txn, _) ->
       Hashtbl.remove t.shadow.active txn;
       Hashtbl.remove t.shadow.prepared txn
-  | Ck_prepared (txn, involved) ->
+  | Ck_prepared (txn, involved, gtid) ->
       Hashtbl.remove t.shadow.active txn;
-      Hashtbl.replace t.shadow.prepared txn involved
+      Hashtbl.replace t.shadow.prepared txn { pi_involved = involved; pi_gtid = gtid }
 
-let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state
+let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state ?outcome_probe
     ?(config = default_config) ?obs () =
   let srv = Msgsys.create_server fabric ~cpu:primary ~name in
   let t =
@@ -372,6 +426,7 @@ let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state
         (match obs with
         | Some o -> Some (Metrics.stat (Obs.metrics o) "tmf.mat_write_ns")
         | None -> None);
+      outcome_probe;
     }
   in
   (match obs with
@@ -413,6 +468,10 @@ let active_txns t =
 let prepared_txns t =
   let s = match t.live with Some s -> s | None -> t.shadow in
   Hashtbl.fold (fun txn _ acc -> txn :: acc) s.prepared []
+
+let in_doubt t =
+  let s = match t.live with Some s -> s | None -> t.shadow in
+  Hashtbl.fold (fun txn info acc -> (txn, info.pi_involved, info.pi_gtid) :: acc) s.prepared []
 
 let commit_latency t = t.latency
 

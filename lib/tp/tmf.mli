@@ -31,11 +31,19 @@ type request =
       txn : Audit.txn_id;
       flushes : (int * Audit.asn) list;
       involved : int list;
+      gtid : (int * Audit.txn_id) option;
+          (** global transaction identity for distributed branches:
+              (coordinator node, coordinator branch txn), the address an
+              in-doubt resolver asks after a failure *)
     }
       (** two-phase commit, phase 1: force the trails and log a durable
           PREPARED record; locks stay held until the decision *)
   | Decide_txn of { txn : Audit.txn_id; commit : bool }
       (** phase 2: log the durable outcome and release *)
+  | Query_outcome of { txn : Audit.txn_id }
+      (** in-doubt resolution: what happened to [txn]?  Answered from the
+          PM txn-state table when available, else live monitor state,
+          else the disk-mode MAT probe. *)
 
 type response =
   | Began of { txn : Audit.txn_id }
@@ -43,6 +51,9 @@ type response =
   | Aborted
   | Prepared_ok
   | Decided
+  | Outcome of { status : int }
+      (** 0 unknown, 1 active, 2 committed, 3 aborted, 4 prepared.
+          Presumed abort: resolvers treat anything but 2 as abort. *)
   | T_failed of string
 
 type server = (request, response) Msgsys.server
@@ -66,6 +77,7 @@ val start :
   dp2s:Dp2.server array ->
   mat:Adp.server ->
   ?txn_state:Pm.Pm_client.t * Pm.Pm_client.handle ->
+  ?outcome_probe:(Audit.txn_id -> int) ->
   ?config:config ->
   ?obs:Obs.t ->
   unit ->
@@ -88,6 +100,11 @@ val active_txns : t -> Audit.txn_id list
 
 val prepared_txns : t -> Audit.txn_id list
 (** Transactions in the prepared (in-doubt) window. *)
+
+val in_doubt : t -> (Audit.txn_id * int list * (int * Audit.txn_id) option) list
+(** The prepared window with resolution context: each entry is
+    [(txn, involved DP2 indices, gtid)].  Recovery's resolver walks this
+    list, asks the gtid's coordinator for the outcome, and decides. *)
 
 val commit_latency : t -> Stat.t
 (** Time from commit request dequeue to reply, the monitor-side view of

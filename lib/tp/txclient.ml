@@ -26,6 +26,7 @@ type t = {
   routing : routing;
   issue_cpu : Time.span;
   wan : Time.span;
+  link : unit -> bool;
   crc_rng : Rng.t;
   rt : Stat.t;
   obs : Obs.t option;
@@ -53,7 +54,8 @@ type txn = {
   mutable failed : string option;
 }
 
-let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0) ?obs () =
+let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0)
+    ?(link = fun () -> true) ?obs () =
   {
     client_cpu = cpu;
     tmf;
@@ -61,6 +63,7 @@ let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0
     routing;
     issue_cpu;
     wan = wan_latency;
+    link;
     crc_rng = Rng.create 0xC4CL;
     rt =
       (match obs with
@@ -90,14 +93,21 @@ let finish_span t sp =
 let note stat dt = match stat with Some st -> Stat.add_span st dt | None -> ()
 
 (* Synchronous call with the session's inter-node link latency on both
-   legs. *)
+   legs.  A severed link loses the request (or the reply, when the
+   partition lands mid-call): the caller sees a timeout, and when the
+   reply leg was the one lost the server has already acted — the window
+   that creates in-doubt transactions. *)
 let wan_call t server ?req_bytes ?resp_bytes ?span req =
   if t.wan = 0 then Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req
+  else if not (t.link ()) then begin
+    Sim.sleep t.wan;
+    Error Msgsys.Timed_out
+  end
   else begin
     Sim.sleep t.wan;
     let result = Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req in
     Sim.sleep t.wan;
-    result
+    if t.link () then result else Error Msgsys.Timed_out
   end
 
 (* Asynchronous call routed through a relay process so the caller is not
@@ -111,12 +121,15 @@ let wan_call_async t server ?req_bytes ?resp_bytes ?span req =
     let (_ : Sim.pid) =
       Sim.spawn sim ~name:"wan-relay" (fun () ->
           Sim.sleep t.wan;
-          let inner =
-            Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req
-          in
-          let reply = Ivar.read inner in
-          Sim.sleep t.wan;
-          Ivar.fill out reply)
+          if not (t.link ()) then Ivar.fill out (Error Msgsys.Timed_out)
+          else begin
+            let inner =
+              Msgsys.call_async server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req
+            in
+            let reply = Ivar.read inner in
+            Sim.sleep t.wan;
+            Ivar.fill out (if t.link () then reply else Error Msgsys.Timed_out)
+          end)
     in
     out
   end
@@ -283,14 +296,14 @@ let read t txn ~file ~key =
   | Ok _ -> Error (Tx_failed "unexpected DP2 reply")
   | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
 
-let prepare t txn =
+let prepare ?gtid t txn =
   match await_inserts t txn with
   | Error e -> Error e
   | Ok () -> (
       match
         wan_call t t.tmf
           (Tmf.Prepare_txn
-             { txn = txn.id; flushes = flush_list txn; involved = involved_list txn })
+             { txn = txn.id; flushes = flush_list txn; involved = involved_list txn; gtid })
       with
       | Ok Tmf.Prepared_ok -> Ok ()
       | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
@@ -304,6 +317,13 @@ let decide t txn ~commit =
   | Ok Tmf.Decided ->
       if commit then Stat.add_span t.rt (Sim.now (Cpu.sim t.client_cpu) - txn.started);
       Ok ()
+  | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
+  | Ok _ -> Error (Tx_failed "unexpected TMF reply")
+  | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+
+let query_outcome t txn_id =
+  match wan_call t t.tmf (Tmf.Query_outcome { txn = txn_id }) with
+  | Ok (Tmf.Outcome { status }) -> Ok status
   | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
   | Ok _ -> Error (Tx_failed "unexpected TMF reply")
   | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))

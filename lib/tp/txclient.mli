@@ -34,6 +34,7 @@ val create :
   routing:routing ->
   ?issue_cpu:Time.span ->
   ?wan_latency:Time.span ->
+  ?link:(unit -> bool) ->
   ?obs:Obs.t ->
   unit ->
   t
@@ -42,7 +43,11 @@ val create :
     session's CPU before the request leaves it.  [wan_latency] (default
     0) is the one-way inter-node link latency a remote session pays on
     every request and reply — an application tier reaching an ODS node
-    across the cluster interconnect (§1.3 scale-out).  With [obs], each
+    across the cluster interconnect (§1.3 scale-out).  [link] (default
+    always up) is polled on each leg of a WAN call; when it reports the
+    link severed the request or reply is lost and the call fails with a
+    timeout — when the reply leg is the one lost, the server has already
+    acted, which is how in-doubt transactions arise.  With [obs], each
     transaction gets a root span on track ["client"] that the servers it
     touches parent their spans under, and response times feed the
     registry's [txn.response_ns] stat (plus [txn.insert_wait_ns] and
@@ -75,13 +80,20 @@ val commit : t -> txn -> (unit, error) result
 
 val abort : t -> txn -> (unit, error) result
 
-val prepare : t -> txn -> (unit, error) result
+val prepare : ?gtid:int * Audit.txn_id -> t -> txn -> (unit, error) result
 (** Two-phase commit, phase 1: await outstanding inserts and ask the
     monitor to force the trails and log a durable PREPARED record.  Locks
-    stay held until {!decide}. *)
+    stay held until {!decide}.  [gtid] — (coordinator node, coordinator
+    branch txn) — rides in the prepared record so an in-doubt resolver
+    knows whom to ask after a failure. *)
 
 val decide : t -> txn -> commit:bool -> (unit, error) result
 (** Phase 2: durable outcome record, then lock release. *)
+
+val query_outcome : t -> Audit.txn_id -> (int, error) result
+(** Ask the monitor what happened to a transaction (in-doubt
+    resolution): 0 unknown, 1 active, 2 committed, 3 aborted,
+    4 prepared.  Presumed abort — treat anything but 2 as abort. *)
 
 val read : t -> txn -> file:int -> key:int -> ((int * int) option, error) result
 (** Transactional read under a shared lock held to commit/abort: blocks

@@ -319,6 +319,78 @@ let test_resync_takes_time () =
       (* ~1 MiB read + written at 125 MB/s each way: milliseconds. *)
       check_bool "resync cost is physical" true (dt > Time.ms 10))
 
+(* --- Volume epoch fencing --- *)
+
+let test_takeover_bumps_epoch_and_fences () =
+  let topo = make_topo () in
+  Test_util.run_in topo.sim (fun () ->
+      let c = client topo 2 in
+      let h =
+        Test_util.ok_or_fail ~msg:"create" (Pm_client.create_region c ~name:"r" ~size:8192)
+      in
+      let info = Pm_client.info h in
+      let before = Pmm.epoch topo.pmm in
+      check_int "window carries the volume epoch" before info.Pm_types.epoch;
+      (* Manager takeover: the new primary durably bumps the epoch and
+         re-arms every device's fence before serving. *)
+      Pmm.kill_primary topo.pmm;
+      (* Takeover detection alone costs the pair's 500 ms delay. *)
+      Sim.sleep (Time.ms 800);
+      check_bool "takeover bumps the epoch" true (Pmm.epoch topo.pmm > before);
+      (* A writer still descriptor-stamping the pre-takeover epoch is
+         rejected at the device — no data moves. *)
+      let fabric = Node.fabric topo.node in
+      let probe =
+        Servernet.Fabric.attach fabric ~name:"probe"
+          ~store:(Servernet.Fabric.byte_store 64)
+      in
+      (match
+         Servernet.Fabric.rdma_write fabric ~epoch:before ~src:probe
+           ~dst:info.Pm_types.primary_npmu ~addr:info.Pm_types.net_base
+           ~data:(Bytes.create 8)
+       with
+      | Error (Servernet.Fabric.Avt_error Servernet.Avt.Stale_epoch) -> ()
+      | Ok () -> Alcotest.fail "stale-epoch write accepted after takeover"
+      | Error _ -> Alcotest.fail "stale-epoch write failed for the wrong reason");
+      check_bool "device counted the fenced write" true
+        (Npmu.fenced_writes topo.npmu_a >= 1);
+      (* The client transparently refreshes its grant and continues at
+         the new epoch. *)
+      Test_util.check_result_ok "write after refresh"
+        (Pm_client.write c h ~off:0 ~data:(Bytes.of_string "fresh")))
+
+let test_resync_fails_if_device_cycles_mid_copy () =
+  let topo = make_topo ~capacity:(1 lsl 21) () in
+  Test_util.run_in topo.sim (fun () ->
+      let c = client topo 2 in
+      let _ =
+        Test_util.ok_or_fail ~msg:"create"
+          (Pm_client.create_region c ~name:"big" ~size:(1 lsl 20))
+      in
+      (* The ~1 MiB copy takes >10 ms of transfer time; the mirror
+         power-cycles in the middle of it.  Data written before the
+         cycle is suspect, so the resync must fail and the volume must
+         stay degraded — a silent success here would declare a
+         half-stale mirror clean. *)
+      let result = Ivar.create () in
+      let (_ : Sim.pid) =
+        Sim.spawn topo.sim ~name:"resync" (fun () ->
+            Ivar.fill result
+              (Msgsys.call (Pmm.server topo.pmm) ~from:(Node.cpu topo.node 2)
+                 ~timeout:(Time.sec 60)
+                 (Pmm.Resync { from_primary = true })))
+      in
+      Sim.sleep (Time.ms 5);
+      Npmu.power_loss topo.npmu_b;
+      Sim.sleep (Time.ms 1);
+      Npmu.power_restore topo.npmu_b;
+      (match Ivar.read result with
+      | Ok (Pmm.R_error _) -> ()
+      | Ok (Pmm.R_resynced _) -> Alcotest.fail "resync succeeded across a power cycle"
+      | Ok _ -> Alcotest.fail "unexpected resync reply"
+      | Error _ -> Alcotest.fail "resync call failed");
+      check_bool "volume still degraded" true (Pmm.degraded topo.pmm))
+
 let suite =
   [
     ( "pm.mmap",
@@ -345,6 +417,13 @@ let suite =
         Alcotest.test_case "primary death: failover, degraded writes, rebuild" `Quick
           test_primary_death_failover_and_rebuild;
         Alcotest.test_case "resync pays transfer time" `Quick test_resync_takes_time;
+        Alcotest.test_case "resync fails across a device power cycle" `Quick
+          test_resync_fails_if_device_cycles_mid_copy;
+      ] );
+    ( "pm.epoch",
+      [
+        Alcotest.test_case "takeover bumps the epoch and fences stale writers" `Quick
+          test_takeover_bumps_epoch_and_fences;
       ] );
   ]
 

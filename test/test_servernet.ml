@@ -215,6 +215,36 @@ let prop_transfer_time_monotone =
       let small = min a b and large = max a b in
       Fabric.transfer_time fabric ~bytes:small <= Fabric.transfer_time fabric ~bytes:large)
 
+let test_avt_epoch_fence () =
+  let avt = Avt.create () in
+  Test_util.check_result_ok "map"
+    (Avt.map avt ~net_base:0 ~length:256 ~phys_base:0
+       ~access:(Avt.read_write Avt.Any_initiator));
+  check_int "epoch starts at zero" 0 (Avt.epoch avt);
+  Avt.set_epoch avt 3;
+  (* Epoch-less writes and reads are never fenced — only a descriptor
+     that claims an older volume generation is. *)
+  Test_util.check_result_ok "epoch-less write"
+    (Avt.translate avt ~initiator:0 ~op:`Write ~addr:0 ~len:8);
+  Test_util.check_result_ok "current-epoch write"
+    (Avt.translate avt ~initiator:0 ~op:`Write ~epoch:3 ~addr:0 ~len:8);
+  (match Avt.translate avt ~initiator:0 ~op:`Write ~epoch:2 ~addr:0 ~len:8 with
+  | Error Avt.Stale_epoch -> ()
+  | _ -> Alcotest.fail "stale-epoch write accepted");
+  (match Avt.translate avt ~initiator:0 ~op:`Read ~epoch:2 ~addr:0 ~len:8 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "reads must not be fenced");
+  check_int "fenced writes counted" 1 (Avt.fenced avt)
+
+let test_avt_epoch_monotone () =
+  let avt = Avt.create () in
+  Avt.set_epoch avt 5;
+  Avt.set_epoch avt 5;
+  check_int "same epoch ok" 5 (Avt.epoch avt);
+  match Avt.set_epoch avt 4 with
+  | () -> Alcotest.fail "epoch decreased"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     ( "servernet.avt",
@@ -226,6 +256,8 @@ let suite =
         Alcotest.test_case "overlapping windows rejected" `Quick test_avt_overlap_rejected;
         Alcotest.test_case "32-bit space enforced" `Quick test_avt_32bit_bound;
         Alcotest.test_case "unmap and set_access" `Quick test_avt_unmap_and_set_access;
+        Alcotest.test_case "epoch fences stale writes" `Quick test_avt_epoch_fence;
+        Alcotest.test_case "epoch is monotone" `Quick test_avt_epoch_monotone;
       ] );
     ( "servernet.fabric",
       [

@@ -853,3 +853,182 @@ let dtx_read_cases =
   [ Alcotest.test_case "locked read across nodes" `Quick test_dtx_read_across_nodes ]
 
 let suite = suite @ [ ("tp.dtx_read", dtx_read_cases) ]
+
+(* --- Partition tolerance: severed links, in-doubt resolution, fencing --- *)
+
+let test_partition_severs_and_heals () =
+  in_cluster ~seed:0xF7A1L (fun cluster ->
+      let s1 = Cluster.remote_session cluster ~from_node:0 ~target:1 ~cpu:2 in
+      Cluster.partition cluster;
+      check_bool "link reported down" false (Cluster.wan_is_up cluster);
+      (match Txclient.begin_txn s1 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "call crossed a severed link");
+      Cluster.heal cluster;
+      check_bool "link reported up" true (Cluster.wan_is_up cluster);
+      let t = Test_util.ok_or_fail ~msg:"begin after heal" (Txclient.begin_txn s1) in
+      Test_util.check_result_ok "insert after heal"
+        (Txclient.insert s1 t ~file:0 ~key:5 ~len:64 ());
+      Test_util.check_result_ok "commit after heal" (Txclient.commit s1 t))
+
+let test_resolver_drains_in_doubt_window () =
+  (* Two branches stranded prepared on node 1 — their coordinator on
+     node 0 decided commit for one and abort for the other, but the
+     decides never arrived.  Recovery must ask the coordinator, commit
+     the first, abort the second, empty the prepared window, and release
+     every lock. *)
+  in_cluster ~seed:0xF7A2L (fun cluster ->
+      let node1 = Cluster.system cluster 1 in
+      let s0 = Cluster.local_session cluster ~node:0 ~cpu:2 in
+      (* Coordinator branch A: prepared then durably committed. *)
+      let ta = Test_util.ok_or_fail ~msg:"begin A" (Txclient.begin_txn s0) in
+      Test_util.check_result_ok "insert A" (Txclient.insert s0 ta ~file:0 ~key:1 ~len:64 ());
+      Test_util.check_result_ok "prepare A" (Txclient.prepare s0 ta);
+      Test_util.check_result_ok "decide A" (Txclient.decide s0 ta ~commit:true);
+      (* Coordinator branch B: prepared then aborted. *)
+      let tb = Test_util.ok_or_fail ~msg:"begin B" (Txclient.begin_txn s0) in
+      Test_util.check_result_ok "insert B" (Txclient.insert s0 tb ~file:0 ~key:2 ~len:64 ());
+      Test_util.check_result_ok "prepare B" (Txclient.prepare s0 tb);
+      Test_util.check_result_ok "decide B" (Txclient.decide s0 tb ~commit:false);
+      (* Node 1's branches prepare under those global identities; the
+         partition eats both phase-2 decides. *)
+      let s1 = Cluster.remote_session cluster ~from_node:0 ~target:1 ~cpu:2 in
+      let b1 = Test_util.ok_or_fail ~msg:"begin b1" (Txclient.begin_txn s1) in
+      Test_util.check_result_ok "insert b1" (Txclient.insert s1 b1 ~file:0 ~key:11 ~len:64 ());
+      Test_util.check_result_ok "prepare b1"
+        (Txclient.prepare ~gtid:(0, Txclient.txn_id ta) s1 b1);
+      let b2 = Test_util.ok_or_fail ~msg:"begin b2" (Txclient.begin_txn s1) in
+      Test_util.check_result_ok "insert b2" (Txclient.insert s1 b2 ~file:0 ~key:12 ~len:64 ());
+      Test_util.check_result_ok "prepare b2"
+        (Txclient.prepare ~gtid:(0, Txclient.txn_id tb) s1 b2);
+      Sim.sleep (Time.ms 50);
+      check_int "two branches in doubt" 2 (List.length (Tmf.in_doubt (System.tmf node1)));
+      check_int "prepared window populated" 2
+        (List.length (Tmf.prepared_txns (System.tmf node1)));
+      check_bool "locks held under the in-doubt branches" true
+        (Lockmgr.held_total (System.locks node1) > 0);
+      (* Node 1 crashes; cluster recovery resolves against node 0. *)
+      Array.iter (fun d -> Dp2.load_table d []) (System.dp2s node1);
+      (match Cluster.recover cluster with
+      | Error e -> Alcotest.fail ("recover: " ^ e)
+      | Ok reports ->
+          let r1 = List.nth reports 1 in
+          check_int "resolved to commit" 1 r1.Recovery.resolved_commit;
+          check_int "resolved to abort" 1 r1.Recovery.resolved_abort);
+      (* Lock release rides the monitor's finish queue. *)
+      Sim.sleep (Time.ms 100);
+      check_int "in-doubt window empty" 0 (List.length (Tmf.in_doubt (System.tmf node1)));
+      check_int "prepared window empty" 0
+        (List.length (Tmf.prepared_txns (System.tmf node1)));
+      check_int "no orphaned locks" 0 (Lockmgr.held_total (System.locks node1));
+      (* The committed branch's row survived the crash; the aborted one
+         is gone. *)
+      let lookup key =
+        let routing = System.routing node1 in
+        let d = (System.dp2s node1).(routing.Txclient.dp2_of ~file:0 ~key) in
+        Dp2.lookup_direct d ~file:0 ~key
+      in
+      check_bool "resolved-commit row rebuilt" true (lookup 11 <> None);
+      check_bool "resolved-abort row discarded" true (lookup 12 = None))
+
+let test_resolver_presumes_abort_when_unreachable () =
+  (* The coordinator is still unreachable when the participant recovers:
+     every in-doubt branch resolves to abort (presumed abort), so locks
+     release and the window empties even without an answer. *)
+  in_cluster ~seed:0xF7A3L (fun cluster ->
+      let node1 = Cluster.system cluster 1 in
+      let s0 = Cluster.local_session cluster ~node:0 ~cpu:2 in
+      let ta = Test_util.ok_or_fail ~msg:"begin A" (Txclient.begin_txn s0) in
+      Test_util.check_result_ok "insert A" (Txclient.insert s0 ta ~file:0 ~key:1 ~len:64 ());
+      Test_util.check_result_ok "prepare A" (Txclient.prepare s0 ta);
+      Test_util.check_result_ok "decide A" (Txclient.decide s0 ta ~commit:true);
+      let s1 = Cluster.remote_session cluster ~from_node:0 ~target:1 ~cpu:2 in
+      let b1 = Test_util.ok_or_fail ~msg:"begin b1" (Txclient.begin_txn s1) in
+      Test_util.check_result_ok "insert b1" (Txclient.insert s1 b1 ~file:0 ~key:21 ~len:64 ());
+      Test_util.check_result_ok "prepare b1"
+        (Txclient.prepare ~gtid:(0, Txclient.txn_id ta) s1 b1);
+      Sim.sleep (Time.ms 50);
+      Cluster.partition cluster;
+      Array.iter (fun d -> Dp2.load_table d []) (System.dp2s node1);
+      (match Recovery.run node1 with
+      | Error e -> Alcotest.fail ("recover: " ^ e)
+      | Ok r ->
+          check_int "presumed abort" 1 r.Recovery.resolved_abort;
+          check_int "nothing resolved to commit" 0 r.Recovery.resolved_commit);
+      Sim.sleep (Time.ms 100);
+      check_int "window drained" 0 (List.length (Tmf.in_doubt (System.tmf node1)));
+      check_int "locks released" 0 (Lockmgr.held_total (System.locks node1)))
+
+let test_faultplan_resync_fails_across_power_cycle () =
+  (* Regression: a resync that straddles a destination power cycle must
+     report failure and leave the volume degraded — the copy's early
+     chunks predate the cycle, so acking it would declare a half-stale
+     mirror clean.  The resync injection blocks its own scheduler for
+     the copy's duration, so the power cycle rides a second plan to
+     land inside the window. *)
+  let contains s sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  build_small `Pm (fun system ->
+      let resync = Faultplan.launch system Faultplan.[ at (Time.ms 10) Pmm_resync ] in
+      let cycle =
+        Faultplan.launch system
+          Faultplan.[ at (Time.ms 12) (Npmu_power_cycle { device = 1; off_for = Time.ms 1 }) ]
+      in
+      Faultplan.await resync;
+      Faultplan.await cycle;
+      let log = List.map snd (Faultplan.injected resync) in
+      check_bool "resync reported the power cycle" true
+        (List.exists (fun d -> contains d "resync" && contains d "failed") log);
+      match System.pmm system with
+      | Some pmm -> check_bool "volume left degraded" true (Pm.Pmm.degraded pmm)
+      | None -> Alcotest.fail "PM system has no PMM")
+
+let test_partition_plan_validation () =
+  (* WAN events need a cluster-scoped launch; the fence probe needs PM. *)
+  (match Drill.run ~mode:System.Pm_audit ~plan:Faultplan.[ at 0 Wan_partition ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wan_partition accepted outside a cluster");
+  match Drill.run ~mode:System.Disk_audit ~plan:Faultplan.[ at 0 Fence_check ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fence_check accepted in disk mode"
+
+let test_cluster_partition_drill_seeds () =
+  List.iter
+    (fun seed ->
+      match Drill.run_cluster ~seed ~plan:Drill.partition_plan () with
+      | Error e -> Alcotest.fail (Printf.sprintf "drill seed 0x%Lx: %s" seed e)
+      | Ok r ->
+          check_bool
+            (Printf.sprintf
+               "seed 0x%Lx invariants (lost=%d in-doubt=%d locks=%d fence-failures=%d)"
+               seed r.Drill.c_lost_rows r.Drill.c_in_doubt_after r.Drill.c_orphaned_locks
+               r.Drill.c_fence_failures)
+            true (Drill.cluster_zero_loss r);
+          check_bool "made progress" true (r.Drill.c_committed > 0);
+          check_bool "partition stranded branches" true (r.Drill.c_in_doubt_before > 0);
+          check_int "every stranded branch resolved" r.Drill.c_in_doubt_before
+            (r.Drill.c_resolved_commit + r.Drill.c_resolved_abort);
+          check_int "fence probed" 1 r.Drill.c_fence_checks;
+          check_bool "stale writes fenced" true (r.Drill.c_fenced_writes > 0))
+    [ 0x7L; 0x2AL; 0xBEEFL ]
+
+let partition_cases =
+  [
+    Alcotest.test_case "severed link times out, heals clean" `Quick
+      test_partition_severs_and_heals;
+    Alcotest.test_case "resolver drains the in-doubt window" `Quick
+      test_resolver_drains_in_doubt_window;
+    Alcotest.test_case "unreachable coordinator presumes abort" `Quick
+      test_resolver_presumes_abort_when_unreachable;
+    Alcotest.test_case "WAN and fence events are validated" `Quick
+      test_partition_plan_validation;
+    Alcotest.test_case "resync straddling a power cycle fails degraded" `Quick
+      test_faultplan_resync_fails_across_power_cycle;
+    Alcotest.test_case "partition drill: three seeds, zero loss" `Slow
+      test_cluster_partition_drill_seeds;
+  ]
+
+let suite = suite @ [ ("tp.partition", partition_cases) ]
