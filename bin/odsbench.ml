@@ -428,6 +428,22 @@ let drill_json (r : Tp.Drill.report) =
       ("recovered_rows", Json.Int r.Tp.Drill.recovered_rows);
       ("lost_rows", Json.Int r.Tp.Drill.lost_rows);
       ("zero_loss", Json.Bool (Tp.Drill.zero_loss r));
+      ( "integrity",
+        match r.Tp.Drill.integrity with
+        | None -> Json.Null
+        | Some i ->
+            Json.Obj
+              [
+                ("decay_injected", Json.Int i.Tp.Drill.decay_injected);
+                ("torn_injected", Json.Int i.Tp.Drill.torn_injected);
+                ("scrub_chunks", Json.Int i.Tp.Drill.scrub_chunks);
+                ("scrub_repairs", Json.Int i.Tp.Drill.scrub_repairs);
+                ("scrub_quarantined", Json.Int i.Tp.Drill.scrub_quarantined);
+                ("read_repairs", Json.Int i.Tp.Drill.read_repairs);
+                ("verify_unrepaired", Json.Int i.Tp.Drill.verify_unrepaired);
+                ("unrepaired_divergence", Json.Int i.Tp.Drill.unrepaired_divergence);
+                ("clean", Json.Bool (Tp.Drill.integrity_clean r));
+              ] );
       ( "response_ms",
         Json.Obj
           [
@@ -532,6 +548,18 @@ let drill_text (r : Tp.Drill.report) =
   Printf.printf "durability         %d acked rows, %d recovered, %d LOST — %s\n"
     r.Tp.Drill.acked_rows r.Tp.Drill.recovered_rows r.Tp.Drill.lost_rows
     (if Tp.Drill.zero_loss r then "zero loss" else "DATA LOSS");
+  (match r.Tp.Drill.integrity with
+  | None -> ()
+  | Some i ->
+      Printf.printf "corruption         %d decay, %d torn injected\n"
+        i.Tp.Drill.decay_injected i.Tp.Drill.torn_injected;
+      Printf.printf "scrubber           %d chunks scanned, %d repaired, %d quarantined\n"
+        i.Tp.Drill.scrub_chunks i.Tp.Drill.scrub_repairs i.Tp.Drill.scrub_quarantined;
+      Printf.printf "verified reads     %d repaired, %d unrepaired\n"
+        i.Tp.Drill.read_repairs i.Tp.Drill.verify_unrepaired;
+      Printf.printf "integrity audit    %d divergent chunks left — %s\n"
+        i.Tp.Drill.unrepaired_divergence
+        (if i.Tp.Drill.unrepaired_divergence = 0 then "clean" else "SILENT CORRUPTION"));
   hr ();
   match r.Tp.Drill.timeline with
   | Some ts ->
@@ -641,8 +669,8 @@ let cluster_drill plan_name drivers seed interval_ms json =
     | "partition" | "standard" -> Tp.Drill.partition_plan
     | "none" -> []
     | other ->
-        prerr_endline
-          ("odsbench drill: unknown cluster plan '" ^ other ^ "' (partition|none)");
+        Printf.eprintf "odsbench drill: unknown cluster plan '%s' (%s)\n" other
+          (String.concat "|" Tp.Drill.cluster_plan_names);
         exit 2
   in
   let params = { Tp.Drill.cluster_params with Tp.Drill.drivers } in
@@ -660,47 +688,95 @@ let cluster_drill plan_name drivers seed interval_ms json =
         exit 1
       end
 
-let drill mode plan_name drivers boxcar records seed interval_ms json =
-  if mode = "cluster" then cluster_drill plan_name drivers seed interval_ms json
-  else
-  let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
-  let plan =
-    match plan_name with
-    | "standard" -> Tp.Drill.standard_plan mode
-    | "kills" ->
-        (* Process-pair decapitations only. *)
-        List.filter
-          (fun ev ->
-            match ev.Tp.Faultplan.action with
-            | Tp.Faultplan.Kill_primary _ -> true
-            | _ -> false)
-          (Tp.Drill.standard_plan mode)
-    | "none" -> []
-    | other ->
-        prerr_endline ("odsbench drill: unknown plan '" ^ other ^ "' (standard|kills|none)");
+let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_defenses
+    json =
+  if list_plans then
+    let names =
+      match mode with
+      | "cluster" -> Tp.Drill.cluster_plan_names
+      | "disk" -> Tp.Drill.plan_names Tp.System.Disk_audit
+      | _ -> Tp.Drill.plan_names Tp.System.Pm_audit
+    in
+    List.iter print_endline names
+  else if mode = "cluster" then cluster_drill plan_name drivers seed interval_ms json
+  else begin
+    let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
+    if no_defenses && plan_name <> "corruption" then begin
+      prerr_endline "odsbench drill: --no-defenses only applies to --plan corruption";
+      exit 2
+    end;
+    let params =
+      {
+        Tp.Drill.default_params with
+        Tp.Drill.drivers;
+        records_per_driver = records;
+        inserts_per_txn = boxcar;
+      }
+    in
+    let obs, sample_interval =
+      if interval_ms > 0 then (Some (Obs.create ()), Some (Time.ms interval_ms))
+      else (None, None)
+    in
+    if plan_name = "corruption" then begin
+      (* The storage-integrity drill has its own config (scrubber +
+         verified reads) and crash-time decay, so it goes through its
+         dedicated entry point; the exit gate is the integrity audit,
+         not just row durability. *)
+      if mode <> Tp.System.Pm_audit then begin
+        prerr_endline "odsbench drill: plan 'corruption' requires --mode pm";
         exit 2
-  in
-  let params =
-    {
-      Tp.Drill.default_params with
-      Tp.Drill.drivers;
-      records_per_driver = records;
-      inserts_per_txn = boxcar;
-    }
-  in
-  let obs, sample_interval =
-    if interval_ms > 0 then (Some (Obs.create ()), Some (Time.ms interval_ms))
-    else (None, None)
-  in
-  match Tp.Drill.run ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params ~mode ~plan () with
-  | Error e -> drill_fail json e
-  | Ok r ->
-      if json then print_endline (Json.to_string (drill_json r)) else drill_text r;
-      if not (Tp.Drill.zero_loss r) then begin
-        Printf.eprintf "odsbench drill: %d acknowledged rows lost after recovery\n"
-          r.Tp.Drill.lost_rows;
-        exit 1
-      end
+      end;
+      match
+        Tp.Drill.run_corruption ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params
+          ~defenses:(not no_defenses) ()
+      with
+      | Error e -> drill_fail json e
+      | Ok r ->
+          if json then print_endline (Json.to_string (drill_json r)) else drill_text r;
+          if not (Tp.Drill.integrity_clean r) then begin
+            let div =
+              match r.Tp.Drill.integrity with
+              | Some i -> i.Tp.Drill.unrepaired_divergence
+              | None -> 0
+            in
+            Printf.eprintf
+              "odsbench drill: integrity violated (%d rows lost, %d divergent chunks \
+               unrepaired)\n"
+              r.Tp.Drill.lost_rows div;
+            exit 1
+          end
+    end
+    else begin
+      let plan =
+        match plan_name with
+        | "standard" -> Tp.Drill.standard_plan mode
+        | "kills" ->
+            (* Process-pair decapitations only. *)
+            List.filter
+              (fun ev ->
+                match ev.Tp.Faultplan.action with
+                | Tp.Faultplan.Kill_primary _ -> true
+                | _ -> false)
+              (Tp.Drill.standard_plan mode)
+        | "none" -> []
+        | other ->
+            Printf.eprintf "odsbench drill: unknown plan '%s' (%s)\n" other
+              (String.concat "|" (Tp.Drill.plan_names mode));
+            exit 2
+      in
+      match
+        Tp.Drill.run ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params ~mode ~plan ()
+      with
+      | Error e -> drill_fail json e
+      | Ok r ->
+          if json then print_endline (Json.to_string (drill_json r)) else drill_text r;
+          if not (Tp.Drill.zero_loss r) then begin
+            Printf.eprintf "odsbench drill: %d acknowledged rows lost after recovery\n"
+              r.Tp.Drill.lost_rows;
+            exit 1
+          end
+    end
+  end
 
 let drill_cmd =
   let mode =
@@ -715,13 +791,31 @@ let drill_cmd =
   let plan =
     Arg.(
       value & opt string "standard"
-      & info [ "plan" ] ~docv:"standard|kills|none|partition"
+      & info [ "plan" ] ~docv:"standard|kills|corruption|none|partition"
           ~doc:
             "Fault schedule: $(b,standard) is the full drill (PM: PMM kill, NPMU \
              power-cycle, rail flap, CRC noise, resync), $(b,kills) keeps only the \
-             process-pair kills, $(b,none) runs faultless.  In cluster mode, \
+             process-pair kills, $(b,corruption) (PM mode) injects silent media decay \
+             and torn stores with the scrubber and verified reads armed and audits \
+             storage integrity, $(b,none) runs faultless.  In cluster mode, \
              $(b,partition) (the default) severs the inter-node link mid-2PC, kills the \
-             coordinator, heals, takes over the PM manager and probes the epoch fence.")
+             coordinator, heals, takes over the PM manager and probes the epoch fence.  \
+             $(b,--list-plans) prints the names valid for the selected mode.")
+  in
+  let list_plans =
+    Arg.(
+      value & flag
+      & info [ "list-plans" ]
+          ~doc:"Print the $(b,--plan) names valid for the selected mode and exit.")
+  in
+  let no_defenses =
+    Arg.(
+      value & flag
+      & info [ "no-defenses" ]
+          ~doc:
+            "Corruption plan only: run the same fault schedule with the scrubber and \
+             verified reads disabled — the negative control that shows what silent \
+             corruption costs undefended (expect a non-zero exit).")
   in
   let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
   let boxcar =
@@ -745,7 +839,7 @@ let drill_cmd =
           acknowledged commit was lost")
     Term.(
       const drill $ mode $ plan $ drivers $ boxcar $ records_arg 400 $ seed $ interval_ms
-      $ json_arg)
+      $ list_plans $ no_defenses $ json_arg)
 
 (* --- timeline: continuous telemetry + bottleneck attribution --- *)
 

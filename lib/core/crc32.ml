@@ -9,15 +9,25 @@ let table =
          done;
          !c))
 
-let sub buf ~pos ~len =
+type state = int32
+
+let init : state = 0xFFFFFFFFl
+
+let update (st : state) buf ~pos ~len : state =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.update: out of range";
   let table = Lazy.force table in
-  let crc = ref 0xFFFFFFFFl in
+  let crc = ref st in
   for i = pos to pos + len - 1 do
     let byte = Char.code (Bytes.unsafe_get buf i) in
     let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int byte)) 0xFFl) in
     crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
   done;
-  Int32.logxor !crc 0xFFFFFFFFl
+  !crc
+
+let finish (st : state) = Int32.logxor st 0xFFFFFFFFl
+
+let sub buf ~pos ~len = finish (update init buf ~pos ~len)
 
 let bytes buf = sub buf ~pos:0 ~len:(Bytes.length buf)
 

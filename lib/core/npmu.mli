@@ -62,3 +62,32 @@ val peek : t -> off:int -> len:int -> Bytes.t
 val poke : t -> off:int -> data:Bytes.t -> unit
 (** Maintenance-path write.  Tests only; production writes go through
     RDMA. *)
+
+(** {2 Silent-corruption injection}
+
+    Maintenance-path fault primitives for integrity drills.  Neither
+    touches the fabric or advances time, and neither is observable to
+    initiators except through the corrupted bytes themselves — that is
+    what makes the corruption {e silent}. *)
+
+val decay : t -> off:int -> bits:int -> unit
+(** Media decay: flip [bits] consecutive bit positions starting at byte
+    [off] (bit [i] of the run toggles bit [i mod 8] of byte
+    [off + i/8]).  Deterministic — same arguments, same damage.  Raises
+    [Invalid_argument] if the affected byte span is out of range. *)
+
+val decay_events : t -> int
+(** Number of {!decay} injections since creation. *)
+
+val bits_flipped : t -> int
+(** Total bits flipped by {!decay} since creation. *)
+
+val tear_last_write : t -> (int * int) option
+(** Torn store: corrupt the trailing half of the most recent
+    RDMA-delivered write, modelling a power cut that lands mid-store
+    (the NIC pushes payload in order, so the tear is a suffix).
+    Returns [Some (off, len)] of the torn span, or [None] when no write
+    has landed yet or the last write was a single byte. *)
+
+val torn_writes : t -> int
+(** Number of successful {!tear_last_write} injections. *)

@@ -10,6 +10,7 @@ type config = {
   data_retries : int;
   data_backoff : Time.span;
   fail_fast_after : int;
+  verified_reads : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     data_retries = 2;
     data_backoff = Time.us 100;
     fail_fast_after = 8;
+    verified_reads = false;
   }
 
 type t = {
@@ -35,6 +37,9 @@ type t = {
   mutable read_failovers : int;
   mutable mgmt_retried : int;
   mutable fenced : int;
+  mutable read_repaired : int;
+  mutable verify_divergent : int;
+  mutable verify_unrepaired : int;
   (* Consecutive data-path failures per device of the mirror pair; past
      [fail_fast_after] the client stops burning retries on a device it
      has every reason to believe is down, until a success resets it. *)
@@ -59,6 +64,9 @@ let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
     read_failovers = 0;
     mgmt_retried = 0;
     fenced = 0;
+    read_repaired = 0;
+    verify_divergent = 0;
+    verify_unrepaired = 0;
     primary_strikes = 0;
     mirror_strikes = 0;
     latency =
@@ -262,7 +270,7 @@ let write ?span t h ~off ~data =
   in
   attempt 2
 
-let read t h ~off ~len =
+let read_plain t h ~off ~len =
   let region = h.region in
   if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
   else begin
@@ -300,11 +308,120 @@ let read t h ~off ~len =
     round 0
   end
 
+let read_device t h ~mirror ~off ~len =
+  let region = h.region in
+  if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
+  else
+    let dst = if mirror then region.Pm_types.mirror_npmu else region.Pm_types.primary_npmu in
+    match
+      Servernet.Fabric.rdma_read t.fabric ~src:(Cpu.endpoint t.client_cpu) ~dst
+        ~addr:(region.Pm_types.net_base + off) ~len
+    with
+    | Ok data -> Ok data
+    | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+        Error Pm_types.Permission_denied
+    | Error _ -> Error Pm_types.Device_failed
+
+(* Arbitrate and repair every chunk of a divergent range.  The PMM's
+   durable chunk-checksum table decides which copy is truth: the copy
+   whose CRC matches is written over the other (read-repair).  A chunk
+   the table cannot vouch for — never scanned clean, quarantined, or
+   both copies corrupt — is left alone and counted as unrepaired; the
+   scrubber's strike machinery owns its fate. *)
+let verify_repair_range t h ~addr ~len =
+  let region = h.region in
+  let src = Cpu.endpoint t.client_cpu in
+  let read_dev dst ~addr ~len = Servernet.Fabric.rdma_read t.fabric ~src ~dst ~addr ~len in
+  let repair ~dst ~chunk_off ~data =
+    match
+      Servernet.Fabric.rdma_write ~epoch:region.Pm_types.epoch t.fabric ~src ~dst
+        ~addr:chunk_off ~data
+    with
+    | Ok () ->
+        t.read_repaired <- t.read_repaired + 1;
+        bump_counter t "pm.read_repairs"
+    | Error _ ->
+        t.verify_unrepaired <- t.verify_unrepaired + 1;
+        bump_counter t "pm.verify_unrepaired"
+  in
+  let rec sweep pos =
+    if pos < addr + len then
+      match mgmt_call t (Pmm.Chunk_crc { addr = pos }) with
+      | Ok (Pmm.R_chunk_crc { chunk_off; chunk_len; crc; quarantined }) ->
+          (if not quarantined then
+             match
+               ( read_dev region.Pm_types.primary_npmu ~addr:chunk_off ~len:chunk_len,
+                 read_dev region.Pm_types.mirror_npmu ~addr:chunk_off ~len:chunk_len )
+             with
+             | Ok p, Ok m when not (Bytes.equal p m) -> (
+                 match crc with
+                 | Some trusted ->
+                     let cp = Crc32.bytes p and cm = Crc32.bytes m in
+                     if Int32.equal trusted cp then
+                       repair ~dst:region.Pm_types.mirror_npmu ~chunk_off ~data:p
+                     else if Int32.equal trusted cm then
+                       repair ~dst:region.Pm_types.primary_npmu ~chunk_off ~data:m
+                     else begin
+                       t.verify_unrepaired <- t.verify_unrepaired + 1;
+                       bump_counter t "pm.verify_unrepaired"
+                     end
+                 | None ->
+                     t.verify_unrepaired <- t.verify_unrepaired + 1;
+                     bump_counter t "pm.verify_unrepaired")
+             | _ -> ());
+          sweep (chunk_off + chunk_len)
+      | Ok _ | Error _ ->
+          (* The PMM cannot arbitrate right now (takeover in flight, or
+             the range fell off the region map); the plain read below
+             still serves data, just unverified. *)
+          t.verify_unrepaired <- t.verify_unrepaired + 1;
+          bump_counter t "pm.verify_unrepaired"
+  in
+  sweep addr
+
+let read_verified t h ~off ~len =
+  let region = h.region in
+  if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
+  else begin
+    let addr = region.Pm_types.net_base + off in
+    let src = Cpu.endpoint t.client_cpu in
+    let p =
+      Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.primary_npmu ~addr ~len
+    in
+    let m =
+      Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.mirror_npmu ~addr ~len
+    in
+    match (p, m) with
+    | Ok dp, Ok dm when Bytes.equal dp dm -> Ok dp
+    | Ok _, Ok _ ->
+        t.verify_divergent <- t.verify_divergent + 1;
+        bump_counter t "pm.verify_divergence";
+        verify_repair_range t h ~addr ~len;
+        (* Serve the post-repair contents; where repair was impossible
+           this degrades to the plain read's primary-first answer. *)
+        read_plain t h ~off ~len
+    | _ ->
+        (* One copy unreachable: nothing to cross-check, and the plain
+           path already owns failover and retry. *)
+        read_plain t h ~off ~len
+  end
+
+let read t h ~off ~len =
+  if t.cfg.verified_reads then read_verified t h ~off ~len else read_plain t h ~off ~len
+
 let degraded_writes t = t.degraded
 
 let write_retries t = t.retried_writes
 
 let read_failovers t = t.read_failovers
+
+let read_repairs t = t.read_repaired
+
+let verify_divergences t = t.verify_divergent
+
+let verify_unrepaired t = t.verify_unrepaired
+
+let verified_reads_enabled t = t.cfg.verified_reads
 
 let fenced_writes t = t.fenced
 

@@ -29,6 +29,10 @@ type config = {
   fail_fast_after : int;
       (** consecutive failures after which a device is presumed down and
           data-path retries are skipped until it answers again *)
+  verified_reads : bool;
+      (** route every {!read} through {!read_verified}: cross-check the
+          mirror and read-repair silent divergence (default [false] —
+          it doubles read traffic) *)
 }
 
 val default_config : config
@@ -79,7 +83,25 @@ val write :
 val read : t -> handle -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
 (** Read from the primary device, failing over to the mirror; transient
     fabric errors on both devices are retried up to [data_retries]
-    rounds with jittered backoff. *)
+    rounds with jittered backoff.  When the client was attached with
+    [verified_reads], this is {!read_verified}. *)
+
+val read_device :
+  t -> handle -> mirror:bool -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
+(** Read one named copy, no failover and no retry.  For callers that do
+    their own cross-copy arbitration — the audit-trail replay salvages a
+    frame torn on the primary from the mirror through this. *)
+
+val read_verified : t -> handle -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
+(** Integrity-checking read: fetch the range from {e both} devices and
+    compare.  On divergence, ask the PMM for the trusted chunk checksum
+    ({!Pmm.request.Chunk_crc}) over every chunk of the range, copy the
+    matching side over the corrupt one ({e read-repair}, counted in
+    {!read_repairs} / [pm.read_repairs]), and serve the repaired
+    contents.  A chunk the table cannot arbitrate is served from the
+    primary unrepaired (counted in {!verify_unrepaired}); a copy that is
+    unreachable degrades to the plain failover read.  Works — minus the
+    repair arbitration — even when no scrubber is running. *)
 
 val degraded_writes : t -> int
 (** Writes that persisted on only one device. *)
@@ -89,6 +111,19 @@ val write_retries : t -> int
 
 val read_failovers : t -> int
 (** Reads the primary device missed and the mirror served. *)
+
+val read_repairs : t -> int
+(** Divergent chunks a verified read repaired (also the
+    [pm.read_repairs] counter when attached with [obs]). *)
+
+val verify_divergences : t -> int
+(** Verified reads that found the copies divergent. *)
+
+val verify_unrepaired : t -> int
+(** Divergent chunks a verified read could not arbitrate (no trusted
+    checksum, both copies corrupt, or the PMM unreachable). *)
+
+val verified_reads_enabled : t -> bool
 
 val fenced_writes : t -> int
 (** Writes bounced with [Stale_epoch] before a grant refresh (also the

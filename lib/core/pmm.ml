@@ -43,6 +43,7 @@ type request =
   | List_regions
   | Stat
   | Resync of { from_primary : bool }
+  | Chunk_crc of { addr : int }
 
 type stat_info = {
   capacity : int;
@@ -58,6 +59,12 @@ type response =
   | R_stat of stat_info
   | R_ok
   | R_resynced of { bytes : int }
+  | R_chunk_crc of {
+      chunk_off : int;
+      chunk_len : int;
+      crc : int32 option;
+      quarantined : bool;
+    }
   | R_error of Pm_types.error
 
 type server = (request, response) Msgsys.server
@@ -65,6 +72,21 @@ type server = (request, response) Msgsys.server
 type config = { meta_reserve : int; op_cpu_cost : Time.span; mgmt_bytes : int }
 
 let default_config = { meta_reserve = 64 * 1024; op_cpu_cost = Time.us 10; mgmt_bytes = 128 }
+
+type scrub_config = {
+  scrub_chunk_bytes : int;
+  scrub_interval : Time.span;
+  scrub_recheck : Time.span;
+  scrub_quarantine_after : int;
+}
+
+let default_scrub_config =
+  {
+    scrub_chunk_bytes = 256 * 1024;
+    scrub_interval = Time.us 100;
+    scrub_recheck = Time.us 50;
+    scrub_quarantine_after = 3;
+  }
 
 (* --- Metadata representation --- *)
 
@@ -140,6 +162,24 @@ let parse_slot bytes_ =
 
 (* --- The manager --- *)
 
+(* Scrubber state.  The chunk-checksum table maps the absolute device
+   offset of a chunk (chunked per region, from the region base) to the
+   CRC32 of the chunk's last known-good contents. *)
+type scrub = {
+  s_cfg : scrub_config;
+  s_cpu : Cpu.t;
+  s_table : (int, int32) Hashtbl.t;
+  s_strikes : (int, int) Hashtbl.t;  (** consecutive unresolvable passes *)
+  s_quar : (int, int) Hashtbl.t;  (** chunk offset -> chunk length *)
+  mutable s_generation : int;
+  mutable s_running : bool;
+  mutable s_passes : int;
+  mutable s_chunks : int;  (** chunks compared, cumulative *)
+  mutable s_repairs : int;
+  mutable s_quarantined : int;
+  s_probe : Probe.t option;
+}
+
 type t = {
   fabric : Servernet.Fabric.t;
   pmm_name : string;
@@ -154,6 +194,7 @@ type t = {
   mutable mirr_ok : bool;
   mutable mgmt_initiators : int list;  (** the PMM pair's own endpoints *)
   mutable recovery_time : Time.span option;
+  mutable scrub : scrub option;
 }
 
 let slot_offset cfg slot = slot * (cfg.meta_reserve / 2)
@@ -508,6 +549,28 @@ let handle_request t req =
              degraded until a clean resync completes. *)
           mark_dst_failed ();
           R_error (Pm_types.Bad_request ("resync: " ^ e)))
+  | Chunk_crc { addr } -> (
+      match
+        List.find_opt (fun r -> addr >= r.offset && addr < r.offset + r.length) meta.regions
+      with
+      | None -> R_error Pm_types.No_such_region
+      | Some r ->
+          let chunk =
+            match t.scrub with
+            | Some st -> st.s_cfg.scrub_chunk_bytes
+            | None -> default_scrub_config.scrub_chunk_bytes
+          in
+          let chunk_off = r.offset + ((addr - r.offset) / chunk * chunk) in
+          let chunk_len = min chunk (r.offset + r.length - chunk_off) in
+          let crc =
+            match t.scrub with
+            | Some st -> Hashtbl.find_opt st.s_table chunk_off
+            | None -> None
+          in
+          let quarantined =
+            match t.scrub with Some st -> Hashtbl.mem st.s_quar chunk_off | None -> false
+          in
+          R_chunk_crc { chunk_off; chunk_len; crc; quarantined })
   | Stat ->
       let allocated = List.fold_left (fun acc r -> acc + r.length) 0 meta.regions in
       R_stat
@@ -569,6 +632,7 @@ let start ~fabric ~name ~primary_cpu ~backup_cpu ~primary_dev ~mirror_dev
       mirr_ok = true;
       mgmt_initiators = [ Cpu.endpoint_id primary_cpu; Cpu.endpoint_id backup_cpu ];
       recovery_time = None;
+      scrub = None;
     }
   in
   claim_metadata_windows t ~primary_cpu ~backup_cpu;
@@ -585,3 +649,373 @@ let start ~fabric ~name ~primary_cpu ~backup_cpu ~primary_dev ~mirror_dev
   in
   t.pair <- Some pair;
   t
+
+(* --- Background scrubber --- *)
+
+(* The chunk-checksum table lives in the back of each metadata slot: the
+   region table's image occupies the front [meta_reserve/8] bytes of a
+   slot, the scrub table the rest.  Both are dual-slotted,
+   generation-stamped and CRC-framed, so a crash mid-persist always
+   leaves a valid copy — the same discipline as the region table. *)
+let scrub_slot_gap cfg = cfg.meta_reserve / 8
+
+let scrub_magic = 0x53435242 (* "SCRB" *)
+
+let encode_scrub st =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.u32 enc st.s_cfg.scrub_chunk_bytes;
+  let entries =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.s_table [])
+  in
+  Codec.Enc.u32 enc (List.length entries);
+  List.iter
+    (fun (addr, crc) ->
+      Codec.Enc.u32 enc addr;
+      Codec.Enc.u32 enc (Int32.to_int crc land 0xFFFFFFFF))
+    entries;
+  let quar = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.s_quar []) in
+  Codec.Enc.u32 enc (List.length quar);
+  List.iter
+    (fun (addr, len) ->
+      Codec.Enc.u32 enc addr;
+      Codec.Enc.u32 enc len)
+    quar;
+  Codec.Enc.to_bytes enc
+
+let scrub_image st =
+  let payload = encode_scrub st in
+  let hdr = Codec.Enc.create () in
+  Codec.Enc.u32 hdr scrub_magic;
+  Codec.Enc.u64 hdr st.s_generation;
+  Codec.Enc.u32 hdr (Bytes.length payload);
+  Codec.Enc.u32 hdr (Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF);
+  let out = Bytes.create (header_bytes + Bytes.length payload) in
+  Bytes.blit (Codec.Enc.to_bytes hdr) 0 out 0 header_bytes;
+  Bytes.blit payload 0 out header_bytes (Bytes.length payload);
+  out
+
+(* Returns (generation, chunk_bytes, entries, quarantined). *)
+let parse_scrub_slot bytes_ =
+  try
+    let dec = Codec.Dec.of_bytes bytes_ in
+    let m = Codec.Dec.u32 dec in
+    if m <> scrub_magic then None
+    else
+      let generation = Codec.Dec.u64 dec in
+      let len = Codec.Dec.u32 dec in
+      let crc = Codec.Dec.u32 dec in
+      if len > Bytes.length bytes_ - header_bytes then None
+      else
+        let payload = Bytes.sub bytes_ header_bytes len in
+        if Int32.to_int (Crc32.bytes payload) land 0xFFFFFFFF <> crc then None
+        else
+          let pd = Codec.Dec.of_bytes payload in
+          let chunk_bytes = Codec.Dec.u32 pd in
+          let n = Codec.Dec.u32 pd in
+          let entries =
+            List.init n (fun _ ->
+                let addr = Codec.Dec.u32 pd in
+                let c = Codec.Dec.u32 pd in
+                (addr, Int32.of_int c))
+          in
+          let nq = Codec.Dec.u32 pd in
+          let quar =
+            List.init nq (fun _ ->
+                let addr = Codec.Dec.u32 pd in
+                let len = Codec.Dec.u32 pd in
+                (addr, len))
+          in
+          Some (generation, chunk_bytes, entries, quar)
+  with Codec.Dec.Truncated -> None
+
+let scrub_epoch t =
+  match t.live with
+  | Some m -> m.epoch
+  | None -> max (Servernet.Avt.epoch t.prim_dev.dev_avt) (Servernet.Avt.epoch t.mirr_dev.dev_avt)
+
+(* Persist the table to both devices (new generation, alternating slot).
+   Written {e after} a pass's repairs: a table older than the data is
+   merely conservative (the stale chunk strikes toward quarantine
+   instead of auto-repairing), a table newer than the data could bless a
+   write that never landed. *)
+let persist_scrub t st =
+  st.s_generation <- st.s_generation + 1;
+  let image = scrub_image st in
+  let gap = scrub_slot_gap t.cfg in
+  if Bytes.length image > (t.cfg.meta_reserve / 2) - gap then begin
+    st.s_generation <- st.s_generation - 1;
+    false
+  end
+  else begin
+    let slot = st.s_generation mod 2 in
+    let addr = slot_offset t.cfg slot + gap in
+    let epoch = scrub_epoch t in
+    let write dev =
+      match
+        Servernet.Fabric.rdma_write ~epoch t.fabric ~src:(Cpu.endpoint st.s_cpu)
+          ~dst:dev.dev_id ~addr ~data:image
+      with
+      | Ok () -> true
+      | Error _ -> false
+    in
+    let p = write t.prim_dev in
+    let m = write t.mirr_dev in
+    if p || m then true
+    else begin
+      st.s_generation <- st.s_generation - 1;
+      false
+    end
+  end
+
+let load_scrub t st =
+  let gap = scrub_slot_gap t.cfg in
+  let len = (t.cfg.meta_reserve / 2) - gap in
+  let read_slot dev slot =
+    let addr = slot_offset t.cfg slot + gap in
+    match
+      Servernet.Fabric.rdma_read t.fabric ~src:(Cpu.endpoint st.s_cpu) ~dst:dev.dev_id ~addr
+        ~len
+    with
+    | Ok data -> parse_scrub_slot data
+    | Error _ -> None
+  in
+  let candidates =
+    [
+      read_slot t.prim_dev 0;
+      read_slot t.prim_dev 1;
+      read_slot t.mirr_dev 0;
+      read_slot t.mirr_dev 1;
+    ]
+  in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        match (acc, c) with
+        | None, c -> c
+        | Some (ga, _, _, _), Some (gb, _, _, _) when gb > ga -> c
+        | acc, _ -> acc)
+      None candidates
+  in
+  match best with
+  | Some (generation, chunk_bytes, entries, quar)
+    when chunk_bytes = st.s_cfg.scrub_chunk_bytes ->
+      st.s_generation <- generation;
+      List.iter (fun (addr, crc) -> Hashtbl.replace st.s_table addr crc) entries;
+      List.iter (fun (addr, len) -> Hashtbl.replace st.s_quar addr len) quar
+  | Some (generation, _, _, _) ->
+      (* Geometry changed: the stored table is useless, but keep the
+         generation monotone so the next persist supersedes it. *)
+      st.s_generation <- generation
+  | None -> ()
+
+(* Read one chunk in 64 KiB RDMA slices, folding the incremental CRC as
+   the slices land.  [None] when the device is unreachable. *)
+let scrub_read_chunk t st dev ~addr ~len =
+  let buf = Bytes.create len in
+  let slice = 64 * 1024 in
+  let rec go pos acc =
+    if pos >= len then Some (buf, Crc32.finish acc)
+    else
+      let n = min slice (len - pos) in
+      match
+        Servernet.Fabric.rdma_read t.fabric ~src:(Cpu.endpoint st.s_cpu) ~dst:dev.dev_id
+          ~addr:(addr + pos) ~len:n
+      with
+      | Error _ -> None
+      | Ok data ->
+          Bytes.blit data 0 buf pos n;
+          go (pos + n) (Crc32.update acc data ~pos:0 ~len:n)
+  in
+  go 0 Crc32.init
+
+let scrub_strike st ~addr ~len =
+  let n = (match Hashtbl.find_opt st.s_strikes addr with Some n -> n | None -> 0) + 1 in
+  if n >= st.s_cfg.scrub_quarantine_after then begin
+    Hashtbl.replace st.s_quar addr len;
+    Hashtbl.remove st.s_table addr;
+    Hashtbl.remove st.s_strikes addr;
+    st.s_quarantined <- st.s_quarantined + 1
+  end
+  else Hashtbl.replace st.s_strikes addr n
+
+let scrub_mark_clean st ~addr crc =
+  Hashtbl.replace st.s_table addr crc;
+  Hashtbl.remove st.s_strikes addr
+
+let scrub_repair t st ~dst_dev ~addr ~data ~crc ~len =
+  match
+    Servernet.Fabric.rdma_write ~epoch:(scrub_epoch t) t.fabric ~src:(Cpu.endpoint st.s_cpu)
+      ~dst:dst_dev.dev_id ~addr ~data
+  with
+  | Ok () ->
+      scrub_mark_clean st ~addr crc;
+      st.s_repairs <- st.s_repairs + 1
+  | Error _ -> scrub_strike st ~addr ~len
+
+(* Scan one chunk: compare the copies, and on divergence let the durable
+   checksum table arbitrate which copy is truth.  A transient divergence
+   (a mirrored write in flight between the two reads) is filtered by a
+   settle-and-recheck; a chunk where neither copy matches the table —
+   legitimate writes landed since the last clean scan, plus corruption —
+   cannot be arbitrated and strikes toward quarantine. *)
+let scrub_chunk t st ~addr ~len =
+  match
+    (scrub_read_chunk t st t.prim_dev ~addr ~len, scrub_read_chunk t st t.mirr_dev ~addr ~len)
+  with
+  | Some (p, cp), Some (m, _) when Bytes.equal p m ->
+      st.s_chunks <- st.s_chunks + 1;
+      scrub_mark_clean st ~addr cp
+  | Some _, Some _ -> (
+      st.s_chunks <- st.s_chunks + 1;
+      Sim.sleep st.s_cfg.scrub_recheck;
+      match
+        ( scrub_read_chunk t st t.prim_dev ~addr ~len,
+          scrub_read_chunk t st t.mirr_dev ~addr ~len )
+      with
+      | Some (p, cp), Some (m, _) when Bytes.equal p m -> scrub_mark_clean st ~addr cp
+      | Some (p, cp), Some (m, cm) -> (
+          match Hashtbl.find_opt st.s_table addr with
+          | Some e when Int32.equal e cp ->
+              scrub_repair t st ~dst_dev:t.mirr_dev ~addr ~data:p ~crc:cp ~len
+          | Some e when Int32.equal e cm ->
+              scrub_repair t st ~dst_dev:t.prim_dev ~addr ~data:m ~crc:cm ~len
+          | _ -> scrub_strike st ~addr ~len)
+      | _ -> ())
+  | _ ->
+      (* One copy unreachable: nothing to compare against.  The scrubber
+         resumes the chunk when the device returns. *)
+      ()
+
+let scrub_pass t st =
+  match t.live with
+  | None -> ()
+  | Some meta ->
+      let extents =
+        List.sort compare (List.map (fun r -> (r.offset, r.length)) meta.regions)
+      in
+      List.iter
+        (fun (off, len) ->
+          let rec go addr =
+            if addr < off + len && st.s_running then begin
+              let clen = min st.s_cfg.scrub_chunk_bytes (off + len - addr) in
+              if not (Hashtbl.mem st.s_quar addr) then begin
+                let started = Sim.now (Cpu.sim st.s_cpu) in
+                (match st.s_probe with Some p -> Probe.enqueue p | None -> ());
+                scrub_chunk t st ~addr ~len:clen;
+                (match st.s_probe with
+                | Some p ->
+                    Probe.busy_span p (Sim.now (Cpu.sim st.s_cpu) - started);
+                    Probe.dequeue p
+                | None -> ())
+              end;
+              Sim.sleep st.s_cfg.scrub_interval;
+              go (addr + clen)
+            end
+          in
+          go off)
+        extents;
+      st.s_passes <- st.s_passes + 1;
+      ignore (persist_scrub t st)
+
+let start_scrubber t ~cpu ?(config = default_scrub_config) ?metrics () =
+  (match t.scrub with
+  | Some _ -> invalid_arg "Pmm.start_scrubber: already running"
+  | None -> ());
+  let probe =
+    Option.map
+      (fun m ->
+        let p = Metrics.probe m "pmm.scrub" in
+        Probe.set_clock p (fun () -> Sim.now (Cpu.sim cpu));
+        p)
+      metrics
+  in
+  let st =
+    {
+      s_cfg = config;
+      s_cpu = cpu;
+      s_table = Hashtbl.create 64;
+      s_strikes = Hashtbl.create 8;
+      s_quar = Hashtbl.create 8;
+      s_generation = 0;
+      s_running = true;
+      s_passes = 0;
+      s_chunks = 0;
+      s_repairs = 0;
+      s_quarantined = 0;
+      s_probe = probe;
+    }
+  in
+  t.scrub <- Some st;
+  (match metrics with
+  | Some m ->
+      Metrics.register_gauge m "pmm.scrub.regions" (fun () -> float_of_int st.s_chunks);
+      Metrics.register_gauge m "pmm.scrub.repaired" (fun () -> float_of_int st.s_repairs);
+      Metrics.register_gauge m "pmm.scrub.quarantined" (fun () ->
+          float_of_int st.s_quarantined);
+      Metrics.register_gauge m "pmm.scrub.passes" (fun () -> float_of_int st.s_passes)
+  | None -> ());
+  ignore
+    (Cpu.spawn cpu ~name:(t.pmm_name ^ "-scrubber") (fun () ->
+         (* Wait for the serve loop to adopt metadata before the first
+            pass (and before loading the durable table: the epoch realign
+            happens there too). *)
+         while st.s_running && t.live = None do
+           Sim.sleep (Time.ms 1)
+         done;
+         if st.s_running then load_scrub t st;
+         while st.s_running do
+           scrub_pass t st;
+           Sim.sleep st.s_cfg.scrub_interval
+         done))
+
+let stop_scrubber t = match t.scrub with Some st -> st.s_running <- false | None -> ()
+
+let scrub_chunks_scanned t = match t.scrub with Some st -> st.s_chunks | None -> 0
+
+let scrub_repairs t = match t.scrub with Some st -> st.s_repairs | None -> 0
+
+let scrub_quarantined t = match t.scrub with Some st -> st.s_quarantined | None -> 0
+
+let scrub_passes t = match t.scrub with Some st -> st.s_passes | None -> 0
+
+let scrub_table_entries t =
+  match t.scrub with Some st -> Hashtbl.length st.s_table | None -> 0
+
+let scrub_quarantined_chunks t =
+  match t.scrub with
+  | Some st -> List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.s_quar [])
+  | None -> []
+
+(* Maintenance-path full-content audit: peek-compare every allocated
+   extent across the pair, in scrub-chunk geometry, skipping quarantined
+   chunks.  Drills call this after recovery to prove no divergence
+   survived unnoticed. *)
+let divergent_chunks ?chunk_bytes t =
+  let chunk =
+    match (chunk_bytes, t.scrub) with
+    | Some c, _ -> c
+    | None, Some st -> st.s_cfg.scrub_chunk_bytes
+    | None, None -> default_scrub_config.scrub_chunk_bytes
+  in
+  match t.live with
+  | None -> []
+  | Some meta ->
+      let quarantined addr =
+        match t.scrub with Some st -> Hashtbl.mem st.s_quar addr | None -> false
+      in
+      List.concat_map
+        (fun r ->
+          let rec go addr acc =
+            if addr >= r.offset + r.length then List.rev acc
+            else
+              let len = min chunk (r.offset + r.length - addr) in
+              let p = t.prim_dev.dev_peek ~off:addr ~len in
+              let m = t.mirr_dev.dev_peek ~off:addr ~len in
+              let acc =
+                if (not (Bytes.equal p m)) && not (quarantined addr) then (addr, len) :: acc
+                else acc
+              in
+              go (addr + len) acc
+          in
+          go r.offset [])
+        (List.sort (fun a b -> compare a.offset b.offset) meta.regions)

@@ -48,6 +48,12 @@ type request =
           leaving the volume degraded — if either device power-cycles
           during the copy; on success the volume epoch is bumped so stale
           grants are fenced. *)
+  | Chunk_crc of { addr : int }
+      (** Ask for the scrubber's trusted checksum of the chunk containing
+          absolute device offset [addr] — the arbitration a verified
+          reader needs to decide which copy of a divergent range is
+          truth.  Answers with the chunk's geometry even when no
+          scrubber runs (the checksum is then [None]). *)
 
 type stat_info = {
   capacity : int;  (** data capacity (metadata reserve excluded) *)
@@ -63,6 +69,12 @@ type response =
   | R_stat of stat_info
   | R_ok
   | R_resynced of { bytes : int }
+  | R_chunk_crc of {
+      chunk_off : int;  (** absolute device offset of the chunk *)
+      chunk_len : int;
+      crc : int32 option;  (** durable checksum; [None] if never scanned clean *)
+      quarantined : bool;
+    }
   | R_error of Pm_types.error
 
 type server = (request, response) Msgsys.server
@@ -123,3 +135,62 @@ val kill_primary : t -> unit
 val outage_time : t -> Time.span
 
 val halt : t -> unit
+
+(** {2 Scrubbing}
+
+    The scrubber is an incremental background task that walks every
+    allocated region of the mirrored volume in fixed-size chunks,
+    RDMA-reads both copies, and compares them.  A clean compare refreshes
+    the chunk's entry in a durable checksum table (dual-slotted,
+    generation-stamped and CRC-framed in the metadata reserve, persisted
+    once per completed pass — {e after} the pass's repairs, so the table
+    is never newer than the data it vouches for).  A divergent chunk is
+    re-read after a short settle (to filter mirrored writes caught in
+    flight), then arbitrated against the table: the copy whose CRC
+    matches is copied over the other ({e repair}); when neither matches
+    the chunk strikes, and [scrub_quarantine_after] consecutive strikes
+    quarantine it — it is skipped thereafter and surfaced through
+    {!scrub_quarantined_chunks} for operator attention. *)
+
+type scrub_config = {
+  scrub_chunk_bytes : int;  (** compare granularity and table key size *)
+  scrub_interval : Time.span;  (** pause between chunk scans *)
+  scrub_recheck : Time.span;  (** settle before trusting a divergence *)
+  scrub_quarantine_after : int;  (** consecutive unresolvable passes *)
+}
+
+val default_scrub_config : scrub_config
+(** 256 KiB chunks, 100 us between chunks, 50 us settle, quarantine
+    after 3. *)
+
+val start_scrubber :
+  t -> cpu:Cpu.t -> ?config:scrub_config -> ?metrics:Metrics.t -> unit -> unit
+(** Start the background scrub process on [cpu] — must be one of the
+    PMM pair's CPUs (the devices' windows admit only those).  Loads the
+    durable checksum table, then loops passes until {!stop_scrubber}.
+    With [metrics], exports [pmm.scrub.regions] (chunks compared),
+    [pmm.scrub.repaired], [pmm.scrub.quarantined] and [pmm.scrub.passes]
+    gauges plus a [pmm.scrub] progress probe for the time-series
+    sampler.  Raises [Invalid_argument] if already running. *)
+
+val stop_scrubber : t -> unit
+(** Ask the scrubber to stop; it exits at its next wakeup.  Idempotent. *)
+
+val scrub_chunks_scanned : t -> int
+
+val scrub_repairs : t -> int
+
+val scrub_quarantined : t -> int
+
+val scrub_passes : t -> int
+
+val scrub_table_entries : t -> int
+
+val scrub_quarantined_chunks : t -> (int * int) list
+(** Quarantined chunks as [(offset, length)], sorted. *)
+
+val divergent_chunks : ?chunk_bytes:int -> t -> (int * int) list
+(** Maintenance-path full-content audit (no fabric traffic, no time):
+    peek-compare every allocated extent across the pair in scrub-chunk
+    geometry and return the non-quarantined chunks whose copies differ.
+    Empty on a healthy volume — the drill's final integrity gate. *)

@@ -31,6 +31,17 @@ type availability = {
   packet_retries : int;
 }
 
+type integrity = {
+  decay_injected : int;
+  torn_injected : int;
+  scrub_chunks : int;
+  scrub_repairs : int;
+  scrub_quarantined : int;
+  read_repairs : int;
+  verify_unrepaired : int;
+  unrepaired_divergence : int;
+}
+
 type report = {
   mode : System.log_mode;
   seed : int64;
@@ -45,10 +56,15 @@ type report = {
   response : Stat.summary;
   availability : availability;
   recovery : Recovery.report;
+  integrity : integrity option;
   timeline : Timeseries.t option;
 }
 
 let zero_loss r = r.lost_rows = 0
+
+let integrity_clean r =
+  zero_loss r
+  && match r.integrity with Some i -> i.unrepaired_divergence = 0 | None -> false
 
 (* Offsets tuned so every fault lands while default-params load is still
    running (PM-mode load is an order of magnitude shorter than disk's,
@@ -116,6 +132,78 @@ let partition_plan =
       at (Time.ms 110) (Kill_primary Pmm);
       at (Time.ms 130) Fence_check;
     ]
+
+(* --- Corruption drill: silent decay and torn stores --- *)
+
+(* Small regions keep the scrubber's pass time in the low milliseconds,
+   so dozens of passes fit into the settle window; a tight inter-chunk
+   interval does the same.  Verified reads are on because the drill's
+   point is proving the read path catches what the scrubber has not
+   gotten to yet. *)
+let corruption_region_bytes = 2 * 1024 * 1024
+
+let corruption_scrub_config =
+  { Pm.Pmm.default_scrub_config with Pm.Pmm.scrub_interval = Time.us 100 }
+
+let corruption_config =
+  {
+    System.pm_config with
+    System.pm_region_bytes = corruption_region_bytes;
+    pm_scrub = Some corruption_scrub_config;
+    pm_verified_reads = true;
+  }
+
+(* Trail region [i]'s device offset under [corruption_config]: the PMM
+   allocates first-fit behind its metadata reserve, and the system
+   creates the 1 MiB transaction-state table first, then the trail
+   regions in ADP order (MAT last). *)
+let corruption_trail_base i =
+  Pm.Pmm.default_config.Pm.Pmm.meta_reserve + (1 lsl 20) + (i * corruption_region_bytes)
+
+(* The early decays and tears land mid-load inside each trail's first
+   chunk — a chunk the ring header keeps active, so the scrubber can
+   never re-arbitrate it against the checksum table and must quarantine
+   it; recovery then leans on verified reads and the mirror-salvage
+   replay for those rows.  The late decays land after the load has
+   drained, in settled chunks the scrubber has re-scanned clean: those
+   it detects, arbitrates, and repairs on the next pass — the counter
+   the acceptance gate checks.  Offsets must sit inside each trail's
+   {e written} extent (default-params load puts ~800 KiB in every
+   trail) or the faults degrade to corrupting padding nothing ever
+   reads back. *)
+let corruption_plan =
+  let base = corruption_trail_base in
+  Faultplan.
+    [
+      at (Time.ms 12) (Torn_write { device = 1 });
+      at (Time.ms 22) (Torn_write { device = 0 });
+      (* The primary-side decay spans a whole frame (~4.1 KiB): audit
+         frames CRC their body but carry the row payload as padding, so
+         a narrow flip could land between bodies and corrupt only bytes
+         the row-presence audit cannot see.  A frame-wide span
+         guarantees the negative control visibly truncates the
+         replay. *)
+      at (Time.ms 30) (Media_decay { device = 1; off = base 0 + 8_192; bits = 48 });
+      at (Time.ms 40) (Media_decay { device = 0; off = base 1 + 8_192; bits = 8 * 4_200 });
+      at (Time.ms 950) (Media_decay { device = 1; off = base 2 + (300 * 1024); bits = 16 });
+      at (Time.ms 960) (Media_decay { device = 0; off = base 3 + (300 * 1024); bits = 16 });
+    ]
+
+(* Decay injected at the crash itself, after the scrubber dies: only a
+   verified read during recovery can catch these.  Offsets sit in the
+   middle of each trail's written area — chunks the scrubber last saw
+   clean, so the read path can arbitrate them against the table. *)
+let corruption_crash_decay =
+  [
+    (0, corruption_trail_base 0 + (300 * 1024), 8 * 4_200);
+    (1, corruption_trail_base 1 + (300 * 1024), 24);
+  ]
+
+let plan_names = function
+  | System.Pm_audit -> [ "standard"; "kills"; "corruption"; "none" ]
+  | System.Disk_audit -> [ "standard"; "kills"; "none" ]
+
+let cluster_plan_names = [ "partition"; "none" ]
 
 let config_for base mode =
   match mode with
@@ -202,8 +290,8 @@ let availability_of system =
     packet_retries = fs.Servernet.Fabric.packet_retries;
   }
 
-let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_params) ~mode
-    ~plan () =
+let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_params)
+    ?(crash_decay = []) ~mode ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run: need at least one driver";
   (match (sample_interval, obs) with
   | Some _, None -> invalid_arg "Drill.run: sample_interval requires obs"
@@ -216,8 +304,16 @@ let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_para
   let (_ : Sim.pid) =
     Sim.spawn sim ~name:"drill-main" (fun () ->
         let system = System.build ?obs sim cfg in
+        (* The scrubber (started by [System.build] when the config asks
+           for one) sleeps forever between passes; every exit from this
+           process must stop it or the simulation never quiesces. *)
+        let stop_scrub () =
+          match System.pmm system with Some p -> Pm.Pmm.stop_scrubber p | None -> ()
+        in
         match Faultplan.validate system plan with
-        | Error e -> out := Error ("fault plan: " ^ e)
+        | Error e ->
+            stop_scrub ();
+            out := Error ("fault plan: " ^ e)
         | Ok () ->
             let node = System.node system in
             let response_stat = Stat.create ~name:"drill-rt" () in
@@ -261,8 +357,24 @@ let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_para
                   (Faultplan.injected frun)
             | None -> ());
             Sim.sleep params.settle;
-            (* Crash: every DP2 loses its in-memory image; the only
-               truth left is the trails and the PM state. *)
+            (* Crash: the scrubber dies with the node, every DP2 loses
+               its in-memory image, and any [crash_decay] corruption
+               lands un-scrubbed; the only truth left is the trails and
+               the PM state. *)
+            stop_scrub ();
+            let crash_faults =
+              List.filter_map
+                (fun (device, off, bits) ->
+                  match List.nth_opt (System.npmus system) device with
+                  | Some d ->
+                      Pm.Npmu.decay d ~off ~bits;
+                      Some
+                        ( Sim.now sim,
+                          Printf.sprintf "crash media_decay: device %d, %d bits at offset %d"
+                            device bits off )
+                  | None -> None)
+                crash_decay
+            in
             Array.iter (fun d -> Dp2.load_table d []) (System.dp2s system);
             match Recovery.run system with
             | Error e -> out := Error ("recovery failed: " ^ e)
@@ -276,13 +388,42 @@ let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_para
                       Dp2.lookup_direct d ~file ~key = None)
                     !acked
                 in
+                (* Full-content audit: every mirrored byte of every
+                   region compared, not just the rows the replay
+                   touched.  Anything still divergent that is neither
+                   repaired nor quarantined is silent corruption the
+                   defenses missed. *)
+                let integrity =
+                  match System.pmm system with
+                  | None -> None
+                  | Some pmm ->
+                      let count p =
+                        List.length
+                          (List.filter (fun ev -> p ev.Faultplan.action) plan)
+                      in
+                      Some
+                        {
+                          decay_injected =
+                            count (function Faultplan.Media_decay _ -> true | _ -> false)
+                            + List.length crash_faults;
+                          torn_injected =
+                            count (function Faultplan.Torn_write _ -> true | _ -> false);
+                          scrub_chunks = Pm.Pmm.scrub_chunks_scanned pmm;
+                          scrub_repairs = Pm.Pmm.scrub_repairs pmm;
+                          scrub_quarantined = Pm.Pmm.scrub_quarantined pmm;
+                          read_repairs = System.pm_read_repairs system;
+                          verify_unrepaired = System.pm_verify_unrepaired system;
+                          unrepaired_divergence =
+                            List.length (Pm.Pmm.divergent_chunks pmm);
+                        }
+                in
                 out :=
                   Ok
                     {
                       mode;
                       seed;
                       elapsed;
-                      faults = Faultplan.injected frun;
+                      faults = Faultplan.injected frun @ crash_faults;
                       attempted_txns = !committed + !failed;
                       committed = !committed;
                       failed_txns = !failed;
@@ -292,11 +433,26 @@ let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_para
                       response = Stat.summary response_stat;
                       availability = availability_of system;
                       recovery;
+                      integrity;
                       timeline = ts;
                     })
   in
   Sim.run sim;
   !out
+
+(* The corruption drill proper: hot-stock load under [corruption_plan]
+   with scrubber and verified reads armed, plus decay at the crash
+   itself.  [defenses:false] is the negative control — same faults, no
+   scrubber, no verified reads — which must visibly lose rows and leave
+   divergence behind, proving the injection is real. *)
+let run_corruption ?seed ?obs ?sample_interval ?(params = default_params)
+    ?(defenses = true) () =
+  let config =
+    if defenses then corruption_config
+    else { corruption_config with System.pm_scrub = None; pm_verified_reads = false }
+  in
+  run ?seed ~config ?obs ?sample_interval ~params ~crash_decay:corruption_crash_decay
+    ~mode:System.Pm_audit ~plan:corruption_plan ()
 
 (* --- Cluster partition drill --- *)
 

@@ -49,6 +49,23 @@ type availability = {
   packet_retries : int;  (** fabric CRC retransmissions *)
 }
 
+(** The storage-integrity audit a PM-mode drill appends to its report:
+    what silent corruption was injected, which defense caught it, and
+    whether any divergence survived recovery unaccounted for. *)
+type integrity = {
+  decay_injected : int;  (** media-decay events, including crash decay *)
+  torn_injected : int;  (** torn-store events scheduled *)
+  scrub_chunks : int;  (** chunks the scrubber scanned in total *)
+  scrub_repairs : int;  (** divergent chunks the scrubber repaired *)
+  scrub_quarantined : int;  (** chunks it quarantined as unarbitratable *)
+  read_repairs : int;  (** divergent chunks verified reads repaired *)
+  verify_unrepaired : int;  (** divergence verified reads could not fix *)
+  unrepaired_divergence : int;
+      (** mirrored chunks still divergent after recovery, excluding
+          quarantined ones — silent corruption nothing caught: must
+          be 0 *)
+}
+
 type report = {
   mode : System.log_mode;
   seed : int64;
@@ -63,6 +80,10 @@ type report = {
   response : Stat.summary;  (** response times of acknowledged commits *)
   availability : availability;
   recovery : Recovery.report;
+  integrity : integrity option;
+      (** present in PM mode: the post-recovery full-content audit of
+          both mirrors ({!Pm.Pmm.divergent_chunks}) plus the repair
+          counters *)
   timeline : Timeseries.t option;
       (** continuous telemetry over the load phase when [sample_interval]
           was given: cumulative [drill.committed]/[drill.failed] gauges
@@ -72,6 +93,11 @@ type report = {
 
 val zero_loss : report -> bool
 (** [lost_rows = 0] — the invariant every drill asserts. *)
+
+val integrity_clean : report -> bool
+(** The corruption drill's invariant: {!zero_loss} {e and} an integrity
+    audit showing zero unrepaired divergence.  [false] when the report
+    has no integrity section (disk mode). *)
 
 val standard_plan : System.log_mode -> Faultplan.t
 (** The default schedule.  PM mode: PMM primary kill, a mirror-NPMU
@@ -87,12 +113,32 @@ val partition_plan : Faultplan.t
     cluster-scoped ({!run_cluster} / {!Faultplan.launch_cluster})
     only. *)
 
+val corruption_config : System.config
+(** {!System.pm_config} armed for the corruption drill: 2 MiB trail
+    regions, the background scrubber on a tight cadence, and verified
+    reads on every PM client. *)
+
+val corruption_plan : Faultplan.t
+(** The silent-corruption schedule: mirror and primary media decay plus
+    torn stores mid-load (landing in scrubber-unarbitratable active
+    chunks, exercising quarantine and mirror salvage), then post-load
+    decay in settled chunks the scrubber must catch and repair.
+    Offsets assume {!default_params}-scale load under
+    {!corruption_config}. *)
+
+val plan_names : System.log_mode -> string list
+(** The fault-schedule names [odsbench drill --plan] accepts for a
+    mode, canonical first. *)
+
+val cluster_plan_names : string list
+
 val run :
   ?seed:int64 ->
   ?config:System.config ->
   ?obs:Obs.t ->
   ?sample_interval:Time.span ->
   ?params:params ->
+  ?crash_decay:(int * int * int) list ->
   mode:System.log_mode ->
   plan:Faultplan.t ->
   unit ->
@@ -100,7 +146,28 @@ val run :
 (** Owns its simulation; safe to call outside process context.  [Error]
     carries a recovery or plan-validation failure.  [sample_interval]
     (requires [obs], else [Invalid_argument]) records a telemetry
-    timeline into {!report.timeline}. *)
+    timeline into {!report.timeline}.  Each [crash_decay]
+    [(device, off, bits)] flips bits on that NPMU at the crash itself —
+    after the scrubber is stopped, before recovery — so only a verified
+    read can catch it; entries with out-of-range device indices are
+    ignored. *)
+
+val run_corruption :
+  ?seed:int64 ->
+  ?obs:Obs.t ->
+  ?sample_interval:Time.span ->
+  ?params:params ->
+  ?defenses:bool ->
+  unit ->
+  (report, string) result
+(** The end-to-end storage-integrity drill: {!run} under
+    {!corruption_config} / {!corruption_plan} with crash decay, PM mode.
+    A clean run satisfies {!integrity_clean} with [scrub_repairs >= 1]
+    and [read_repairs >= 1] — both defense layers proven live.
+    [~defenses:false] is the negative control: same faults with the
+    scrubber and verified reads disabled, which loses rows and leaves
+    divergence behind — evidence the injection is real, and what silent
+    corruption costs without the defenses. *)
 
 (** Result of a cluster drill: the per-node durability audit plus the
     partition-specific invariants. *)

@@ -9,6 +9,8 @@ type action =
   | Rail_down of int
   | Rail_up of int
   | Crc_noise_burst of { rate : float; duration : Time.span }
+  | Media_decay of { device : int; off : int; bits : int }
+  | Torn_write of { device : int }
   | Pmm_resync
   | Wan_partition
   | Wan_heal
@@ -29,6 +31,8 @@ let action_name = function
   | Rail_down _ -> "rail_down"
   | Rail_up _ -> "rail_up"
   | Crc_noise_burst _ -> "crc_noise_burst"
+  | Media_decay _ -> "media_decay"
+  | Torn_write _ -> "torn_write"
   | Pmm_resync -> "pmm_resync"
   | Wan_partition -> "wan_partition"
   | Wan_heal -> "wan_heal"
@@ -45,6 +49,9 @@ let describe = function
   | Rail_up r -> Printf.sprintf "rail %d up" r
   | Crc_noise_burst { rate; duration } ->
       Printf.sprintf "CRC noise %.4f for %s" rate (Time.to_string duration)
+  | Media_decay { device; off; bits } ->
+      Printf.sprintf "decay %d bits at offset %d of NPMU %d" bits off device
+  | Torn_write { device } -> Printf.sprintf "tear last write on NPMU %d" device
   | Pmm_resync -> "PMM mirror resync"
   | Wan_partition -> "sever the inter-node link"
   | Wan_heal -> "heal the inter-node link"
@@ -74,6 +81,18 @@ let validate_scoped ~clustered system plan =
         reject "npmu_power_cycle: off_for must be positive"
     | (Rail_down r | Rail_up r) when r < 0 || r >= rails ->
         reject "rail event: rail %d out of range (have %d)" r rails
+    | Media_decay _ when not pm_mode -> pm_only "media_decay"
+    | Media_decay { device; _ } when device < 0 || device >= n_devices ->
+        reject "media_decay: device %d out of range (have %d)" device n_devices
+    | Media_decay { bits; _ } when bits <= 0 -> reject "media_decay: bits must be positive"
+    | Media_decay { device; off; bits }
+      when off < 0
+           || off + ((bits + 7) / 8)
+              > Pm.Npmu.capacity (List.nth (System.npmus system) device) ->
+        reject "media_decay: offset %d (+%d bits) outside device %d" off bits device
+    | Torn_write _ when not pm_mode -> pm_only "torn_write"
+    | Torn_write { device } when device < 0 || device >= n_devices ->
+        reject "torn_write: device %d out of range (have %d)" device n_devices
     | Crc_noise_burst { rate; _ } when rate < 0.0 || rate >= 1.0 ->
         reject "crc_noise_burst: rate %.3f outside [0, 1)" rate
     | Crc_noise_burst { duration; _ } when duration <= 0 ->
@@ -175,6 +194,19 @@ let inject run action =
       Sim.at sim ~after:duration (fun () ->
           Servernet.Fabric.set_crc_error_rate fabric previous);
       record run action
+  | Media_decay { device; off; bits } ->
+      let d = List.nth (System.npmus system) device in
+      Pm.Npmu.decay d ~off ~bits;
+      record run action
+  | Torn_write { device } ->
+      let d = List.nth (System.npmus system) device in
+      let detail =
+        match Pm.Npmu.tear_last_write d with
+        | Some (off, len) -> Printf.sprintf "tore %d bytes at offset %d" len off
+        | None -> "no write to tear"
+      in
+      Span.annotate sp ~key:"result" detail;
+      record run ~detail action
   | Wan_partition ->
       (match run.r_cluster with Some c -> Cluster.partition c | None -> ());
       record run action

@@ -34,6 +34,17 @@ type action =
   | Crc_noise_burst of { rate : float; duration : Time.span }
       (** Raise the fabric's per-packet corruption probability to
           [rate] for [duration], then restore the previous rate. *)
+  | Media_decay of { device : int; off : int; bits : int }
+      (** Silent media decay: flip [bits] consecutive bit positions of
+          NPMU [device] (by {!System.npmus} index) starting at byte
+          [off] — {!Pm.Npmu.decay}.  No fabric traffic, no error, no
+          timing: only the scrubber or a verified read can notice.
+          PM mode only. *)
+  | Torn_write of { device : int }
+      (** Torn store: corrupt the trailing half of the last RDMA write
+          that landed on NPMU [device] — {!Pm.Npmu.tear_last_write} —
+          modelling a power cut mid-store.  Records whether anything
+          was torn.  PM mode only. *)
   | Pmm_resync
       (** Ask the PMM to rebuild the mirror from the primary device
           (a management call that blocks the scheduler for the copy's

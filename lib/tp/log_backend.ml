@@ -70,12 +70,35 @@ let encode_framed asn record =
 
 let framed_size record = 8 + Audit.wire_size record
 
+(* The header is itself a torn-write target (it is rewritten on every
+   append), so it carries its own CRC: recovery that finds it invalid
+   falls back to scanning the whole data area instead of trusting a
+   garbled frontier. *)
 let pm_header p =
   let enc = Codec.Enc.create () in
   Codec.Enc.u32 enc ring_magic;
   Codec.Enc.u32 enc p.write_off;
   Codec.Enc.u8 enc (if p.wrapped then 1 else 0);
-  Codec.Enc.to_bytes enc
+  let body = Codec.Enc.to_bytes enc in
+  let out = Codec.Enc.create () in
+  Codec.Enc.u32 out ring_magic;
+  Codec.Enc.u32 out p.write_off;
+  Codec.Enc.u8 out (if p.wrapped then 1 else 0);
+  Codec.Enc.u32 out (Int32.to_int (Crc32.bytes body) land 0xFFFFFFFF);
+  Codec.Enc.to_bytes out
+
+(* [Some frontier] when the header is intact, [None] when torn/decayed. *)
+let parse_pm_header hdr =
+  try
+    let dec = Codec.Dec.of_bytes hdr in
+    let m = Codec.Dec.u32 dec in
+    let off = Codec.Dec.u32 dec in
+    let _wrapped = Codec.Dec.u8 dec in
+    let crc = Codec.Dec.u32 dec in
+    if m <> ring_magic then None
+    else if Int32.to_int (Crc32.sub hdr ~pos:0 ~len:9) land 0xFFFFFFFF <> crc then None
+    else Some off
+  with Codec.Dec.Truncated -> None
 
 let write_records ?parent t records =
   let t0 = t.now () in
@@ -188,18 +211,27 @@ let recovery_read t =
       | Ok () -> Ok (List.rev d.shadow))
   | Pm p -> (
       (* RDMA the ring header, then only the valid bytes behind the write
-         frontier -- fine-grained state means no full-region scans. *)
-      match Pm_client.read p.client p.handle ~off:0 ~len:header_size with
+         frontier -- fine-grained state means no full-region scans.
+         Recovery reads take the verified path when the client enables
+         it: a decayed region is cross-checked against the mirror and
+         read-repaired here, instead of silently truncating the replay
+         at the first corrupt frame. *)
+      let region_read =
+        if Pm_client.verified_reads_enabled p.client then Pm_client.read_verified
+        else Pm_client.read
+      in
+      match region_read p.client p.handle ~off:0 ~len:header_size with
       | Error e -> Error (Pm_types.error_to_string e)
       | Ok hdr ->
-          let frontier =
-            try
-              let dec = Codec.Dec.of_bytes hdr in
-              if Codec.Dec.u32 dec <> ring_magic then 0 else Codec.Dec.u32 dec
-            with Codec.Dec.Truncated -> 0
-          in
           let info = Pm_client.info p.handle in
-          let limit = min frontier info.Pm_types.length in
+          let limit =
+            (* A torn or decayed header cannot be trusted for the
+               frontier: scan the whole data area and let the per-frame
+               CRCs find the end of the valid prefix. *)
+            match parse_pm_header hdr with
+            | Some frontier -> min frontier info.Pm_types.length
+            | None -> info.Pm_types.length
+          in
           if limit <= header_size then Ok []
           else begin
             let chunk = 64 * 1024 in
@@ -209,7 +241,7 @@ let recovery_read t =
               if off >= limit then Ok ()
               else
                 let len = min chunk (limit - off) in
-                match Pm_client.read p.client p.handle ~off ~len with
+                match region_read p.client p.handle ~off ~len with
                 | Ok data ->
                     Bytes.blit data 0 buf off len;
                     fetch (off + len)
@@ -217,21 +249,48 @@ let recovery_read t =
             in
             match fetch header_size with
             | Error e -> Error e
-            | Ok () ->
-                let out = ref [] in
-                let pos = ref header_size in
-                let keep_going = ref true in
-                while !keep_going && !pos < limit do
-                  match
-                    let adec = Codec.Dec.of_sub buf ~pos:!pos ~len:8 in
-                    let asn = Codec.Dec.u64 adec in
-                    (asn, Audit.decode buf ~pos:(!pos + 8))
-                  with
-                  | asn, Some (record, next) ->
-                      out := (asn, record) :: !out;
-                      pos := next
-                  | _, None -> keep_going := false
-                  | exception Codec.Dec.Truncated -> keep_going := false
-                done;
-                Ok (List.rev !out)
+            | Ok () -> (
+                let parse_from start =
+                  let out = ref [] in
+                  let pos = ref start in
+                  let fail = ref None in
+                  let keep_going = ref true in
+                  while !keep_going && !pos < limit do
+                    match
+                      let adec = Codec.Dec.of_sub buf ~pos:!pos ~len:8 in
+                      let asn = Codec.Dec.u64 adec in
+                      (asn, Audit.decode buf ~pos:(!pos + 8))
+                    with
+                    | asn, Some (record, next) ->
+                        out := (asn, record) :: !out;
+                        pos := next
+                    | _, None ->
+                        fail := Some !pos;
+                        keep_going := false
+                    | exception Codec.Dec.Truncated ->
+                        fail := Some !pos;
+                        keep_going := false
+                  done;
+                  (List.rev !out, !fail)
+                in
+                let records, fail = parse_from header_size in
+                match fail with
+                | Some bad when Pm_client.verified_reads_enabled p.client -> (
+                    (* A frame that fails its CRC mid-trail may be a store
+                       torn on this copy only: every record was written to
+                       both mirrors before the commit acked, so the other
+                       copy still holds it intact.  Re-fetch the rest of
+                       the area from the mirror and keep parsing; if the
+                       mirror fails at the same spot it is a genuine torn
+                       tail and the replay truncates there. *)
+                    match
+                      Pm_client.read_device p.client p.handle ~mirror:true ~off:bad
+                        ~len:(limit - bad)
+                    with
+                    | Ok mdata ->
+                        Bytes.blit mdata 0 buf bad (limit - bad);
+                        let more, _ = parse_from bad in
+                        Ok (records @ more)
+                    | Error _ -> Ok records)
+                | _ -> Ok records)
           end)

@@ -43,7 +43,16 @@ val writes : t -> int
 
 val recovery_read : t -> ((Audit.asn * Audit.record) list, string) result
 (** Re-read the durable trail, oldest first, paying the device read
-    time.  What crash recovery replays. *)
+    time.  What crash recovery replays.
+
+    PM trails defend the replay against silent corruption: the ring
+    header is CRC-framed, and if it comes back torn the frontier is
+    discarded and the whole data area scanned (the per-frame CRCs find
+    the valid prefix).  When the client enables [verified_reads], every
+    recovery read cross-checks the mirror and read-repairs divergence,
+    so a decayed region heals during replay instead of truncating it.
+    Either way the parse stops at the first invalid frame — the
+    torn-tail truncation contract. *)
 
 val trim : t -> through:Audit.asn -> int
 (** Archive the trail prefix through [through] (records up to and

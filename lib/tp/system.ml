@@ -17,6 +17,8 @@ type config = {
   pm_region_bytes : int;
   pm_write_penalty : Time.span;
   pm_mirrored : bool;
+  pm_verified_reads : bool;
+  pm_scrub : Pm.Pmm.scrub_config option;
   txn_state_in_pm : bool;
   fabric : Servernet.Fabric.config;
   adp : Adp.config;
@@ -37,6 +39,8 @@ let default_config =
     pm_region_bytes = 24 * 1024 * 1024;
     pm_write_penalty = 0;
     pm_mirrored = true;
+    pm_verified_reads = false;
+    pm_scrub = None;
     txn_state_in_pm = false;
     fabric = Servernet.Fabric.default_config;
     adp = Adp.default_config;
@@ -80,6 +84,7 @@ let make_pm_client ?obs cfg node fabric pmm ~cpu =
       Pm.Pm_client.default_config with
       mirrored_writes = cfg.pm_mirrored;
       write_penalty = cfg.pm_write_penalty;
+      verified_reads = cfg.pm_verified_reads;
     }
   in
   ignore node;
@@ -88,7 +93,7 @@ let make_pm_client ?obs cfg node fabric pmm ~cpu =
 (* PM regions must exist before the ADPs that log into them; region
    creation needs process context, so builders run inside a setup
    process at time zero and the rest of construction continues there. *)
-let build_pm cfg sim node =
+let build_pm ?obs cfg sim node =
   let fabric = Node.fabric node in
   (* Devices: hardware NPMUs attach directly; PMP prototypes are hosted
      by a process on the extra CPU (the paper ran the PMP "on a 5th
@@ -112,6 +117,11 @@ let build_pm cfg sim node =
     Pm.Pmm.start ~fabric ~name:"$PMM" ~primary_cpu:(Node.cpu node 0)
       ~backup_cpu:(Node.cpu node 1) ~primary_dev:dev_a ~mirror_dev:dev_b ()
   in
+  (match cfg.pm_scrub with
+  | Some scrub_cfg ->
+      Pm.Pmm.start_scrubber pmm ~cpu:(Node.cpu node 0) ~config:scrub_cfg
+        ?metrics:(Option.map Obs.metrics obs) ()
+  | None -> ());
   (pmm, devices)
 
 let build ?obs sim cfg =
@@ -186,7 +196,7 @@ let build ?obs sim cfg =
     | Disk_audit ->
         (None, fun i -> Log_backend.disk ~mirror:audit_mirrors.(i) ?obs audit_vols.(i))
     | Pm_audit ->
-        let pmm, devices = build_pm cfg sim node in
+        let pmm, devices = build_pm ?obs cfg sim node in
         (match obs with
         | Some o ->
             let m = Obs.metrics o in
@@ -339,6 +349,12 @@ let pm_write_retries t =
 
 let pm_fenced_writes t =
   List.fold_left (fun acc c -> acc + Pm.Pm_client.fenced_writes c) 0 (pm_clients t)
+
+let pm_read_repairs t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.read_repairs c) 0 (pm_clients t)
+
+let pm_verify_unrepaired t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.verify_unrepaired c) 0 (pm_clients t)
 
 (* Probe the epoch fence: a write stamped one epoch behind the volume
    must bounce off the NPMU's AVT with [Stale_epoch].  The probe uses a

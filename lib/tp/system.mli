@@ -29,6 +29,13 @@ type config = {
   pm_region_bytes : int;  (** trail ring per ADP *)
   pm_write_penalty : Time.span;  (** extra device latency (latency sweep) *)
   pm_mirrored : bool;
+  pm_verified_reads : bool;
+      (** every PM client read cross-checks the mirror and read-repairs
+          divergence ({!Pm.Pm_client.read_verified}) *)
+  pm_scrub : Pm.Pmm.scrub_config option;
+      (** run the PMM's background scrubber with this configuration
+          ([None] — the default — leaves it off; whoever turns it on
+          owns stopping it: {!Pm.Pmm.stop_scrubber}) *)
   txn_state_in_pm : bool;  (** fine-grained txn table (PM mode only) *)
   fabric : Servernet.Fabric.config;
   adp : Adp.config;
@@ -102,6 +109,13 @@ val pm_write_retries : t -> int
 val pm_fenced_writes : t -> int
 (** Writes bounced with [Stale_epoch] across all PM clients (each then
     refreshed its grant and retried). *)
+
+val pm_read_repairs : t -> int
+(** Divergent chunks verified reads repaired, across all clients. *)
+
+val pm_verify_unrepaired : t -> int
+(** Divergent chunks verified reads could not arbitrate, across all
+    clients. *)
 
 val fence_check : t -> (unit, string) result
 (** Verify the epoch fence is armed: issue a write stamped one epoch
