@@ -1114,6 +1114,118 @@ let bank_cmd =
     (Cmd.info "bank" ~doc:"TPC-B-style update-heavy banking workload")
     Term.(const bank $ mode $ txns)
 
+(* --- perf: the simulator performance observatory --- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let perf_text (r : Perf.report) =
+  Printf.printf "perf: self-profiled workload matrix (%d records/driver, schema v%d)\n"
+    r.Perf.p_records Perf.schema_version;
+  hr ();
+  Printf.printf "%-15s %10s %11s %14s %11s %9s\n" "workload" "events" "events/s"
+    "wall ms/sim s" "minor w/ev" "heap hwm";
+  List.iter
+    (fun (w : Perf.run_report) ->
+      Printf.printf "%-15s %10d %11.0f %14.2f %11.1f %9d\n" w.Perf.r_name w.Perf.r_events
+        w.Perf.r_events_per_sec w.Perf.r_wall_ms_per_sim_s w.Perf.r_minor_words_per_event
+        w.Perf.r_heap_depth_hwm)
+    r.Perf.p_runs;
+  hr ();
+  List.iter
+    (fun (w : Perf.run_report) ->
+      Printf.printf "%s: committed=%d envelopes=%d packets=%d pm-writes=%d\n" w.Perf.r_name
+        w.Perf.r_committed w.Perf.r_envelopes w.Perf.r_packets w.Perf.r_pm_writes;
+      List.iter
+        (fun (l : Perf.layer_share) ->
+          Printf.printf "  %-8s %8d sections %10.3f ms %5.1f%% wall %14.0f minor words%s\n"
+            l.Perf.ls_layer l.Perf.ls_events (l.Perf.ls_wall_s *. 1e3)
+            (l.Perf.ls_wall_share *. 100.) l.Perf.ls_minor_words
+            (if l.Perf.ls_discarded > 0 then
+               Printf.sprintf " (%d discarded)" l.Perf.ls_discarded
+             else ""))
+        w.Perf.r_layers)
+    r.Perf.p_runs;
+  hr ();
+  let o = r.Perf.p_overhead in
+  Printf.printf "telemetry overhead (%s, no profiler installed):\n" o.Perf.o_workload;
+  Printf.printf "  wall   enabled %.3f s / disabled %.3f s  (%+.1f%%)\n"
+    o.Perf.o_enabled_wall_s o.Perf.o_disabled_wall_s o.Perf.o_overhead_pct;
+  Printf.printf "  alloc  enabled %.0f / disabled %.0f minor words  (%+.1f%%)\n"
+    o.Perf.o_enabled_minor_words o.Perf.o_disabled_minor_words o.Perf.o_alloc_overhead_pct;
+  Printf.printf "  results invariant: sim elapsed %s, committed %s\n"
+    (if o.Perf.o_sim_elapsed_equal then "equal" else "DIVERGED")
+    (if o.Perf.o_committed_equal then "equal" else "DIVERGED");
+  hr ()
+
+let perf_verdicts verdicts regress_pct =
+  List.iter
+    (fun (v : Perf.verdict) ->
+      Printf.eprintf "perf %-15s %11.0f ev/s vs baseline %11.0f — %s\n" v.Perf.v_workload
+        v.Perf.v_current v.Perf.v_baseline
+        (if v.Perf.v_ok then "ok" else Printf.sprintf "REGRESSION (>%.0f%%)" regress_pct))
+    verdicts
+
+let perf records list_workloads baseline regress_pct json =
+  if list_workloads then List.iter print_endline Perf.workload_names
+  else begin
+    let report = or_die (fun () -> Perf.run ~records ()) in
+    let doc = Perf.to_json report in
+    if json then print_endline (Json.to_string doc) else perf_text report;
+    match baseline with
+    | None -> ()
+    | Some path ->
+        let base =
+          match Json.parse (read_whole_file path) with
+          | Ok b -> b
+          | Error e ->
+              Printf.eprintf "odsbench perf: baseline %s: %s\n" path e;
+              exit 2
+        in
+        (match Perf.compare_baseline ~baseline:base ~current:doc ~regress_pct with
+        | Error e ->
+            Printf.eprintf "odsbench perf: %s\n" e;
+            exit 2
+        | Ok verdicts ->
+            perf_verdicts verdicts regress_pct;
+            if not (Perf.all_ok verdicts) then begin
+              prerr_endline "odsbench perf: events/sec regressed past the baseline gate";
+              exit 1
+            end)
+  end
+
+let perf_cmd =
+  let list_workloads =
+    Arg.(
+      value & flag
+      & info [ "list-workloads" ] ~doc:"Print the fixed workload-matrix names and exit.")
+  in
+  let baseline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare events/sec per workload against a committed BENCH_*.json and exit \
+             non-zero if any regresses past $(b,--regress-pct).  Verdicts go to stderr so \
+             $(b,--json) output stays clean.")
+  in
+  let regress_pct =
+    Arg.(
+      value & opt float 25.0
+      & info [ "regress-pct" ] ~docv:"PCT"
+          ~doc:"Allowed events/sec regression vs the baseline, percent.")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Self-profile the simulator on a fixed seed-deterministic workload matrix: \
+          per-layer wall/alloc attribution, event-loop vitals, telemetry-overhead \
+          delta, and an optional baseline regression gate")
+    Term.(const perf $ records_arg 300 $ list_workloads $ baseline $ regress_pct $ json_arg)
+
 (* --- everything at a glance --- *)
 
 let all records =
@@ -1136,7 +1248,9 @@ let all records =
   print_newline ();
   dtx_cmd_impl 20;
   print_newline ();
-  failover 400
+  failover 400;
+  print_newline ();
+  perf (min records 300) false None 25.0 false
 
 let all_cmd =
   Cmd.v
@@ -1161,6 +1275,7 @@ let main_cmd =
       scale_adp_cmd;
       failover_cmd;
       drill_cmd;
+      perf_cmd;
       telco_cmd;
       orders_cmd;
       bank_cmd;

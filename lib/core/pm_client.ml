@@ -169,20 +169,26 @@ let write ?span t h ~off ~data =
     if not (bounds_ok region ~off ~len) then
       Error (Pm_types.Bad_request "write out of bounds")
     else begin
+      let sect = Prof.section_begin () in
       let started = Sim.now (Cpu.sim t.client_cpu) in
       let sp =
         match t.obs with
         | None -> Span.null
         | Some o ->
             let sp = Span.start (Obs.spans o) ~track:"pm" ?parent:span "pm.write" in
-            Span.annotate sp ~key:"region" region.Pm_types.region_name;
-            Span.annotate sp ~key:"len" (string_of_int len);
+            if not (Span.is_null sp) then begin
+              Span.annotate sp ~key:"region" region.Pm_types.region_name;
+              Span.annotate sp ~key:"len" (string_of_int len)
+            end;
             sp
       in
       let addr = region.Pm_types.net_base + off in
       let epoch = region.Pm_types.epoch in
       let src = Cpu.endpoint t.client_cpu in
+      Prof.bump_pm_write ();
       (match t.write_probe with Some p -> Probe.enqueue p | None -> ());
+      (* End before the penalty sleep and the RDMA calls — both suspend. *)
+      Prof.section_end sect "pm";
       if t.cfg.write_penalty > 0 then Sim.sleep t.cfg.write_penalty;
       (* One device's worth of the mirrored write, with bounded retry of
          transient fabric errors (a rail flapping, a burst of CRC noise)

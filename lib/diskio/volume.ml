@@ -107,24 +107,36 @@ let server t () =
           Ivar.fill req.done_ (Error Volume_down)
         end
         else begin
+          let sect = Prof.section_begin () in
           let parts =
             Disk.service_parts t.disk ~kind:req.kind ~block:req.block ~len:req.len
           in
           let dt = Disk.parts_total parts in
-          (match t.svc_stat with Some st -> Stat.add_span st dt | None -> ());
-          (match t.ops_counter with Some c -> Stat.Counter.incr c | None -> ());
+          let counters = Level.counters_on () in
+          (match t.svc_stat with
+          | Some st when counters -> Stat.add_span st dt
+          | _ -> ());
+          (match t.ops_counter with
+          | Some c when counters -> Stat.Counter.incr c
+          | _ -> ());
           if parts.Disk.cache_hit then
-            (match t.hit_counter with Some c -> Stat.Counter.incr c | None -> ());
+            (match t.hit_counter with
+            | Some c when counters -> Stat.Counter.incr c
+            | _ -> ());
           if req.kind = `Write && parts.Disk.rotation > 0 then begin
             (match t.rot_stat with
-            | Some st -> Stat.add_span st parts.Disk.rotation
-            | None -> ());
-            Span.annotate req.req_span ~key:"rotation_ns"
-              (string_of_int parts.Disk.rotation)
+            | Some st when counters -> Stat.add_span st parts.Disk.rotation
+            | _ -> ());
+            if not (Span.is_null req.req_span) then
+              Span.annotate req.req_span ~key:"rotation_ns"
+                (string_of_int parts.Disk.rotation)
           end;
-          if parts.Disk.cache_hit then
+          if parts.Disk.cache_hit && not (Span.is_null req.req_span) then
             Span.annotate req.req_span ~key:"cache" "hit";
           t.head_hint <- req.block;
+          (* End before the service sleep: the suspension would invalidate
+             the sample. *)
+          Prof.section_end sect "diskio";
           Sim.sleep dt;
           t.busy <- t.busy + dt;
           (match t.probe with
@@ -197,15 +209,19 @@ let set_obs t obs =
 let submit ?parent t ~kind ~block ~len =
   let req_span =
     match t.obs with
-    | None -> Span.null
-    | Some o ->
+    (* The track string is concatenated eagerly, so the whole span
+       construction sits behind the global level check. *)
+    | Some o when Obs.spans_on () ->
         let sp =
           Span.start (Obs.spans o) ~track:("vol:" ^ t.vol_name) ?parent
             (match kind with `Read -> "disk.read" | `Write -> "disk.write")
         in
-        Span.annotate sp ~key:"block" (string_of_int block);
-        Span.annotate sp ~key:"len" (string_of_int len);
+        if not (Span.is_null sp) then begin
+          Span.annotate sp ~key:"block" (string_of_int block);
+          Span.annotate sp ~key:"len" (string_of_int len)
+        end;
         sp
+    | _ -> Span.null
   in
   let done_ = Ivar.create () in
   if not t.up then begin

@@ -53,8 +53,10 @@ let set_obs s obs =
   s.inbox_probe <- Some p
 
 let note_hop s dt =
-  (match s.hop_stat with Some st -> Stat.add_span st dt | None -> ());
-  match s.inbox_probe with Some p -> Probe.busy_span p dt | None -> ()
+  if Level.counters_on () then begin
+    (match s.hop_stat with Some st -> Stat.add_span st dt | None -> ());
+    match s.inbox_probe with Some p -> Probe.busy_span p dt | None -> ()
+  end
 
 let probe_enqueue s =
   match s.inbox_probe with Some p -> Probe.enqueue p | None -> ()
@@ -76,19 +78,24 @@ let call_async s ~from ?(req_bytes = 256) ?(resp_bytes = 256) ?span payload =
   let reply = Ivar.create () in
   if not (Cpu.is_up from) then Ivar.fill reply (Error Server_down)
   else begin
+    let sect = Prof.section_begin () in
     let sim = Cpu.sim from in
     (* Request wire time, then delivery (if the target is still up). *)
     let dt = Servernet.Fabric.transfer_time s.fabric ~bytes:req_bytes + s.extra_latency in
     note_hop s dt;
-    (match s.req_counter with Some c -> Stat.Counter.incr c | None -> ());
+    (match s.req_counter with
+    | Some c when Level.counters_on () -> Stat.Counter.incr c
+    | _ -> ());
     let env_span = match span with Some sp -> sp | None -> Span.null in
     Sim.at sim ~after:dt (fun () ->
         if not (Cpu.is_up s.cpu) then ignore (Ivar.try_fill reply (Error Server_down))
         else begin
           s.outstanding <- reply :: s.outstanding;
           probe_enqueue s;
+          Prof.bump_envelope ();
           Mailbox.send s.inbox { payload; resp_bytes; reply; env_span }
-        end)
+        end);
+    Prof.section_end sect "msgsys"
   end;
   reply
 

@@ -132,14 +132,17 @@ let start_span t ?parent name ~bytes =
   | None -> Span.null
   | Some o ->
       let sp = Span.start (Obs.spans o) ~track:"fabric" ?parent name in
-      Span.annotate sp ~key:"bytes" (string_of_int bytes);
+      if not (Span.is_null sp) then
+        Span.annotate sp ~key:"bytes" (string_of_int bytes);
       sp
 
 let op_begin t = match t.rail_probe with Some p -> Probe.enqueue p | None -> ()
 
 let finish_op t sp ~t0 =
   let dt = Sim.now t.sim - t0 in
-  (match t.xfer_stat with Some st -> Stat.add_span st dt | None -> ());
+  (match t.xfer_stat with
+  | Some st when Level.counters_on () -> Stat.add_span st dt
+  | _ -> ());
   (match t.rail_probe with
   | Some p ->
       Probe.busy_span p dt;
@@ -237,16 +240,18 @@ let do_transfer t src dst bytes =
   match pick_rail t with
   | None -> Error No_path
   | Some rail ->
+      let sect = Prof.section_begin () in
       let start = max (Sim.now t.sim) (max src.nic_free_at dst.nic_free_at) in
       let packets = packets_of t bytes in
+      Prof.bump_packets packets;
       let retries = sample_retries t packets in
       let retry_count, ok =
         match retries with Some r -> (r, true) | None -> (t.cfg.max_retries, false)
       in
       t.st_retries <- t.st_retries + retry_count;
       (match t.retry_counter with
-      | Some c -> Stat.Counter.add c retry_count
-      | None -> ());
+      | Some c when Level.counters_on () -> Stat.Counter.add c retry_count
+      | _ -> ());
       let duration =
         transfer_time t ~bytes
         + (retry_count * (t.cfg.per_packet_overhead + Time.ns 4096))
@@ -254,6 +259,9 @@ let do_transfer t src dst bytes =
       let finish = start + duration in
       src.nic_free_at <- finish;
       dst.nic_free_at <- finish;
+      (* The section ends before the wait: [Sim.wait_until] suspends, and
+         a section crossing an event boundary would be discarded. *)
+      Prof.section_end sect "fabric";
       Sim.wait_until finish;
       if not ok then Error Crc_failure
       else if not (rail_is_up t rail) then
@@ -294,16 +302,20 @@ let rdma_write ?span ?epoch t ~src ~dst ~addr ~data =
             match transfer_with_failover t src target len ~attempts:t.cfg.rails with
             | Error e -> fail t e
             | Ok () -> (
+                let sect = Prof.section_begin () in
                 (* Address validation happens in the target NIC on arrival. *)
                 match
                   Avt.translate ?epoch target.ep_avt ~initiator:src.ep_id ~op:`Write
                     ~addr ~len
                 with
-                | Error e -> fail t (Avt_error e)
+                | Error e ->
+                    Prof.section_end sect "fabric";
+                    fail t (Avt_error e)
                 | Ok phys ->
                     target.ep_store.write ~off:phys ~data;
                     t.st_writes <- t.st_writes + 1;
                     t.st_bytes_written <- t.st_bytes_written + len;
+                    Prof.section_end sect "fabric";
                     Ok ())
         in
         target_probe_end t target ~t0;
@@ -311,7 +323,8 @@ let rdma_write ?span ?epoch t ~src ~dst ~addr ~data =
   in
   (match result with
   | Ok () -> ()
-  | Error e -> Span.annotate sp ~key:"error" (error_to_string e));
+  | Error e ->
+      if not (Span.is_null sp) then Span.annotate sp ~key:"error" (error_to_string e));
   finish_op t sp ~t0;
   result
 
@@ -345,7 +358,8 @@ let rdma_read ?span t ~src ~dst ~addr ~len =
   in
   (match result with
   | Ok _ -> ()
-  | Error e -> Span.annotate sp ~key:"error" (error_to_string e));
+  | Error e ->
+      if not (Span.is_null sp) then Span.annotate sp ~key:"error" (error_to_string e));
   finish_op t sp ~t0;
   result
 

@@ -67,3 +67,5 @@ let pop t =
   end
 
 let peek_key t = if t.n = 0 then None else Some t.a.(0).key
+
+let pop_le t ~max = if t.n = 0 || t.a.(0).key > max then None else pop t

@@ -18,3 +18,8 @@ val pop : 'a t -> (int * int * 'a) option
 
 val peek_key : 'a t -> int option
 (** Key of the minimum element, without removing it. *)
+
+val pop_le : 'a t -> max:int -> (int * int * 'a) option
+(** Like {!pop}, but leaves the heap untouched and returns [None] when
+    the minimum key exceeds [max].  Lets a bounded event loop pop in one
+    heap access instead of a peek-then-pop pair. *)

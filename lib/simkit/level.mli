@@ -1,0 +1,40 @@
+(** Process-wide telemetry level: the single global flag hot paths check
+    before doing any observability work that allocates.
+
+    Instrumented code costs three tiers:
+
+    - [Spans] (the default): everything — span records, annotation
+      strings, per-layer stats, probes, time-series sampling.
+    - [Counters]: counters, stats, probes and sampling stay live, but
+      {!Span.start} returns the null span before allocating anything, so
+      callers guarding on {!Span.is_null} (or {!spans_on}) skip label
+      formatting entirely.
+    - [Off]: the true zero-cost path.  Span starts, hot-path stat/probe
+      updates and time-series samples are all skipped behind this one
+      flag check; a run at [Off] performs no telemetry allocation on the
+      hot paths.
+
+    The level is deliberately global (the simulator is single-threaded):
+    threading it through every constructor would put an option deref on
+    the paths this gate exists to make free.  Toggling mid-run is
+    supported but skews cumulative instruments (a probe enqueue seen at
+    [Counters] may miss its dequeue at [Off]); measurement harnesses
+    should set the level before building a system and restore it after.
+
+    {!Span.enable} raises the level back to [Spans] — enabling a span
+    collector is an explicit request for span data. *)
+
+type t = Off | Counters | Spans
+
+val set : t -> unit
+
+val get : unit -> t
+
+val spans_on : unit -> bool
+(** [get () = Spans]. *)
+
+val counters_on : unit -> bool
+(** [get () <> Off]. *)
+
+val raise_to_spans : unit -> unit
+(** Used by {!Span.enable}; idempotent. *)

@@ -11,3 +11,16 @@ let metrics t = t.obs_metrics
 let spans t = t.obs_spans
 
 let set_clock t clock = Span.set_clock t.obs_spans clock
+
+(* Global telemetry level, re-exported so users configure observability
+   through one module. *)
+
+type level = Level.t = Off | Counters | Spans
+
+let set_level = Level.set
+
+let level = Level.get
+
+let spans_on = Level.spans_on
+
+let counters_on = Level.counters_on

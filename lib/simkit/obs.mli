@@ -17,3 +17,20 @@ val spans : t -> Span.t
 
 val set_clock : t -> (unit -> Time.t) -> unit
 (** Convenience for [Span.set_clock (spans t)]. *)
+
+(** {1 Global telemetry level}
+
+    Re-export of {!Level}: one process-wide gate checked on hot paths
+    before any telemetry allocation.  Default [Spans] (everything on);
+    [Counters] suppresses span and label allocation; [Off] is the
+    zero-cost path that also skips hot-path stat/probe/sample updates. *)
+
+type level = Level.t = Off | Counters | Spans
+
+val set_level : level -> unit
+
+val level : unit -> level
+
+val spans_on : unit -> bool
+
+val counters_on : unit -> bool

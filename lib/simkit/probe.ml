@@ -42,17 +42,22 @@ let advance t =
   end
 
 let enqueue t =
-  advance t;
-  t.depth <- t.depth + 1;
-  t.enqueued <- t.enqueued + 1;
-  if t.depth > t.max_depth then t.max_depth <- t.depth
+  if Level.counters_on () then begin
+    advance t;
+    t.depth <- t.depth + 1;
+    t.enqueued <- t.enqueued + 1;
+    if t.depth > t.max_depth then t.max_depth <- t.depth
+  end
 
 let dequeue t =
-  advance t;
-  if t.depth > 0 then t.depth <- t.depth - 1;
-  t.dequeued <- t.dequeued + 1
+  if Level.counters_on () then begin
+    advance t;
+    if t.depth > 0 then t.depth <- t.depth - 1;
+    t.dequeued <- t.dequeued + 1
+  end
 
-let busy_span t span = if span > 0 then t.busy <- t.busy + span
+let busy_span t span =
+  if span > 0 && Level.counters_on () then t.busy <- t.busy + span
 
 let depth t = t.depth
 

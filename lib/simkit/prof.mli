@@ -1,0 +1,99 @@
+(** Self-profiler for the simulator: where does {e host} time and
+    allocation go while simulated time advances?
+
+    A profiler installs dispatch hooks on one {!Sim.t} (see
+    {!Sim.set_dispatch_hooks}) and accumulates, per dispatched event,
+    wall-clock time and GC minor/major word deltas, plus the event-queue
+    depth high-water mark.  Layers (msgsys, fabric, diskio, pm, adp)
+    additionally bracket their non-blocking hot sections with
+    {!section_begin}/{!section_end} to attribute those costs by name.
+
+    Sections must not span a suspension: with effect-based processes,
+    any blocking call returns control to the event loop, so a section
+    crossing it would absorb unrelated handlers.  The profiler detects
+    this deterministically — the dispatched-event count changed between
+    begin and end — and discards the sample, counting the discard.
+
+    At most one profiler is installed process-wide at a time.  When none
+    is installed every entry point here is a single check with no
+    allocation, so instrumentation can stay in hot code permanently.
+
+    Determinism: event counts, section counts and minor-word deltas are
+    exact functions of the workload and seed, so tests can compare them
+    across identical runs — minor words from the second run in a process
+    on, since one-time lazy initialisation lands in the first.  Major/promoted words depend on minor-GC
+    timing and are reported but not comparable; wall times are
+    measurement, never fed back into the simulation. *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> Sim.t -> unit
+(** Install dispatch hooks and start the wall-clock epoch.  Raises
+    [Invalid_argument] if any profiler is already installed. *)
+
+val uninstall : t -> unit
+(** Remove the hooks; accumulated data remains readable. *)
+
+val enabled : unit -> bool
+
+(** {1 Hot-path instrumentation} *)
+
+type section
+
+val section_begin : unit -> section
+(** Snapshot wall/alloc marks.  Returns a shared sentinel (no
+    allocation) when no profiler is installed. *)
+
+val section_end : section -> string -> unit
+(** Charge the deltas since [section_begin] to the named layer, or
+    discard the sample if an event boundary was crossed. *)
+
+val bump_envelope : unit -> unit
+(** Count one msgsys envelope allocation. *)
+
+val bump_packets : int -> unit
+(** Count fabric packets for one transfer. *)
+
+val bump_pm_write : unit -> unit
+(** Count one PM client write. *)
+
+(** {1 Report} *)
+
+val events : t -> int
+(** Total events dispatched while installed. *)
+
+val wall_total : t -> float
+(** Seconds spent inside event handlers (sum of per-event deltas). *)
+
+val minor_words : t -> float
+
+val major_words : t -> float
+
+val wall_elapsed : t -> float
+(** Seconds since {!install} — the denominator for events/sec. *)
+
+val heap_depth_hwm : t -> int
+
+val envelope_count : t -> int
+
+val packet_count : t -> int
+
+val pm_write_count : t -> int
+
+type layer_row = {
+  l_name : string;
+  l_events : int;  (** completed sections *)
+  l_wall : float;
+  l_minor : float;
+  l_major : float;
+  l_discarded : int;  (** sections dropped for crossing an event boundary *)
+}
+
+val layer_rows : t -> layer_row list
+(** Per-layer attribution, sorted by descending wall time. *)
+
+val now_s : unit -> float
+(** The profiler's wall clock ([Unix.gettimeofday]), exposed so
+    benchmark harnesses measure with the same clock. *)

@@ -10,6 +10,8 @@ type proc = {
   mutable exit_hooks : (exit_reason -> unit) list;
 }
 
+type hooks = { h_before : int -> unit; h_after : unit -> unit }
+
 type t = {
   mutable now : Time.t;
   events : (unit -> unit) Heap.t;
@@ -21,6 +23,7 @@ type t = {
   mutable stopping : bool;
   on_crash : [ `Raise | `Record ];
   mutable crash_log : (pid * string * exn) list;
+  mutable hooks : hooks option;
 }
 
 exception Not_in_process
@@ -42,7 +45,15 @@ let create ?(seed = 0x5EEDL) ?(on_crash = `Raise) () =
     stopping = false;
     on_crash;
     crash_log = [];
+    hooks = None;
   }
+
+let set_dispatch_hooks t ~before ~after =
+  t.hooks <- Some { h_before = before; h_after = after }
+
+let clear_dispatch_hooks t = t.hooks <- None
+
+let queue_depth t = Heap.length t.events
 
 let now t = t.now
 
@@ -140,27 +151,38 @@ let live_processes t = t.live
 
 let stop t = t.stopping <- true
 
+(* The loop body is hoisted so both run variants share one copy and the
+   common (unhooked) path stays a single heap access per event. *)
+let[@inline] dispatch t time thunk =
+  t.now <- time;
+  match t.hooks with
+  | None -> thunk ()
+  | Some h ->
+      h.h_before (Heap.length t.events);
+      thunk ();
+      h.h_after ()
+
 let run ?until t =
   t.stopping <- false;
-  let rec loop () =
-    if t.stopping then ()
-    else
-      match Heap.peek_key t.events with
-      | None -> ()
-      | Some time -> (
-          match until with
-          | Some u when time > u ->
-              (* Leave the event queued; the clock advances to the bound. *)
-              t.now <- u
-          | _ -> (
-              match Heap.pop t.events with
-              | None -> ()
-              | Some (time, _, thunk) ->
-                  t.now <- time;
-                  thunk ();
-                  loop ()))
-  in
-  loop ()
+  match until with
+  | None ->
+      let continue = ref true in
+      while !continue && not t.stopping do
+        match Heap.pop t.events with
+        | None -> continue := false
+        | Some (time, _, thunk) -> dispatch t time thunk
+      done
+  | Some u ->
+      let continue = ref true in
+      while !continue && not t.stopping do
+        match Heap.pop_le t.events ~max:u with
+        | None ->
+            (* Past-the-bound events stay queued; the clock advances to
+               the bound only if something remains to run later. *)
+            if not (Heap.is_empty t.events) then t.now <- u;
+            continue := false
+        | Some (time, _, thunk) -> dispatch t time thunk
+      done
 
 (* Process-context operations. *)
 

@@ -68,6 +68,23 @@ val stop : t -> unit
 
 val live_processes : t -> int
 
+val queue_depth : t -> int
+(** Number of pending events in the queue. *)
+
+(** {1 Dispatch hooks}
+
+    A profiler (see {!Prof}) can observe every event the loop executes.
+    [before] receives the queue depth after the event was popped;
+    [after] runs once the thunk returns (to completion or suspension —
+    with effect-based processes every blocking operation returns control
+    to the loop, so the pair brackets exactly one execution slice).
+    At most one hook pair is installed; installing replaces the previous
+    one.  The unhooked loop pays a single mutable-field check. *)
+
+val set_dispatch_hooks : t -> before:(int -> unit) -> after:(unit -> unit) -> unit
+
+val clear_dispatch_hooks : t -> unit
+
 (** {1 Inside a process}
 
     These operations perform effects and must be called from process

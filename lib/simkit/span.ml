@@ -43,7 +43,12 @@ let create ?(clock = fun () -> Time.zero) ?(capacity = 1_000_000) () =
 
 let set_clock t clock = t.clock <- clock
 
-let enable t = t.on <- true
+let enable t =
+  t.on <- true;
+  (* Enabling a collector is an explicit request for span data: make
+     sure the global gate lets it through. *)
+  Level.raise_to_spans ()
+
 let disable t = t.on <- false
 let enabled t = t.on
 
@@ -63,7 +68,7 @@ let parent_of = function
   | _ -> -1
 
 let start t ?(track = "main") ?parent name =
-  if not t.on then null_span
+  if not (t.on && Level.spans_on ()) then null_span
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;

@@ -37,6 +37,9 @@ val create : ?clock:(unit -> Time.t) -> ?capacity:int -> unit -> t
 val set_clock : t -> (unit -> Time.t) -> unit
 
 val enable : t -> unit
+(** Also raises the global {!Level} to [Spans] — an enabled collector is
+    an explicit request for span data. *)
+
 val disable : t -> unit
 val enabled : t -> bool
 
@@ -48,7 +51,10 @@ val new_trace : t -> int
 
 val start : t -> ?track:string -> ?parent:span -> string -> span
 (** Open a span named [name] on [track] (default ["main"]).  [parent]
-    links the span under another one, possibly on a different track. *)
+    links the span under another one, possibly on a different track.
+    Returns {!null} — allocating nothing — unless the collector is
+    enabled {e and} the global {!Level} is [Spans]; hot callers should
+    check {!is_null} before formatting annotation strings. *)
 
 val annotate : span -> key:string -> string -> unit
 (** Attach a key:value pair; no-op once finished or on a null span. *)

@@ -99,7 +99,7 @@ let fail_waiters t msg =
   t.waiters <- [];
   List.iter
     (fun w ->
-      Span.annotate w.w_span ~key:"error" msg;
+      if not (Span.is_null w.w_span) then Span.annotate w.w_span ~key:"error" msg;
       finish_span t w.w_span;
       w.w_respond (A_failed msg))
     ws
@@ -115,12 +115,15 @@ let flusher t ~epoch ~wakeup () =
     Mailbox.recv wakeup;
     let s = state t in
     while t.epoch = epoch && t.waiters <> [] && s.buffer <> [] do
+      let sect = Prof.section_begin () in
       let batch = List.rev s.buffer in
       let last = match s.buffer with (asn, _) :: _ -> asn | [] -> s.durable in
       s.buffer <- [];
+      Prof.section_end sect "adp";
       Cpu.execute (current_cpu t) t.cfg.flush_cpu;
       let sp = start_span t "adp.flush" in
-      Span.annotate sp ~key:"batch" (string_of_int (List.length batch));
+      if not (Span.is_null sp) then
+        Span.annotate sp ~key:"batch" (string_of_int (List.length batch));
       (match Log_backend.write_records ~parent:sp t.backend batch with
       | Ok () ->
           s.durable <- max s.durable last;
@@ -129,7 +132,7 @@ let flusher t ~epoch ~wakeup () =
           satisfy_waiters t s
       | Error e ->
           (* Put the batch back so a takeover can still flush it. *)
-          Span.annotate sp ~key:"error" e;
+          if not (Span.is_null sp) then Span.annotate sp ~key:"error" e;
           finish_span t sp;
           s.buffer <- List.rev_append batch s.buffer;
           fail_waiters t e)
@@ -140,8 +143,12 @@ let handle t s req respond =
   match req with
   | Append records -> (
       let sp = start_span t ~parent:(Msgsys.caller_span t.srv) "adp.append" in
-      Span.annotate sp ~key:"records" (string_of_int (List.length records));
+      if not (Span.is_null sp) then
+        Span.annotate sp ~key:"records" (string_of_int (List.length records));
       Cpu.execute (current_cpu t) (List.length records * t.cfg.append_cpu);
+      (* Section opens after the CPU charge ([Cpu.execute] suspends) and
+         closes before the backend write does. *)
+      let sect = Prof.section_begin () in
       let stamped =
         List.map
           (fun r ->
@@ -152,6 +159,7 @@ let handle t s req respond =
       in
       t.appended <- t.appended + List.length stamped;
       let last_asn = match List.rev stamped with (asn, _) :: _ -> asn | [] -> s.durable in
+      Prof.section_end sect "adp";
       if Log_backend.synchronous t.backend then
         (* PM path: durable as soon as the RDMA write completes; nothing
            to checkpoint but the counters. *)
@@ -162,7 +170,7 @@ let handle t s req respond =
             finish_span t sp;
             respond (Appended { last_asn })
         | Error e ->
-            Span.annotate sp ~key:"error" e;
+            if not (Span.is_null sp) then Span.annotate sp ~key:"error" e;
             finish_span t sp;
             respond (A_failed e)
       else begin
@@ -193,7 +201,8 @@ let handle t s req respond =
                 s.durable))
       else begin
         let sp = start_span t ~parent:(Msgsys.caller_span t.srv) "adp.flush_wait" in
-        Span.annotate sp ~key:"through" (string_of_int through);
+        if not (Span.is_null sp) then
+          Span.annotate sp ~key:"through" (string_of_int through);
         t.waiters <-
           { w_through = through; w_respond = respond; w_start = now t; w_span = sp }
           :: t.waiters;

@@ -165,8 +165,10 @@ let handle ?(caller = Span.null) t s req respond =
   match req with
   | Insert { txn; file; key; len; crc; payload } -> (
       let isp = start_span t ~parent:caller "dp2.insert" in
-      Span.annotate isp ~key:"txn" (string_of_int txn);
-      Span.annotate isp ~key:"key" (string_of_int key);
+      if not (Span.is_null isp) then begin
+        Span.annotate isp ~key:"txn" (string_of_int txn);
+        Span.annotate isp ~key:"key" (string_of_int key)
+      end;
       let respond r =
         (match r with
         | D_failed e -> Span.annotate isp ~key:"error" e

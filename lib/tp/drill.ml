@@ -290,8 +290,8 @@ let availability_of system =
     packet_retries = fs.Servernet.Fabric.packet_retries;
   }
 
-let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_params)
-    ?(crash_decay = []) ~mode ~plan () =
+let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
+    ?(params = default_params) ?(crash_decay = []) ~mode ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run: need at least one driver";
   (match (sample_interval, obs) with
   | Some _, None -> invalid_arg "Drill.run: sample_interval requires obs"
@@ -300,6 +300,7 @@ let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_para
   let cfg = config_for base mode in
   let cfg = { cfg with System.seed } in
   let sim = Sim.create ~seed () in
+  (match prof with Some p -> Prof.install p sim | None -> ());
   let out = ref (Error "drill: simulation did not complete") in
   let (_ : Sim.pid) =
     Sim.spawn sim ~name:"drill-main" (fun () ->
@@ -438,6 +439,7 @@ let run ?(seed = 0xD5177L) ?config ?obs ?sample_interval ?(params = default_para
                     })
   in
   Sim.run sim;
+  (match prof with Some p -> Prof.uninstall p | None -> ());
   !out
 
 (* The corruption drill proper: hot-stock load under [corruption_plan]

@@ -136,6 +136,7 @@ val run :
   ?seed:int64 ->
   ?config:System.config ->
   ?obs:Obs.t ->
+  ?prof:Prof.t ->
   ?sample_interval:Time.span ->
   ?params:params ->
   ?crash_decay:(int * int * int) list ->
@@ -144,9 +145,10 @@ val run :
   unit ->
   (report, string) result
 (** Owns its simulation; safe to call outside process context.  [Error]
-    carries a recovery or plan-validation failure.  [sample_interval]
-    (requires [obs], else [Invalid_argument]) records a telemetry
-    timeline into {!report.timeline}.  Each [crash_decay]
+    carries a recovery or plan-validation failure.  [prof] is installed
+    on the drill's simulation for the whole run (see {!Simkit.Prof}).
+    [sample_interval] (requires [obs], else [Invalid_argument]) records
+    a telemetry timeline into {!report.timeline}.  Each [crash_decay]
     [(device, off, bits)] flips bits on that NPMU at the crash itself —
     after the scrubber is stopped, before recovery — so only a verified
     read can catch it; entries with out-of-range device indices are

@@ -107,9 +107,11 @@ let write_records ?parent t records =
     | None -> Simkit.Span.null
     | Some o ->
         let sp = Simkit.Span.start (Simkit.Obs.spans o) ~track:"log" ?parent "log.write" in
-        Simkit.Span.annotate sp ~key:"records" (string_of_int (List.length records));
-        Simkit.Span.annotate sp ~key:"backend"
-          (match t.kind with Disk _ -> "disk" | Pm _ -> "pm");
+        if not (Simkit.Span.is_null sp) then begin
+          Simkit.Span.annotate sp ~key:"records" (string_of_int (List.length records));
+          Simkit.Span.annotate sp ~key:"backend"
+            (match t.kind with Disk _ -> "disk" | Pm _ -> "pm")
+        end;
         sp
   in
   let result =

@@ -240,7 +240,8 @@ let handle t s req respond =
       let commit_work () =
         let started = Sim.now (Cpu.sim (current_cpu t)) in
         let csp = start_span t ~parent:caller "tmf.commit" in
-        Span.annotate csp ~key:"txn" (string_of_int txn);
+        if not (Span.is_null csp) then
+          Span.annotate csp ~key:"txn" (string_of_int txn);
         let finish_failed msg =
           Span.annotate csp ~key:"error" msg;
           finish_span t csp;

@@ -149,7 +149,8 @@ let begin_txn t =
   match wan_call t t.tmf ~span:bsp Tmf.Begin_txn with
   | Ok (Tmf.Began { txn }) ->
       finish_span t bsp;
-      Span.annotate root ~key:"txn" (string_of_int txn);
+      if not (Span.is_null root) then
+        Span.annotate root ~key:"txn" (string_of_int txn);
       Ok
         {
           id = txn;
@@ -228,7 +229,8 @@ let await_inserts t txn =
   | [] -> ()
   | _ ->
       let sp = start_span t ~parent:txn.root "txn.await_inserts" in
-      Span.annotate sp ~key:"inserts" (string_of_int (List.length outstanding));
+      if not (Span.is_null sp) then
+        Span.annotate sp ~key:"inserts" (string_of_int (List.length outstanding));
       let t0 = now t in
       List.iter (fun p -> note_insert_reply t txn p (Ivar.read p.p_reply)) outstanding;
       note t.insert_wait_stat (now t - t0);

@@ -13,8 +13,8 @@ let config_for base mode =
   | Tp.System.Pm_audit ->
       { base with Tp.System.log_mode = Tp.System.Pm_audit; txn_state_in_pm = true }
 
-let run_cell_sampled ?(seed = 0xF19L) ?config ?obs ?sample_interval ?sample_capacity
-    ~mode ~drivers ~inserts_per_txn ~records_per_driver () =
+let run_cell_sampled ?(seed = 0xF19L) ?config ?obs ?prof ?sample_interval
+    ?sample_capacity ~mode ~drivers ~inserts_per_txn ~records_per_driver () =
   (match (sample_interval, obs) with
   | Some _, None ->
       invalid_arg "Figures.run_cell_sampled: sample_interval requires obs"
@@ -22,6 +22,7 @@ let run_cell_sampled ?(seed = 0xF19L) ?config ?obs ?sample_interval ?sample_capa
   let base = Option.value config ~default:Tp.System.default_config in
   let cfg = config_for base mode in
   let sim = Sim.create ~seed () in
+  (match prof with Some p -> Prof.install p sim | None -> ());
   let out = ref None in
   let ts = ref None in
   let (_ : Sim.pid) =
@@ -44,13 +45,15 @@ let run_cell_sampled ?(seed = 0xF19L) ?config ?obs ?sample_interval ?sample_capa
         out := Some result)
   in
   Sim.run sim;
+  (match prof with Some p -> Prof.uninstall p | None -> ());
   match !out with
   | Some result -> ({ mode; drivers; inserts_per_txn; result }, !ts)
   | None -> failwith "Figures.run_cell: simulation did not complete"
 
-let run_cell ?seed ?config ?obs ~mode ~drivers ~inserts_per_txn ~records_per_driver () =
+let run_cell ?seed ?config ?obs ?prof ~mode ~drivers ~inserts_per_txn
+    ~records_per_driver () =
   fst
-    (run_cell_sampled ?seed ?config ?obs ~mode ~drivers ~inserts_per_txn
+    (run_cell_sampled ?seed ?config ?obs ?prof ~mode ~drivers ~inserts_per_txn
        ~records_per_driver ())
 
 let boxcars = [ 8; 16; 32 ]

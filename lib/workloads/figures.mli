@@ -15,6 +15,7 @@ val run_cell :
   ?seed:int64 ->
   ?config:Tp.System.config ->
   ?obs:Obs.t ->
+  ?prof:Prof.t ->
   mode:Tp.System.log_mode ->
   drivers:int ->
   inserts_per_txn:int ->
@@ -25,12 +26,14 @@ val run_cell :
     call outside process context (it owns its simulation).  With [obs],
     the whole system reports into that context — pass a context with
     spans enabled to trace the run, or read the metrics registry
-    afterwards. *)
+    afterwards.  With [prof], the profiler is installed on the cell's
+    simulation for the whole run (see {!Simkit.Prof}). *)
 
 val run_cell_sampled :
   ?seed:int64 ->
   ?config:Tp.System.config ->
   ?obs:Obs.t ->
+  ?prof:Prof.t ->
   ?sample_interval:Time.span ->
   ?sample_capacity:int ->
   mode:Tp.System.log_mode ->
