@@ -654,6 +654,78 @@ let cluster_drill_text (r : Tp.Drill.cluster_report) =
     (if Tp.Drill.cluster_zero_loss r then "zero loss" else "INVARIANT VIOLATED");
   hr ()
 
+let gray_drill_json (g : Tp.Drill.gray_report) =
+  Json.Obj
+    [
+      ("mode", Json.String "pm");
+      ("plan", Json.String "grayfail");
+      ("seed", Json.String (Printf.sprintf "0x%Lx" g.Tp.Drill.g_seed));
+      ("defended", Json.Bool g.Tp.Drill.g_defended);
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("healthy_p99", Json.Float (g.Tp.Drill.g_healthy.Tp.Drill.response.Stat.p99 /. 1e6));
+            ( "degraded_p99",
+              Json.Float (g.Tp.Drill.g_degraded.Tp.Drill.response.Stat.p99 /. 1e6) );
+            ("p99_ratio", Json.Float g.Tp.Drill.g_p99_ratio);
+            ("p99_limit", Json.Float g.Tp.Drill.g_p99_limit);
+          ] );
+      ( "mitigation",
+        Json.Obj
+          [
+            ("demotions", Json.Int g.Tp.Drill.g_demotions);
+            ("readmissions", Json.Int g.Tp.Drill.g_readmissions);
+            ("mirror_active", Json.Bool g.Tp.Drill.g_mirror_active);
+            ("monitor_probes", Json.Int g.Tp.Drill.g_monitor_probes);
+            ("slow_suspects", Json.Int g.Tp.Drill.g_slow_suspects);
+            ("hedged_reads", Json.Int g.Tp.Drill.g_hedged_reads);
+            ("hedge_wins", Json.Int g.Tp.Drill.g_hedge_wins);
+            ("single_copy_writes", Json.Int g.Tp.Drill.g_single_copy_writes);
+          ] );
+      ("zero_loss", Json.Bool (Tp.Drill.zero_loss g.Tp.Drill.g_degraded));
+      ("pass", Json.Bool (Tp.Drill.gray_pass g));
+      ("healthy", drill_json g.Tp.Drill.g_healthy);
+      ("degraded", drill_json g.Tp.Drill.g_degraded);
+    ]
+
+let gray_drill_text (g : Tp.Drill.gray_report) =
+  Printf.printf
+    "drill: mode=pm plan=grayfail seed=0x%Lx defenses=%s — fail-slow hardware under \
+     hot-stock load\n"
+    g.Tp.Drill.g_seed
+    (if g.Tp.Drill.g_defended then "on" else "OFF (negative control)");
+  hr ();
+  List.iter
+    (fun (t, desc) -> Printf.printf "%10.1f ms  %s\n" (Time.to_ms t) desc)
+    g.Tp.Drill.g_degraded.Tp.Drill.faults;
+  hr ();
+  let h = g.Tp.Drill.g_healthy and d = g.Tp.Drill.g_degraded in
+  Printf.printf "healthy baseline   %d commits, mean/p99 %.2f / %.2f ms\n"
+    h.Tp.Drill.committed
+    (h.Tp.Drill.response.Stat.mean /. 1e6)
+    (h.Tp.Drill.response.Stat.p99 /. 1e6);
+  Printf.printf "degraded run       %d commits, mean/p99 %.2f / %.2f ms\n"
+    d.Tp.Drill.committed
+    (d.Tp.Drill.response.Stat.mean /. 1e6)
+    (d.Tp.Drill.response.Stat.p99 /. 1e6);
+  Printf.printf "p99 ratio          %.2fx (gate: <= %.1fx) — %s\n" g.Tp.Drill.g_p99_ratio
+    g.Tp.Drill.g_p99_limit
+    (if g.Tp.Drill.g_p99_ratio <= g.Tp.Drill.g_p99_limit then "bounded"
+     else "LATENCY COLLAPSE");
+  Printf.printf "mirror health      %d probes, %d demotions, %d readmissions, mirror %s\n"
+    g.Tp.Drill.g_monitor_probes g.Tp.Drill.g_demotions g.Tp.Drill.g_readmissions
+    (if g.Tp.Drill.g_mirror_active then "active" else "DEMOTED");
+  Printf.printf "client defenses    %d slow suspects, %d hedged reads (%d won), %d \
+                 single-copy writes\n"
+    g.Tp.Drill.g_slow_suspects g.Tp.Drill.g_hedged_reads g.Tp.Drill.g_hedge_wins
+    g.Tp.Drill.g_single_copy_writes;
+  Printf.printf "durability         %d acked rows, %d LOST — %s\n" d.Tp.Drill.acked_rows
+    d.Tp.Drill.lost_rows
+    (if Tp.Drill.zero_loss d then "zero loss" else "DATA LOSS");
+  Printf.printf "verdict            %s\n"
+    (if Tp.Drill.gray_pass g then "PASS" else "FAIL");
+  hr ()
+
 let drill_fail json e =
   if json then print_endline (Json.to_string (Json.Obj [ ("error", Json.String e) ]));
   prerr_endline ("odsbench drill: " ^ e);
@@ -701,8 +773,9 @@ let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_d
   else if mode = "cluster" then cluster_drill plan_name drivers seed interval_ms json
   else begin
     let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
-    if no_defenses && plan_name <> "corruption" then begin
-      prerr_endline "odsbench drill: --no-defenses only applies to --plan corruption";
+    if no_defenses && plan_name <> "corruption" && plan_name <> "grayfail" then begin
+      prerr_endline
+        "odsbench drill: --no-defenses only applies to --plan corruption or grayfail";
       exit 2
     end;
     let params =
@@ -717,7 +790,34 @@ let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_d
       if interval_ms > 0 then (Some (Obs.create ()), Some (Time.ms interval_ms))
       else (None, None)
     in
-    if plan_name = "corruption" then begin
+    if plan_name = "grayfail" then begin
+      (* The gray-failure drill owns its load shape (the p99 gate needs
+         a known sample count) and runs twice — healthy baseline, then
+         the staged fail-slow schedule — so it ignores --records and
+         --boxcar and goes through its dedicated entry point. *)
+      if mode <> Tp.System.Pm_audit then begin
+        prerr_endline "odsbench drill: plan 'grayfail' requires --mode pm";
+        exit 2
+      end;
+      let params = { Tp.Drill.gray_params with Tp.Drill.drivers } in
+      match
+        Tp.Drill.run_gray ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params
+          ~defenses:(not no_defenses) ()
+      with
+      | Error e -> drill_fail json e
+      | Ok g ->
+          if json then print_endline (Json.to_string (gray_drill_json g))
+          else gray_drill_text g;
+          if not (Tp.Drill.gray_pass g) then begin
+            Printf.eprintf
+              "odsbench drill: gray-failure gate violated (lost=%d p99-ratio=%.2f \
+               demotions=%d readmissions=%d)\n"
+              g.Tp.Drill.g_degraded.Tp.Drill.lost_rows g.Tp.Drill.g_p99_ratio
+              g.Tp.Drill.g_demotions g.Tp.Drill.g_readmissions;
+            exit 1
+          end
+    end
+    else if plan_name = "corruption" then begin
       (* The storage-integrity drill has its own config (scrubber +
          verified reads) and crash-time decay, so it goes through its
          dedicated entry point; the exit gate is the integrity audit,
@@ -791,13 +891,18 @@ let drill_cmd =
   let plan =
     Arg.(
       value & opt string "standard"
-      & info [ "plan" ] ~docv:"standard|kills|corruption|none|partition"
+      & info [ "plan" ] ~docv:"standard|kills|corruption|grayfail|none|partition"
           ~doc:
             "Fault schedule: $(b,standard) is the full drill (PM: PMM kill, NPMU \
              power-cycle, rail flap, CRC noise, resync), $(b,kills) keeps only the \
              process-pair kills, $(b,corruption) (PM mode) injects silent media decay \
              and torn stores with the scrubber and verified reads armed and audits \
-             storage integrity, $(b,none) runs faultless.  In cluster mode, \
+             storage integrity, $(b,grayfail) (PM mode) degrades the mirror NPMU, a \
+             fabric rail and a data spindle fail-slow with the latency health monitor, \
+             hedged reads and slow-mirror demotion armed, gating on bounded commit p99 \
+             and a completed demotion/re-admission cycle (it owns its load shape: \
+             --records and --boxcar are ignored), $(b,none) runs faultless.  In cluster \
+             mode, \
              $(b,partition) (the default) severs the inter-node link mid-2PC, kills the \
              coordinator, heals, takes over the PM manager and probes the epoch fence.  \
              $(b,--list-plans) prints the names valid for the selected mode.")
@@ -813,9 +918,11 @@ let drill_cmd =
       value & flag
       & info [ "no-defenses" ]
           ~doc:
-            "Corruption plan only: run the same fault schedule with the scrubber and \
-             verified reads disabled — the negative control that shows what silent \
-             corruption costs undefended (expect a non-zero exit).")
+            "Corruption and grayfail plans only: run the same fault schedule with the \
+             defenses disabled (corruption: scrubber and verified reads; grayfail: \
+             health monitor, hedged reads, demotion and adaptive backoff) — the \
+             negative control that shows what the faults cost undefended (expect a \
+             non-zero exit).")
   in
   let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
   let boxcar =

@@ -13,6 +13,7 @@ type t = {
   mutable st_decay_events : int;
   mutable st_bits_flipped : int;
   mutable st_torn_writes : int;
+  mutable st_degrade_events : int;
 }
 
 let create sim fabric ~name ~capacity =
@@ -38,7 +39,8 @@ let create sim fabric ~name ~capacity =
   let ep = Servernet.Fabric.attach fabric ~name ~store in
   { npmu_name = name; npmu_sim = sim; capacity; mem; ep; powered = true;
     st_power_cycles = 0; st_writes; st_reads; st_bytes_written; last_write;
-    st_decay_events = 0; st_bits_flipped = 0; st_torn_writes = 0 }
+    st_decay_events = 0; st_bits_flipped = 0; st_torn_writes = 0;
+    st_degrade_events = 0 }
 
 let instrument t metrics =
   let prefix = "npmu." ^ t.npmu_name in
@@ -138,3 +140,15 @@ let tear_last_write t =
       Some (tear_off, tear_len)
 
 let torn_writes t = t.st_torn_writes
+
+let degrade t ~factor ?(jitter = 0) () =
+  Servernet.Fabric.set_endpoint_slow t.ep ~factor ~jitter;
+  t.st_degrade_events <- t.st_degrade_events + 1
+
+let restore_speed t = Servernet.Fabric.clear_endpoint_slow t.ep
+
+let slow_factor t = Servernet.Fabric.endpoint_slow t.ep
+
+let is_degraded t = slow_factor t > 1.0
+
+let degrade_events t = t.st_degrade_events

@@ -91,3 +91,26 @@ val tear_last_write : t -> (int * int) option
 
 val torn_writes : t -> int
 (** Number of successful {!tear_last_write} injections. *)
+
+(** {2 Fail-slow injection}
+
+    Gray-failure primitives for the grayfail drill: the device keeps
+    answering — correctly — but late, modelling worn media, a throttled
+    controller, or an NIC in retry storms. *)
+
+val degrade : t -> factor:float -> ?jitter:Time.span -> unit -> unit
+(** Stretch every RDMA transfer touching this device by [factor]
+    ([>= 1.0]) plus up to [jitter] seeded extra per transfer — delegated
+    to the fabric endpoint ({!Servernet.Fabric.set_endpoint_slow}), since
+    an NPMU has no CPU and all its latency lives on the fabric path. *)
+
+val restore_speed : t -> unit
+(** Back to full speed (factor 1.0, no jitter). *)
+
+val slow_factor : t -> float
+(** The multiplier currently in force (1.0 when healthy). *)
+
+val is_degraded : t -> bool
+
+val degrade_events : t -> int
+(** Number of {!degrade} injections since creation. *)

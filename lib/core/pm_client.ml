@@ -11,6 +11,13 @@ type config = {
   data_backoff : Time.span;
   fail_fast_after : int;
   verified_reads : bool;
+  slo_budget : Time.span;
+  health_window : int;
+  health_alpha : float;
+  hedged_reads : bool;
+  hedge_min : Time.span;
+  hedge_max : Time.span;
+  adaptive_backoff : bool;
 }
 
 let default_config =
@@ -24,7 +31,46 @@ let default_config =
     data_backoff = Time.us 100;
     fail_fast_after = 8;
     verified_reads = false;
+    slo_budget = 0;
+    health_window = 32;
+    health_alpha = 0.3;
+    hedged_reads = false;
+    hedge_min = Time.us 50;
+    hedge_max = Time.ms 5;
+    adaptive_backoff = false;
   }
+
+(* Per-device latency health: an EWMA plus a windowed p99, both compared
+   against the configured SLO budget.  Disabled (no samples recorded)
+   while [slo_budget] is 0, so the default config costs nothing. *)
+type health = {
+  mutable ewma : float;  (** smoothed per-op latency, ns; 0 until first sample *)
+  window : int array;  (** ring of recent per-op latencies, ns *)
+  mutable w_len : int;
+  mutable w_pos : int;
+  mutable suspect : bool;  (** currently over budget *)
+}
+
+let health_create cfg =
+  {
+    ewma = 0.0;
+    window = Array.make (max 4 cfg.health_window) 0;
+    w_len = 0;
+    w_pos = 0;
+    suspect = false;
+  }
+
+let window_p99 hs =
+  if hs.w_len = 0 then 0
+  else begin
+    let a = Array.sub hs.window 0 hs.w_len in
+    Array.sort compare a;
+    let idx =
+      min (hs.w_len - 1)
+        (max 0 (int_of_float (ceil (0.99 *. float_of_int hs.w_len)) - 1))
+    in
+    a.(idx)
+  end
 
 type t = {
   client_cpu : Cpu.t;
@@ -45,6 +91,13 @@ type t = {
      has every reason to believe is down, until a success resets it. *)
   mutable primary_strikes : int;
   mutable mirror_strikes : int;
+  mutable slow_suspects : int;  (** healthy->suspect transitions observed *)
+  mutable hedged : int;  (** hedged reads fired *)
+  mutable hedge_won : int;  (** hedges whose mirror copy answered first *)
+  mutable single_copy : int;  (** writes skipped on a demoted mirror *)
+  mutable mgmt_exhausted : int;  (** mgmt calls that ran out of retries *)
+  ph : health;  (** primary device data-path latency *)
+  mh : health;  (** mirror device data-path latency *)
   latency : Stat.t;
   obs : Obs.t option;
   write_probe : Probe.t option;
@@ -69,6 +122,13 @@ let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
     verify_unrepaired = 0;
     primary_strikes = 0;
     mirror_strikes = 0;
+    slow_suspects = 0;
+    hedged = 0;
+    hedge_won = 0;
+    single_copy = 0;
+    mgmt_exhausted = 0;
+    ph = health_create config;
+    mh = health_create config;
     latency =
       (* With an observability context every client aggregates into the
          one registry-owned stat; otherwise each keeps a private one. *)
@@ -91,13 +151,56 @@ let bump_counter t name =
   | Some o -> Stat.Counter.incr (Metrics.counter (Obs.metrics o) name)
   | None -> ()
 
+(* Record one data-path op's latency against a device's health and flag
+   the healthy->suspect edge.  The suspect state clears itself once the
+   EWMA and the windowed p99 both drop back under budget. *)
+let health_note t hs dt =
+  if t.cfg.slo_budget > 0 then begin
+    let alpha = t.cfg.health_alpha in
+    hs.ewma <-
+      (if hs.ewma = 0.0 then float_of_int dt
+       else (alpha *. float_of_int dt) +. ((1.0 -. alpha) *. hs.ewma));
+    hs.window.(hs.w_pos) <- dt;
+    hs.w_pos <- (hs.w_pos + 1) mod Array.length hs.window;
+    if hs.w_len < Array.length hs.window then hs.w_len <- hs.w_len + 1;
+    let budget = t.cfg.slo_budget in
+    let breach = hs.ewma > float_of_int budget || window_p99 hs > budget in
+    if breach && not hs.suspect then begin
+      hs.suspect <- true;
+      t.slow_suspects <- t.slow_suspects + 1;
+      bump_counter t "pm.slow_suspect"
+    end
+    else if (not breach) && hs.suspect then hs.suspect <- false
+  end
+
+(* The hedge fires after a delay derived from the primary's observed
+   latency quantiles (2x its windowed p99), clamped to the configured
+   band — adaptive, not a fixed data timeout. *)
+let hedge_delay t =
+  let q = window_p99 t.ph in
+  let base = if q > 0 then 2 * q else t.cfg.hedge_max in
+  min (max base t.cfg.hedge_min) t.cfg.hedge_max
+
+(* Adaptive data-path timeout: the retry backoff base tracks the worst
+   observed device EWMA (capped), so a degraded path is retried on its
+   own timescale instead of the healthy-case constant. *)
+let data_backoff_base t =
+  if not t.cfg.adaptive_backoff then t.cfg.data_backoff
+  else
+    let observed = int_of_float (Float.max t.ph.ewma t.mh.ewma) in
+    min (max t.cfg.data_backoff observed) (t.cfg.data_backoff * 64)
+
 (* Exponential backoff with full jitter: attempt [i] sleeps uniformly in
    [0, base * 2^i], capped at 2^6.  Jitter decorrelates the many clients
    that all saw the same takeover at the same instant. *)
-let backoff_sleep t ~base ~attempt =
+let backoff_ceiling ~base ~attempt =
   let scale = 1 lsl min attempt 6 in
-  let ceiling = max 1 (base * scale) in
-  Sim.sleep (Time.ns 1 + Rng.uniform_span t.rng ceiling)
+  max 1 (base * scale)
+
+let backoff_span rng ~base ~attempt =
+  Time.ns 1 + Rng.uniform_span rng (backoff_ceiling ~base ~attempt)
+
+let backoff_sleep t ~base ~attempt = Sim.sleep (backoff_span t.rng ~base ~attempt)
 
 let cpu t = t.client_cpu
 
@@ -112,7 +215,11 @@ let mgmt_call t req =
     match Msgsys.call t.pmm ~from:t.client_cpu ~timeout:t.cfg.mgmt_timeout req with
     | Ok resp -> Ok resp
     | Error (Msgsys.Server_down | Msgsys.Timed_out) ->
-        if attempt >= t.cfg.mgmt_retries then Error Pm_types.Manager_down
+        if attempt >= t.cfg.mgmt_retries then begin
+          t.mgmt_exhausted <- t.mgmt_exhausted + 1;
+          bump_counter t "pm.mgmt_retry_exhausted";
+          Error Pm_types.Manager_down
+        end
         else begin
           t.mgmt_retried <- t.mgmt_retried + 1;
           bump_counter t "pm.mgmt_retries";
@@ -196,12 +303,14 @@ let write ?span t h ~off ~data =
          racked up [fail_fast_after] consecutive failures the retries are
          skipped — it is down, not noisy — so a long outage degrades every
          write once instead of stalling each one through a retry ladder. *)
-      let write_device ~strikes ~note dst =
+      let write_device ~strikes ~note ~hs dst =
         let rec go attempt =
+          let t0 = Sim.now (Cpu.sim t.client_cpu) in
           match
             Servernet.Fabric.rdma_write ~span:sp ~epoch t.fabric ~src ~dst ~addr ~data
           with
           | Ok () ->
+              health_note t hs (Sim.now (Cpu.sim t.client_cpu) - t0);
               note 0;
               Ok ()
           | Error (Servernet.Fabric.Unreachable | Servernet.Fabric.No_path
@@ -209,7 +318,7 @@ let write ?span t h ~off ~data =
             when attempt < t.cfg.data_retries && strikes < t.cfg.fail_fast_after ->
               t.retried_writes <- t.retried_writes + 1;
               bump_counter t "pm.write_retries";
-              backoff_sleep t ~base:t.cfg.data_backoff ~attempt;
+              backoff_sleep t ~base:(data_backoff_base t) ~attempt;
               go (attempt + 1)
           | Error e ->
               note (strikes + 1);
@@ -220,14 +329,23 @@ let write ?span t h ~off ~data =
       let primary_result =
         write_device ~strikes:t.primary_strikes
           ~note:(fun n -> t.primary_strikes <- n)
-          region.Pm_types.primary_npmu
+          ~hs:t.ph region.Pm_types.primary_npmu
       in
       let mirror_result =
-        if t.cfg.mirrored_writes then
+        if t.cfg.mirrored_writes && region.Pm_types.mirror_active then
           write_device ~strikes:t.mirror_strikes
             ~note:(fun n -> t.mirror_strikes <- n)
-            region.Pm_types.mirror_npmu
-        else primary_result
+            ~hs:t.mh region.Pm_types.mirror_npmu
+        else begin
+          (* Demoted mirror: the PMM fenced the slow copy out, so the
+             write persists single-copy under the degraded-durability
+             contract and is counted as such, not as a failure. *)
+          if t.cfg.mirrored_writes && not region.Pm_types.mirror_active then begin
+            t.single_copy <- t.single_copy + 1;
+            bump_counter t "pm.single_copy_writes"
+          end;
+          primary_result
+        end
       in
       let is_fenced = function
         | Error (Servernet.Fabric.Avt_error Servernet.Avt.Stale_epoch) -> true
@@ -276,40 +394,99 @@ let write ?span t h ~off ~data =
   in
   attempt 2
 
+(* One timed read of one copy, feeding the device's latency health. *)
+let timed_read t region ~mirror ~addr ~len =
+  let dst =
+    if mirror then region.Pm_types.mirror_npmu else region.Pm_types.primary_npmu
+  in
+  let hs = if mirror then t.mh else t.ph in
+  let t0 = Sim.now (Cpu.sim t.client_cpu) in
+  let r =
+    Servernet.Fabric.rdma_read t.fabric ~src:(Cpu.endpoint t.client_cpu) ~dst ~addr ~len
+  in
+  (match r with
+  | Ok _ -> health_note t hs (Sim.now (Cpu.sim t.client_cpu) - t0)
+  | Error _ -> ());
+  r
+
+(* Hedged mirrored read: start the primary copy, and if it has not
+   answered within the hedge delay fire the mirror too — first response
+   wins.  The losing read completes in its helper process and is simply
+   discarded (RDMA reads have no side effects). *)
+let hedged_fetch t region ~addr ~len =
+  let sim = Cpu.sim t.client_cpu in
+  let mb = Mailbox.create ~name:"pm-hedge" () in
+  let fetch ~mirror () = Mailbox.send mb (mirror, timed_read t region ~mirror ~addr ~len) in
+  ignore (Sim.spawn sim ~name:"pm-read-primary" (fetch ~mirror:false));
+  let rec collect ~hedged ~outstanding =
+    if outstanding = 0 then Error Pm_types.Device_failed
+    else
+      let mirror, r = Mailbox.recv mb in
+      match r with
+      | Ok data ->
+          if mirror then
+            if hedged then begin
+              t.hedge_won <- t.hedge_won + 1;
+              bump_counter t "pm.hedge_wins"
+            end
+            else begin
+              t.read_failovers <- t.read_failovers + 1;
+              bump_counter t "pm.read_failovers"
+            end;
+          Ok data
+      | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+          Error Pm_types.Permission_denied
+      | Error _ -> collect ~hedged ~outstanding:(outstanding - 1)
+  in
+  match Mailbox.recv_timeout mb (hedge_delay t) with
+  | Some (_, Ok data) -> Ok data
+  | Some (_, Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied)) ->
+      Error Pm_types.Permission_denied
+  | Some (_, Error _) ->
+      (* The primary failed outright: classic failover, not a hedge. *)
+      ignore (Sim.spawn sim ~name:"pm-read-failover" (fetch ~mirror:true));
+      collect ~hedged:false ~outstanding:1
+  | None ->
+      t.hedged <- t.hedged + 1;
+      bump_counter t "pm.hedged_reads";
+      ignore (Sim.spawn sim ~name:"pm-read-hedge" (fetch ~mirror:true));
+      collect ~hedged:true ~outstanding:2
+
 let read_plain t h ~off ~len =
   let region = h.region in
   if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
   else begin
     let addr = region.Pm_types.net_base + off in
-    let src = Cpu.endpoint t.client_cpu in
-    (* Rounds of primary-then-mirror: a transient fabric error on both
-       devices (rail flap mid-burst) earns a jittered backoff and another
-       round, bounded by [data_retries]. *)
+    let mirror_usable = region.Pm_types.mirror_active in
+    let hedge = t.cfg.hedged_reads && t.cfg.mirrored_writes && mirror_usable in
+    (* Rounds of primary-then-mirror (or a hedged pair): a transient
+       fabric error on both devices (rail flap mid-burst) earns a
+       jittered backoff and another round, bounded by [data_retries].
+       A demoted mirror is skipped entirely — its contents are stale. *)
     let rec round attempt =
-      match
-        Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.primary_npmu ~addr
-          ~len
-      with
-      | Ok data -> Ok data
-      | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
-          Error Pm_types.Permission_denied
-      | Error _ -> (
-          match
-            Servernet.Fabric.rdma_read t.fabric ~src ~dst:region.Pm_types.mirror_npmu ~addr
-              ~len
-          with
-          | Ok data ->
-              t.read_failovers <- t.read_failovers + 1;
-              bump_counter t "pm.read_failovers";
-              Ok data
+      let result =
+        if hedge then hedged_fetch t region ~addr ~len
+        else
+          match timed_read t region ~mirror:false ~addr ~len with
+          | Ok data -> Ok data
           | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
               Error Pm_types.Permission_denied
-          | Error _ ->
-              if attempt >= t.cfg.data_retries then Error Pm_types.Device_failed
-              else begin
-                backoff_sleep t ~base:t.cfg.data_backoff ~attempt;
-                round (attempt + 1)
-              end)
+          | Error _ when not mirror_usable -> Error Pm_types.Device_failed
+          | Error _ -> (
+              match timed_read t region ~mirror:true ~addr ~len with
+              | Ok data ->
+                  t.read_failovers <- t.read_failovers + 1;
+                  bump_counter t "pm.read_failovers";
+                  Ok data
+              | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
+                  Error Pm_types.Permission_denied
+              | Error _ -> Error Pm_types.Device_failed)
+      in
+      match result with
+      | Error Pm_types.Device_failed when attempt < t.cfg.data_retries ->
+          backoff_sleep t ~base:(data_backoff_base t) ~attempt;
+          round (attempt + 1)
+      | result -> result
     in
     round 0
   end
@@ -388,6 +565,10 @@ let verify_repair_range t h ~addr ~len =
 let read_verified t h ~off ~len =
   let region = h.region in
   if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
+  else if not region.Pm_types.mirror_active then
+    (* Demoted mirror: its contents are legitimately stale, so there is
+       nothing meaningful to cross-check until re-admission resyncs it. *)
+    read_plain t h ~off ~len
   else begin
     let addr = region.Pm_types.net_base + off in
     let src = Cpu.endpoint t.client_cpu in
@@ -432,5 +613,19 @@ let verified_reads_enabled t = t.cfg.verified_reads
 let fenced_writes t = t.fenced
 
 let mgmt_retries_used t = t.mgmt_retried
+
+let mgmt_retry_exhausted t = t.mgmt_exhausted
+
+let slow_suspects t = t.slow_suspects
+
+let hedged_reads_fired t = t.hedged
+
+let hedge_wins t = t.hedge_won
+
+let single_copy_writes t = t.single_copy
+
+let latency_suspect t ~mirror = if mirror then t.mh.suspect else t.ph.suspect
+
+let latency_ewma t ~mirror = if mirror then t.mh.ewma else t.ph.ewma
 
 let write_latency t = t.latency

@@ -33,6 +33,20 @@ type config = {
       (** route every {!read} through {!read_verified}: cross-check the
           mirror and read-repair silent divergence (default [false] —
           it doubles read traffic) *)
+  slo_budget : Time.span;
+      (** per-op latency budget the health monitor compares against;
+          0 (default) disables latency health tracking entirely *)
+  health_window : int;  (** ring size for the windowed p99 *)
+  health_alpha : float;  (** EWMA smoothing weight of the newest sample *)
+  hedged_reads : bool;
+      (** fire the mirror copy of a plain read after the hedge delay
+          when the primary has not answered; first response wins
+          (default [false]) *)
+  hedge_min : Time.span;  (** clamp band of the adaptive hedge delay *)
+  hedge_max : Time.span;
+  adaptive_backoff : bool;
+      (** scale the data-path retry backoff to the observed device EWMA
+          instead of the fixed [data_backoff] (default [false]) *)
 }
 
 val default_config : config
@@ -132,5 +146,45 @@ val fenced_writes : t -> int
 val mgmt_retries_used : t -> int
 (** Management calls re-sent across PMM takeovers or timeouts. *)
 
+val mgmt_retry_exhausted : t -> int
+(** Management calls that ran out of retries and surfaced
+    [Manager_down] (also the [pm.mgmt_retry_exhausted] counter). *)
+
+(** {1 Gray-failure telemetry}
+
+    The client's own view of fail-slow hardware: every data-path op
+    feeds a per-device EWMA and windowed p99, compared against
+    [slo_budget].  All zero while health tracking is disabled. *)
+
+val slow_suspects : t -> int
+(** Healthy-to-suspect transitions observed on either device (also the
+    [pm.slow_suspect] counter). *)
+
+val hedged_reads_fired : t -> int
+(** Plain reads whose hedge timer expired and fired the mirror copy. *)
+
+val hedge_wins : t -> int
+(** Hedged reads the mirror copy answered first. *)
+
+val single_copy_writes : t -> int
+(** Writes persisted primary-only because the PMM had demoted the
+    mirror — the explicit degraded-durability contract, not an error. *)
+
+val latency_suspect : t -> mirror:bool -> bool
+(** Is the device currently over its SLO budget? *)
+
+val latency_ewma : t -> mirror:bool -> float
+(** Smoothed per-op latency in ns (0 before the first sample). *)
+
 val write_latency : t -> Stat.t
 (** Distribution of {!write} completion times. *)
+
+val backoff_ceiling : base:Time.span -> attempt:int -> Time.span
+(** The jitter ceiling of retry attempt [attempt]:
+    [max 1 (base * 2^min(attempt, 6))].  Pure — exposed so the backoff
+    contract is directly testable. *)
+
+val backoff_span : Rng.t -> base:Time.span -> attempt:int -> Time.span
+(** Sample one jittered backoff: uniform in
+    [(0, {!backoff_ceiling} ~base ~attempt]].  The client sleeps exactly
+    this span between retries. *)

@@ -31,8 +31,13 @@ type region_info = {
   epoch : int;
       (* volume epoch at grant time; write descriptors carry it so the
          NPMUs can fence grants issued before a takeover or resync *)
+  mirror_active : bool;
+      (* false while the PMM has demoted a persistently slow (or failed)
+         mirror: clients must write single-copy under the degraded-
+         durability contract and skip mirror reads until re-admission *)
 }
 
 let pp_region_info ppf r =
-  Format.fprintf ppf "%s @@0x%x len=%d npmu=(%d,%d) epoch=%d" r.region_name r.net_base
+  Format.fprintf ppf "%s @@0x%x len=%d npmu=(%d,%d) epoch=%d%s" r.region_name r.net_base
     r.length r.primary_npmu r.mirror_npmu r.epoch
+    (if r.mirror_active then "" else " mirror-demoted")

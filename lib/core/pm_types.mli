@@ -24,6 +24,11 @@ type region_info = {
   epoch : int;
       (** volume epoch when the grant was issued; stale-epoch writes are
           fenced by the NPMUs after takeover/resync *)
+  mirror_active : bool;
+      (** [false] while the PMM has demoted a persistently slow (or
+          failed) mirror copy: the client writes single-copy under the
+          degraded-durability contract and skips mirror reads until the
+          resync path re-admits the device *)
 }
 
 val pp_region_info : Format.formatter -> region_info -> unit

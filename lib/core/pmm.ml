@@ -88,6 +88,25 @@ let default_scrub_config =
     scrub_quarantine_after = 3;
   }
 
+type health_config = {
+  probe_interval : Time.span;
+  probe_bytes : int;
+  health_slo : Time.span;
+  health_alpha : float;
+  demote_after : int;
+  readmit_after : int;
+}
+
+let default_health_config =
+  {
+    probe_interval = Time.us 250;
+    probe_bytes = 64;
+    health_slo = Time.us 100;
+    health_alpha = 0.5;
+    demote_after = 2;
+    readmit_after = 8;
+  }
+
 (* --- Metadata representation --- *)
 
 type region = { rname : string; offset : int; length : int; mutable openers : int list }
@@ -180,6 +199,19 @@ type scrub = {
   s_probe : Probe.t option;
 }
 
+(* Mirror-health monitor state: tiny timed RDMA probes of both devices,
+   EWMA-smoothed, driving slow-mirror demotion and re-admission. *)
+type monitor = {
+  m_cfg : health_config;
+  m_cpu : Cpu.t;
+  mutable m_running : bool;
+  mutable m_probes : int;
+  mutable m_prim_ewma : float;
+  mutable m_mirr_ewma : float;
+  mutable m_mirr_breaches : int;  (** consecutive over-budget mirror probes *)
+  mutable m_mirr_healthy : int;  (** consecutive in-budget mirror probes *)
+}
+
 type t = {
   fabric : Servernet.Fabric.t;
   pmm_name : string;
@@ -195,6 +227,12 @@ type t = {
   mutable mgmt_initiators : int list;  (** the PMM pair's own endpoints *)
   mutable recovery_time : Time.span option;
   mutable scrub : scrub option;
+  mutable mirror_active : bool;
+      (** false while a persistently slow mirror is demoted: clients
+          write single-copy under the degraded-durability contract *)
+  mutable demotions : int;
+  mutable readmissions : int;
+  mutable monitor : monitor option;
 }
 
 let slot_offset cfg slot = slot * (cfg.meta_reserve / 2)
@@ -382,6 +420,7 @@ let region_info t r =
     primary_npmu = t.prim_dev.dev_id;
     mirror_npmu = t.mirr_dev.dev_id;
     epoch = (live_exn t).epoch;
+    mirror_active = t.mirror_active;
   }
 
 let epoch t = match t.live with Some m -> m.epoch | None -> 0
@@ -396,6 +435,102 @@ let apply_mutation t meta =
     meta.generation <- meta.generation - 1;
     false
   end
+
+(* Copy every durable byte from one device of the pair onto the other:
+   the metadata reserve plus every allocated extent, in 64 KiB RDMA
+   transfers through the manager's CPU.  Shared by the Resync management
+   request and the health monitor's re-admission path.  On success the
+   rebuilt device gets its AVT windows back, a demoted mirror is
+   re-admitted, and the volume is fenced so clients re-open against the
+   fresh pair. *)
+let do_resync t meta ~from_primary =
+  let src_dev, dst_dev =
+    if from_primary then (t.prim_dev, t.mirr_dev) else (t.mirr_dev, t.prim_dev)
+  in
+  let mark_dst_failed () = if from_primary then t.mirr_ok <- false else t.prim_ok <- false in
+  (* A power cycle entirely inside one chunk transfer is invisible to
+     the RDMA completion (the NIC only checks liveness at initiation),
+     so snapshot the devices' cycle counters and compare after the
+     copy: any blip means the rebuilt image cannot be trusted. *)
+  let cycles () = src_dev.dev_power_cycles () + dst_dev.dev_power_cycles () in
+  let cycles_before = cycles () in
+  let chunk = 64 * 1024 in
+  let copied = ref 0 in
+  let copy_extent ~off ~len =
+    let rec go pos =
+      if pos >= len then Ok ()
+      else
+        let n = min chunk (len - pos) in
+        match
+          Servernet.Fabric.rdma_read t.fabric ~src:(src_endpoint t) ~dst:src_dev.dev_id
+            ~addr:(off + pos) ~len:n
+        with
+        | Error e -> Error (Servernet.Fabric.error_to_string e)
+        | Ok data -> (
+            match
+              Servernet.Fabric.rdma_write t.fabric ~src:(src_endpoint t) ~dst:dst_dev.dev_id
+                ~addr:(off + pos) ~data
+            with
+            | Error e -> Error (Servernet.Fabric.error_to_string e)
+            | Ok () ->
+                copied := !copied + n;
+                go (pos + n))
+    in
+    go 0
+  in
+  let extents =
+    (0, t.cfg.meta_reserve) :: List.map (fun r -> (r.offset, r.length)) meta.regions
+  in
+  let rec copy_all = function
+    | [] -> Ok ()
+    | (off, len) :: rest -> (
+        match copy_extent ~off ~len with Ok () -> copy_all rest | Error e -> Error e)
+  in
+  let result =
+    match copy_all extents with
+    | Error e -> Error e
+    | Ok () when cycles () <> cycles_before -> Error "device power-cycled during copy"
+    | Ok () -> Ok ()
+  in
+  match result with
+  | Ok () ->
+      (* The rebuilt device also needs the AVT windows. *)
+      List.iter (program_window t dst_dev) meta.regions;
+      t.prim_ok <- true;
+      t.mirr_ok <- true;
+      (* A fresh copy also re-admits a demoted (persistently slow)
+         mirror: full-durability mirrored writes resume at the fence. *)
+      if not t.mirror_active then begin
+        t.mirror_active <- true;
+        t.readmissions <- t.readmissions + 1
+      end;
+      (* A rebuilt mirror is a new incarnation of the volume: fence
+         grants issued while it was degraded so clients re-open and
+         resume mirrored writes against the fresh pair. *)
+      bump_epoch t meta;
+      Ok !copied
+  | Error e ->
+      (* The destination holds a half-built image: the volume stays
+         degraded until a clean resync completes. *)
+      mark_dst_failed ();
+      Error e
+
+(* Demote a persistently slow mirror: clients stop writing to (and
+   reading from) it under the explicit degraded-durability contract.
+   The epoch bump fences every outstanding grant, so clients re-open,
+   see [mirror_active = false] in the refreshed region info, and switch
+   to single-copy writes.  Re-admission is a resync. *)
+let demote_mirror t =
+  match t.live with
+  | None -> false
+  | Some meta ->
+      if t.mirror_active then begin
+        t.mirror_active <- false;
+        t.demotions <- t.demotions + 1;
+        bump_epoch t meta;
+        true
+      end
+      else false
 
 let handle_request t req =
   let meta = live_exn t in
@@ -480,75 +615,9 @@ let handle_request t req =
   | List_regions ->
       R_regions (List.map (region_info t) (List.sort (fun a b -> compare a.offset b.offset) meta.regions))
   | Resync { from_primary } -> (
-      let src_dev, dst_dev =
-        if from_primary then (t.prim_dev, t.mirr_dev) else (t.mirr_dev, t.prim_dev)
-      in
-      let mark_dst_failed () =
-        if from_primary then t.mirr_ok <- false else t.prim_ok <- false
-      in
-      (* A power cycle entirely inside one chunk transfer is invisible to
-         the RDMA completion (the NIC only checks liveness at initiation),
-         so snapshot the devices' cycle counters and compare after the
-         copy: any blip means the rebuilt image cannot be trusted. *)
-      let cycles () = src_dev.dev_power_cycles () + dst_dev.dev_power_cycles () in
-      let cycles_before = cycles () in
-      (* Copy the metadata reserve plus every allocated extent, in 64 KiB
-         RDMA transfers through the manager's CPU. *)
-      let chunk = 64 * 1024 in
-      let copied = ref 0 in
-      let copy_extent ~off ~len =
-        let rec go pos =
-          if pos >= len then Ok ()
-          else
-            let n = min chunk (len - pos) in
-            match
-              Servernet.Fabric.rdma_read t.fabric ~src:(src_endpoint t) ~dst:src_dev.dev_id
-                ~addr:(off + pos) ~len:n
-            with
-            | Error e -> Error (Servernet.Fabric.error_to_string e)
-            | Ok data -> (
-                match
-                  Servernet.Fabric.rdma_write t.fabric ~src:(src_endpoint t)
-                    ~dst:dst_dev.dev_id ~addr:(off + pos) ~data
-                with
-                | Error e -> Error (Servernet.Fabric.error_to_string e)
-                | Ok () ->
-                    copied := !copied + n;
-                    go (pos + n))
-        in
-        go 0
-      in
-      let extents =
-        (0, t.cfg.meta_reserve) :: List.map (fun r -> (r.offset, r.length)) meta.regions
-      in
-      let rec copy_all = function
-        | [] -> Ok ()
-        | (off, len) :: rest -> (
-            match copy_extent ~off ~len with Ok () -> copy_all rest | Error e -> Error e)
-      in
-      let result =
-        match copy_all extents with
-        | Error e -> Error e
-        | Ok () when cycles () <> cycles_before ->
-            Error "device power-cycled during copy"
-        | Ok () -> Ok ()
-      in
-      match result with
-      | Ok () ->
-          (* The rebuilt device also needs the AVT windows. *)
-          List.iter (program_window t dst_dev) meta.regions;
-          t.prim_ok <- true;
-          t.mirr_ok <- true;
-          (* A rebuilt mirror is a new incarnation of the volume: fence
-             grants issued while it was degraded so clients re-open and
-             resume mirrored writes against the fresh pair. *)
-          bump_epoch t meta;
-          R_resynced { bytes = !copied }
-      | Error e ->
-          (* The destination holds a half-built image: the volume stays
-             degraded until a clean resync completes. *)
-          mark_dst_failed ();
-          R_error (Pm_types.Bad_request ("resync: " ^ e)))
+      match do_resync t meta ~from_primary with
+      | Ok bytes -> R_resynced { bytes }
+      | Error e -> R_error (Pm_types.Bad_request ("resync: " ^ e)))
   | Chunk_crc { addr } -> (
       match
         List.find_opt (fun r -> addr >= r.offset && addr < r.offset + r.length) meta.regions
@@ -633,6 +702,10 @@ let start ~fabric ~name ~primary_cpu ~backup_cpu ~primary_dev ~mirror_dev
       mgmt_initiators = [ Cpu.endpoint_id primary_cpu; Cpu.endpoint_id backup_cpu ];
       recovery_time = None;
       scrub = None;
+      mirror_active = true;
+      demotions = 0;
+      readmissions = 0;
+      monitor = None;
     }
   in
   claim_metadata_windows t ~primary_cpu ~backup_cpu;
@@ -1019,3 +1092,108 @@ let divergent_chunks ?chunk_bytes t =
           in
           go r.offset [])
         (List.sort (fun a b -> compare a.offset b.offset) meta.regions)
+
+(* --- Mirror-health monitor --- *)
+
+(* Time one tiny RDMA read of the device's metadata window.  [None] when
+   the device did not answer at all (a fail-stop, handled elsewhere —
+   the monitor only tracks fail-slow). *)
+let monitor_probe t m dev =
+  let sim = Cpu.sim m.m_cpu in
+  let t0 = Sim.now sim in
+  match
+    Servernet.Fabric.rdma_read t.fabric ~src:(Cpu.endpoint m.m_cpu) ~dst:dev.dev_id ~addr:0
+      ~len:m.m_cfg.probe_bytes
+  with
+  | Ok _ -> Some (Sim.now sim - t0)
+  | Error _ -> None
+
+let monitor_ewma m prev dt =
+  if prev = 0.0 then float_of_int dt
+  else (m.m_cfg.health_alpha *. float_of_int dt) +. ((1.0 -. m.m_cfg.health_alpha) *. prev)
+
+(* One monitoring round: probe both devices, update the smoothed view,
+   and act on the mirror's trend — demote after [demote_after]
+   consecutive over-budget probes, re-admit (via a full resync) after
+   [readmit_after] consecutive in-budget probes while demoted. *)
+let monitor_round t m =
+  (match monitor_probe t m t.prim_dev with
+  | Some dt -> m.m_prim_ewma <- monitor_ewma m m.m_prim_ewma dt
+  | None -> ());
+  match monitor_probe t m t.mirr_dev with
+  | None -> ()
+  | Some dt ->
+      m.m_probes <- m.m_probes + 1;
+      m.m_mirr_ewma <- monitor_ewma m m.m_mirr_ewma dt;
+      let budget = float_of_int m.m_cfg.health_slo in
+      if m.m_mirr_ewma > budget then begin
+        m.m_mirr_breaches <- m.m_mirr_breaches + 1;
+        m.m_mirr_healthy <- 0
+      end
+      else begin
+        m.m_mirr_healthy <- m.m_mirr_healthy + 1;
+        m.m_mirr_breaches <- 0
+      end;
+      if t.mirror_active then begin
+        if m.m_mirr_breaches >= m.m_cfg.demote_after then ignore (demote_mirror t)
+      end
+      else if m.m_mirr_healthy >= m.m_cfg.readmit_after then
+        match t.live with
+        | None -> ()
+        | Some meta ->
+            (* A failed resync leaves the mirror demoted; the healthy
+               streak keeps growing and the next round retries. *)
+            (match do_resync t meta ~from_primary:true with Ok _ -> () | Error _ -> ())
+
+let start_monitor t ~cpu ?(config = default_health_config) ?metrics () =
+  (match t.monitor with
+  | Some _ -> invalid_arg "Pmm.start_monitor: already running"
+  | None -> ());
+  let m =
+    {
+      m_cfg = config;
+      m_cpu = cpu;
+      m_running = true;
+      m_probes = 0;
+      m_prim_ewma = 0.0;
+      m_mirr_ewma = 0.0;
+      m_mirr_breaches = 0;
+      m_mirr_healthy = 0;
+    }
+  in
+  t.monitor <- Some m;
+  (match metrics with
+  | Some mx ->
+      Metrics.register_gauge mx "pmm.mirror_health" (fun () ->
+          if t.mirror_active then 1.0 else 0.0);
+      Metrics.register_gauge mx "pmm.mirror_ewma_ns" (fun () -> m.m_mirr_ewma);
+      Metrics.register_gauge mx "pmm.primary_ewma_ns" (fun () -> m.m_prim_ewma);
+      Metrics.register_gauge mx "pmm.demotions" (fun () -> float_of_int t.demotions);
+      Metrics.register_gauge mx "pmm.readmissions" (fun () -> float_of_int t.readmissions)
+  | None -> ());
+  ignore
+    (Cpu.spawn cpu ~name:(t.pmm_name ^ "-monitor") (fun () ->
+         (* Wait for the serve loop to adopt metadata: probes read the
+            metadata window, and demotion needs a live table to fence. *)
+         while m.m_running && t.live = None do
+           Sim.sleep (Time.ms 1)
+         done;
+         while m.m_running do
+           monitor_round t m;
+           Sim.sleep m.m_cfg.probe_interval
+         done))
+
+let stop_monitor t = match t.monitor with Some m -> m.m_running <- false | None -> ()
+
+let mirror_active t = t.mirror_active
+
+let demotions t = t.demotions
+
+let readmissions t = t.readmissions
+
+let monitor_probes t = match t.monitor with Some m -> m.m_probes | None -> 0
+
+let monitor_ewma_ns t ~mirror =
+  match t.monitor with
+  | Some m -> if mirror then m.m_mirr_ewma else m.m_prim_ewma
+  | None -> 0.0

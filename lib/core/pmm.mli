@@ -194,3 +194,65 @@ val divergent_chunks : ?chunk_bytes:int -> t -> (int * int) list
     peek-compare every allocated extent across the pair in scrub-chunk
     geometry and return the non-quarantined chunks whose copies differ.
     Empty on a healthy volume — the drill's final integrity gate. *)
+
+(** {2 Mirror-health monitoring and slow-mirror demotion}
+
+    A fail-slow NPMU is worse than a dead one: every mirrored write
+    waits for it.  The monitor is a background process that periodically
+    times a tiny RDMA read of each device's metadata window and keeps an
+    EWMA of the service latency.  When the mirror's EWMA stays over
+    [health_slo] for [demote_after] consecutive probes, the mirror is
+    {e demoted}: [mirror_active] goes false, the volume epoch is bumped
+    (fencing every outstanding grant), and clients that re-open learn
+    from the region info that they must write single-copy — the explicit
+    degraded-durability contract.  When the device recovers and stays
+    within budget for [readmit_after] consecutive probes, the monitor
+    re-admits it through the ordinary resync path: full copy, windows
+    reprogrammed, [mirror_active] true again, epoch bumped so clients
+    resume mirrored writes. *)
+
+type health_config = {
+  probe_interval : Time.span;  (** pause between probe rounds *)
+  probe_bytes : int;  (** size of the timed probe read *)
+  health_slo : Time.span;  (** per-probe latency budget *)
+  health_alpha : float;  (** EWMA weight of the newest sample *)
+  demote_after : int;  (** consecutive over-budget probes before demotion *)
+  readmit_after : int;
+      (** consecutive in-budget probes (while demoted) before resync *)
+}
+
+val default_health_config : health_config
+(** 64-byte probes every 250 us, 100 us budget, alpha 0.5, demote after
+    2 breaches, re-admit after 8 healthy probes. *)
+
+val start_monitor :
+  t -> cpu:Cpu.t -> ?config:health_config -> ?metrics:Metrics.t -> unit -> unit
+(** Start the mirror-health monitor on [cpu] — must be one of the PMM
+    pair's CPUs (the metadata windows admit only those).  With
+    [metrics], exports gauges [pmm.mirror_health] (1 active / 0
+    demoted), [pmm.mirror_ewma_ns], [pmm.primary_ewma_ns],
+    [pmm.demotions] and [pmm.readmissions].  Raises [Invalid_argument]
+    if already running. *)
+
+val stop_monitor : t -> unit
+(** Ask the monitor to stop; it exits at its next wakeup.  Idempotent. *)
+
+val mirror_active : t -> bool
+(** False while the mirror is demoted for being persistently slow. *)
+
+val demotions : t -> int
+(** Slow-mirror demotions performed (cumulative). *)
+
+val readmissions : t -> int
+(** Demoted mirrors re-admitted after a clean resync (cumulative). *)
+
+val monitor_probes : t -> int
+(** Completed mirror probes (0 when no monitor runs). *)
+
+val monitor_ewma_ns : t -> mirror:bool -> float
+(** The monitor's smoothed probe latency for one device, in ns. *)
+
+val demote_mirror : t -> bool
+(** Force the demotion (process context: it persists the fence).  False
+    when already demoted or no metadata is live yet.  The monitor calls
+    this; exposed for tests and drills. *)

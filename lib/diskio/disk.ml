@@ -38,6 +38,8 @@ type t = {
   mutable head_block : int;
   mutable cache_used : int;
   mutable last_destage : Time.t;
+  mutable slow_factor : float;  (** fail-slow service multiplier, >= 1.0 *)
+  mutable slow_jitter : Time.span;  (** max extra seeded delay per request *)
 }
 
 let create sim ?(geometry = default_geometry) ?cache () =
@@ -49,6 +51,8 @@ let create sim ?(geometry = default_geometry) ?cache () =
     head_block = 0;
     cache_used = 0;
     last_destage = Time.zero;
+    slow_factor = 1.0;
+    slow_jitter = 0;
   }
 
 let geometry t = t.geom
@@ -99,26 +103,57 @@ let drain_cache t cfg =
   let drained = int_of_float (float_of_int elapsed *. cfg.destage_bytes_per_ns) in
   t.cache_used <- max 0 (t.cache_used - drained)
 
+(* Gray-failure injection: a degraded drive (retry storms, thermal
+   recalibration) stretches every component of the service time and adds
+   seeded jitter onto the transfer leg.  Healthy disks (factor 1.0, no
+   jitter) never sample the RNG for this. *)
+let slow_parts t p =
+  if t.slow_factor <= 1.0 && t.slow_jitter = 0 then p
+  else
+    let scale x = int_of_float (float_of_int x *. t.slow_factor) in
+    let jitter = if t.slow_jitter > 0 then Rng.uniform_span t.rng t.slow_jitter else 0 in
+    {
+      seek = scale p.seek;
+      rotation = scale p.rotation;
+      transfer = scale p.transfer + jitter;
+      cache_hit = p.cache_hit;
+    }
+
 let service_parts t ~kind ~block ~len =
   let advance () = t.head_block <- block + blocks_of t len in
-  match (kind, t.cache) with
-  | `Read, _ | `Write, None ->
-      let p = mechanical_parts t ~kind ~block ~len in
-      advance ();
-      p
-  | `Write, Some cfg ->
-      drain_cache t cfg;
-      if t.cache_used + len <= cfg.cache_bytes then begin
-        t.cache_used <- t.cache_used + len;
-        { seek = 0; rotation = 0; transfer = cfg.cache_latency; cache_hit = true }
-      end
-      else begin
-        (* Cache full: the write waits for media like an uncached one. *)
+  let parts =
+    match (kind, t.cache) with
+    | `Read, _ | `Write, None ->
         let p = mechanical_parts t ~kind ~block ~len in
         advance ();
         p
-      end
+    | `Write, Some cfg ->
+        drain_cache t cfg;
+        if t.cache_used + len <= cfg.cache_bytes then begin
+          t.cache_used <- t.cache_used + len;
+          { seek = 0; rotation = 0; transfer = cfg.cache_latency; cache_hit = true }
+        end
+        else begin
+          (* Cache full: the write waits for media like an uncached one. *)
+          let p = mechanical_parts t ~kind ~block ~len in
+          advance ();
+          p
+        end
+  in
+  slow_parts t parts
 
 let service t ~kind ~block ~len = parts_total (service_parts t ~kind ~block ~len)
 
 let cache_used t = t.cache_used
+
+let degrade t ~factor ?(jitter = 0) () =
+  if factor < 1.0 then invalid_arg "Disk.degrade: factor >= 1.0";
+  if jitter < 0 then invalid_arg "Disk.degrade: negative jitter";
+  t.slow_factor <- factor;
+  t.slow_jitter <- jitter
+
+let restore_speed t =
+  t.slow_factor <- 1.0;
+  t.slow_jitter <- 0
+
+let slow_factor t = t.slow_factor

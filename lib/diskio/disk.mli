@@ -66,3 +66,20 @@ val service_parts :
 
 val cache_used : t -> int
 (** Current write-cache occupancy in bytes (0 without a cache). *)
+
+(** {1 Fail-slow injection}
+
+    A degraded drive answers late instead of never: retry storms or
+    thermal recalibration stretch every request.  Grayfail drills use
+    this to prove the stack bounds tail latency under slow hardware. *)
+
+val degrade : t -> factor:float -> ?jitter:Time.span -> unit -> unit
+(** Multiply every service-time component by [factor] ([>= 1.0]) and add
+    up to [jitter] seeded extra per request.  Cache hits are stretched
+    too — a sick controller is slow even out of cache. *)
+
+val restore_speed : t -> unit
+(** Back to nominal timing (factor 1.0, no jitter). *)
+
+val slow_factor : t -> float
+(** The multiplier currently in force (1.0 when healthy). *)

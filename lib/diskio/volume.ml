@@ -249,6 +249,12 @@ let set_up t up = t.up <- up
 
 let is_up t = t.up
 
+let degrade t ~factor ?jitter () = Disk.degrade t.disk ~factor ?jitter ()
+
+let restore_speed t = Disk.restore_speed t.disk
+
+let slow_factor t = Disk.slow_factor t.disk
+
 let queue_depth t = Mailbox.length t.queue + List.length t.pending
 
 let completed_ops t = t.ops

@@ -60,6 +60,15 @@ val set_up : t -> bool -> unit
 
 val is_up : t -> bool
 
+val degrade : t -> factor:float -> ?jitter:Time.span -> unit -> unit
+(** Fail-slow injection on the backing disk ({!Disk.degrade}): requests
+    keep completing, [factor]x late plus seeded jitter. *)
+
+val restore_speed : t -> unit
+
+val slow_factor : t -> float
+(** The backing disk's multiplier (1.0 when healthy). *)
+
 val queue_depth : t -> int
 
 (** Cumulative counters. *)

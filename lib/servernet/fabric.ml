@@ -53,6 +53,8 @@ type endpoint = {
   mutable ep_alive : bool;
   mutable nic_free_at : Time.t;
   mutable ep_probe : Probe.t option;
+  mutable ep_slow : float;  (** fail-slow latency multiplier, >= 1.0 *)
+  mutable ep_jitter : Time.span;  (** max extra seeded jitter per transfer *)
 }
 
 type stats = {
@@ -71,6 +73,7 @@ type t = {
   mutable endpoints : endpoint list;
   mutable next_id : int;
   rail_up : bool array;
+  rail_slow : float array;  (** per-rail latency multiplier, >= 1.0 *)
   mutable crc_rate : float;
   mutable st_writes : int;
   mutable st_reads : int;
@@ -93,6 +96,7 @@ let create sim ?(config = default_config) () =
     endpoints = [];
     next_id = 0;
     rail_up = Array.make config.rails true;
+    rail_slow = Array.make config.rails 1.0;
     crc_rate = config.crc_error_rate;
     st_writes = 0;
     st_reads = 0;
@@ -172,6 +176,8 @@ let attach t ~name ~store =
       ep_alive = true;
       nic_free_at = Time.zero;
       ep_probe = None;
+      ep_slow = 1.0;
+      ep_jitter = 0;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -197,6 +203,26 @@ let set_rail t rail up =
   t.rail_up.(rail) <- up
 
 let rail_is_up t rail = t.rail_up.(rail)
+
+let set_endpoint_slow ep ~factor ~jitter =
+  if factor < 1.0 then invalid_arg "Fabric.set_endpoint_slow: factor >= 1.0";
+  if jitter < 0 then invalid_arg "Fabric.set_endpoint_slow: negative jitter";
+  ep.ep_slow <- factor;
+  ep.ep_jitter <- jitter
+
+let clear_endpoint_slow ep =
+  ep.ep_slow <- 1.0;
+  ep.ep_jitter <- 0
+
+let endpoint_slow ep = ep.ep_slow
+
+let set_rail_slow t rail factor =
+  if rail < 0 || rail >= Array.length t.rail_slow then
+    invalid_arg "Fabric.set_rail_slow: bad rail";
+  if factor < 1.0 then invalid_arg "Fabric.set_rail_slow: factor >= 1.0";
+  t.rail_slow.(rail) <- factor
+
+let rail_slow t rail = t.rail_slow.(rail)
 
 let set_crc_error_rate t rate =
   if rate < 0.0 || rate >= 1.0 then invalid_arg "Fabric.set_crc_error_rate: rate in [0,1)";
@@ -256,8 +282,26 @@ let do_transfer t src dst bytes =
         transfer_time t ~bytes
         + (retry_count * (t.cfg.per_packet_overhead + Time.ns 4096))
       in
+      (* Gray-failure injection: a degraded endpoint or rail stretches
+         the whole attempt, plus seeded jitter so tails are noisy rather
+         than a clean multiple.  The healthy path (all factors 1.0, no
+         jitter) never touches the RNG, keeping event streams stable.
+         A fail-slow *far end* stretches only the completion: the
+         initiator's NIC issued the op and is free to pipeline others
+         (hedged reads depend on this), while a slow rail or a slow
+         local NIC holds the initiator for the whole attempt. *)
+      let slow_src = src.ep_slow *. t.rail_slow.(rail) in
+      let slow = slow_src *. dst.ep_slow in
+      let src_hold =
+        if slow_src > 1.0 then int_of_float (float_of_int duration *. slow_src) else duration
+      in
+      let duration =
+        if slow > 1.0 then int_of_float (float_of_int duration *. slow) else duration
+      in
+      let jmax = src.ep_jitter + dst.ep_jitter in
+      let duration = if jmax > 0 then duration + Rng.uniform_span t.rng jmax else duration in
       let finish = start + duration in
-      src.nic_free_at <- finish;
+      src.nic_free_at <- start + src_hold;
       dst.nic_free_at <- finish;
       (* The section ends before the wait: [Sim.wait_until] suspends, and
          a section crossing an event boundary would be discarded. *)

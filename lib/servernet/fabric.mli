@@ -93,6 +93,30 @@ val set_rail : t -> int -> bool -> unit
 
 val rail_is_up : t -> int -> bool
 
+(** {1 Gray-failure (fail-slow) injection}
+
+    A degraded endpoint or rail answers late instead of never: every
+    transfer touching it is stretched by the multiplier, plus uniform
+    seeded jitter so the tail is noisy rather than a clean multiple.
+    Healthy paths (factor 1.0, no jitter) never sample the RNG, so
+    enabling the machinery costs nothing when unused. *)
+
+val set_endpoint_slow : endpoint -> factor:float -> jitter:Time.span -> unit
+(** Degrade an endpoint: transfers to or from it take [factor]x as long
+    ([factor >= 1.0]) plus up to [jitter] extra per transfer. *)
+
+val clear_endpoint_slow : endpoint -> unit
+(** Restore full speed (factor 1.0, no jitter). *)
+
+val endpoint_slow : endpoint -> float
+(** The latency multiplier currently in force (1.0 when healthy). *)
+
+val set_rail_slow : t -> int -> float -> unit
+(** Degrade a rail: every transfer routed over it is stretched by the
+    factor ([>= 1.0]; 1.0 restores full speed). *)
+
+val rail_slow : t -> int -> float
+
 val set_crc_error_rate : t -> float -> unit
 (** Change the per-packet corruption probability at runtime — fault
     plans use this to model a noisy-link window ([Crc_noise_burst]).

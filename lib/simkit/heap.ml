@@ -39,6 +39,23 @@ let push t ~key ~seq value =
     i := p
   done
 
+let sift_down t start =
+  let i = ref start in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.n && less t.a.(l) t.a.(!smallest) then smallest := l;
+    if r < t.n && less t.a.(r) t.a.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.a.(!smallest) in
+      t.a.(!smallest) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := !smallest
+    end
+  done
+
 let pop t =
   if t.n = 0 then None
   else begin
@@ -46,22 +63,7 @@ let pop t =
     t.n <- t.n - 1;
     if t.n > 0 then begin
       t.a.(0) <- t.a.(t.n);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.n && less t.a.(l) t.a.(!smallest) then smallest := l;
-        if r < t.n && less t.a.(r) t.a.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.a.(!smallest) in
-          t.a.(!smallest) <- t.a.(!i);
-          t.a.(!i) <- tmp;
-          i := !smallest
-        end
-      done
+      sift_down t 0
     end;
     Some (top.key, top.seq, top.value)
   end
@@ -69,3 +71,18 @@ let pop t =
 let peek_key t = if t.n = 0 then None else Some t.a.(0).key
 
 let pop_le t ~max = if t.n = 0 || t.a.(0).key > max then None else pop t
+
+let filter t keep =
+  let m = ref 0 in
+  for i = 0 to t.n - 1 do
+    if keep t.a.(i).value then begin
+      t.a.(!m) <- t.a.(i);
+      incr m
+    end
+  done;
+  t.n <- !m;
+  (* Bottom-up heapify; the (key, seq) order of survivors is unchanged,
+     so subsequent pops stay deterministic. *)
+  for i = (t.n / 2) - 1 downto 0 do
+    sift_down t i
+  done

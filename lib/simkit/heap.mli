@@ -23,3 +23,9 @@ val pop_le : 'a t -> max:int -> (int * int * 'a) option
 (** Like {!pop}, but leaves the heap untouched and returns [None] when
     the minimum key exceeds [max].  Lets a bounded event loop pop in one
     heap access instead of a peek-then-pop pair. *)
+
+val filter : 'a t -> ('a -> bool) -> unit
+(** Drop every element whose value fails the predicate and re-heapify
+    in place (O(n)).  Survivors keep their [(key, seq)] pairs, so pop
+    order among them is unchanged — used to compact lazily-cancelled
+    timer events without disturbing determinism. *)

@@ -35,9 +35,16 @@ let recv_timeout t span =
     | None ->
         if Sim.now sim >= deadline then None
         else begin
+          let cancel = ref ignore in
+          let me = ref ignore in
           Sim.suspend (fun waker ->
+              me := waker;
               t.waiters <- waker :: t.waiters;
-              Sim.at_time sim ~time:deadline waker);
+              cancel := Sim.at_time_cancel sim ~time:deadline waker);
+          (* Whichever side woke us, retire the other: drop the deadline
+             event from the heap and our spent waker from the list. *)
+          !cancel ();
+          t.waiters <- List.filter (fun w -> w != !me) t.waiters;
           loop ()
         end
   in

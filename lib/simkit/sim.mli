@@ -33,6 +33,14 @@ val at : t -> after:Time.span -> (unit -> unit) -> unit
 
 val at_time : t -> time:Time.t -> (unit -> unit) -> unit
 
+val at_time_cancel : t -> time:Time.t -> (unit -> unit) -> unit -> unit
+(** Like {!at_time}, but returns a cancel thunk.  Cancelling an event
+    that already fired (or was already cancelled) is a no-op.  Cancelled
+    entries are deleted lazily; once they dominate the heap a compaction
+    sweep drops them, so heavy timeout use cannot bloat the event queue.
+    This is the primitive under {!Ivar.read_timeout} and
+    {!Mailbox.recv_timeout}. *)
+
 (** {1 Processes} *)
 
 val spawn : t -> name:string -> (unit -> unit) -> pid
@@ -69,7 +77,11 @@ val stop : t -> unit
 val live_processes : t -> int
 
 val queue_depth : t -> int
-(** Number of pending events in the queue. *)
+(** Number of live (non-cancelled) pending events in the queue. *)
+
+val heap_size : t -> int
+(** Physical size of the event heap, including cancelled entries not
+    yet compacted away — for diagnostics and regression tests. *)
 
 (** {1 Dispatch hooks}
 

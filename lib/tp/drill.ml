@@ -199,8 +199,69 @@ let corruption_crash_decay =
     (1, corruption_trail_base 1 + (300 * 1024), 24);
   ]
 
+(* --- Gray-failure drill: fail-slow hardware, defended --- *)
+
+(* Small regions keep the re-admission resync in the low hundreds of
+   milliseconds, so a demoted mirror provably comes back inside the
+   drill's settle window. *)
+let gray_region_bytes = 2 * 1024 * 1024
+
+let gray_config =
+  {
+    System.pm_config with
+    System.pm_region_bytes = gray_region_bytes;
+    pm_health = Some Pm.Pmm.default_health_config;
+    pm_slo_budget = Time.us 150;
+    pm_hedged_reads = true;
+    pm_adaptive_backoff = true;
+  }
+
+(* The negative control: same faults, no monitor, no client health
+   tracking, no hedging, fixed backoff.  Every mirrored write waits for
+   the slow device until the plan itself restores it. *)
+let gray_no_defense_config =
+  {
+    gray_config with
+    System.pm_health = None;
+    pm_slo_budget = 0;
+    pm_hedged_reads = false;
+    pm_adaptive_backoff = false;
+  }
+
+(* Enough commits that the detection window's handful of slow commits
+   sits below the p99 index: 2 drivers x 300 txns = 600 samples, so p99
+   tolerates ~6 outliers.  The defended run eats 2-4 slow commits before
+   demotion; the undefended run eats every commit from the degradation
+   to the restore.  Rows are small so the whole load (4800 rows) fits
+   the 2 MiB trail rings without wrapping — a wrapped ring sheds old
+   records and the durability audit would blame the gray defenses for
+   rows the ring geometry lost. *)
+let gray_params =
+  { default_params with records_per_driver = 2_400; record_bytes = 1_024 }
+
+(* Stage the degradations while the load runs hot: the mirror NPMU goes
+   fail-slow first (the mode mirrored writes are most exposed to), then
+   a congested rail and a dragging data spindle pile on, then everything
+   is restored so the drill can also prove re-admission.
+
+   The mirror factor must dwarf the commit interval: group commit
+   pipelines trail flushes behind the CPU-bound insert path, so a
+   mirror that is "only" ~10x slower hides in that shadow.  At 200x a
+   mirrored append takes ~100 ms per transaction — nothing can hide it — and the 780 ms
+   exposure window leaves an undefended run with far more than 1% of
+   its commits stalled, so the p99 gate provably separates the two. *)
+let gray_plan =
+  Faultplan.
+    [
+      at (Time.ms 20)
+        (Slow_device { device = 1; factor = 200.0; jitter = Time.us 200 });
+      at (Time.ms 200) (Slow_rail { rail = 0; factor = 2.0 });
+      at (Time.ms 300) (Slow_disk { volume = 0; factor = 3.0; jitter = Time.us 100 });
+      at (Time.ms 800) Restore_speed;
+    ]
+
 let plan_names = function
-  | System.Pm_audit -> [ "standard"; "kills"; "corruption"; "none" ]
+  | System.Pm_audit -> [ "standard"; "kills"; "corruption"; "grayfail"; "none" ]
   | System.Disk_audit -> [ "standard"; "kills"; "none" ]
 
 let cluster_plan_names = [ "partition"; "none" ]
@@ -291,7 +352,7 @@ let availability_of system =
   }
 
 let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
-    ?(params = default_params) ?(crash_decay = []) ~mode ~plan () =
+    ?(params = default_params) ?(crash_decay = []) ?inspect ~mode ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run: need at least one driver";
   (match (sample_interval, obs) with
   | Some _, None -> invalid_arg "Drill.run: sample_interval requires obs"
@@ -305,11 +366,16 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
   let (_ : Sim.pid) =
     Sim.spawn sim ~name:"drill-main" (fun () ->
         let system = System.build ?obs sim cfg in
-        (* The scrubber (started by [System.build] when the config asks
-           for one) sleeps forever between passes; every exit from this
-           process must stop it or the simulation never quiesces. *)
+        (* The scrubber and mirror-health monitor (started by
+           [System.build] when the config asks for them) sleep forever
+           between passes; every exit from this process must stop them
+           or the simulation never quiesces. *)
         let stop_scrub () =
-          match System.pmm system with Some p -> Pm.Pmm.stop_scrubber p | None -> ()
+          match System.pmm system with
+          | Some p ->
+              Pm.Pmm.stop_scrubber p;
+              Pm.Pmm.stop_monitor p
+          | None -> ()
         in
         match Faultplan.validate system plan with
         | Error e ->
@@ -418,6 +484,7 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
                             List.length (Pm.Pmm.divergent_chunks pmm);
                         }
                 in
+                (match inspect with Some f -> f system | None -> ());
                 out :=
                   Ok
                     {
@@ -455,6 +522,92 @@ let run_corruption ?seed ?obs ?sample_interval ?(params = default_params)
   in
   run ?seed ~config ?obs ?sample_interval ~params ~crash_decay:corruption_crash_decay
     ~mode:System.Pm_audit ~plan:corruption_plan ()
+
+(* --- Gray-failure drill --- *)
+
+type gray_report = {
+  g_seed : int64;
+  g_defended : bool;
+  g_healthy : report;
+  g_degraded : report;
+  g_p99_ratio : float;
+  g_p99_limit : float;
+  g_demotions : int;
+  g_readmissions : int;
+  g_mirror_active : bool;
+  g_monitor_probes : int;
+  g_slow_suspects : int;
+  g_hedged_reads : int;
+  g_hedge_wins : int;
+  g_single_copy_writes : int;
+}
+
+let gray_pass r =
+  zero_loss r.g_healthy && zero_loss r.g_degraded
+  && r.g_p99_ratio <= r.g_p99_limit
+  && (not r.g_defended
+     || r.g_demotions >= 1
+        && r.g_readmissions >= 1
+        && r.g_mirror_active
+        && r.g_slow_suspects >= 1)
+
+let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
+    ?(defenses = true) ?(p99_limit = 8.0) () =
+  let config = if defenses then gray_config else gray_no_defense_config in
+  (* Healthy baseline: identical platform, identical seed, no faults.
+     Its p99 is the denominator of the latency gate. *)
+  match run ~seed ~config ~params ~mode:System.Pm_audit ~plan:[] () with
+  | Error e -> Error ("gray baseline: " ^ e)
+  | Ok healthy -> (
+      let demotions = ref 0 in
+      let readmissions = ref 0 in
+      let mirror_active = ref true in
+      let probes = ref 0 in
+      let suspects = ref 0 in
+      let hedged = ref 0 in
+      let hedge_wins = ref 0 in
+      let single_copy = ref 0 in
+      let inspect system =
+        (match System.pmm system with
+        | Some pmm ->
+            demotions := Pm.Pmm.demotions pmm;
+            readmissions := Pm.Pmm.readmissions pmm;
+            mirror_active := Pm.Pmm.mirror_active pmm;
+            probes := Pm.Pmm.monitor_probes pmm
+        | None -> ());
+        suspects := System.pm_slow_suspects system;
+        hedged := System.pm_hedged_reads system;
+        hedge_wins := System.pm_hedge_wins system;
+        single_copy := System.pm_single_copy_writes system
+      in
+      match
+        run ~seed ~config ?obs ?sample_interval ~params ~inspect ~mode:System.Pm_audit
+          ~plan:gray_plan ()
+      with
+      | Error e -> Error ("gray degraded: " ^ e)
+      | Ok degraded ->
+          let ratio =
+            if healthy.response.Stat.p99 > 0.0 then
+              degraded.response.Stat.p99 /. healthy.response.Stat.p99
+            else infinity
+          in
+          Ok
+            {
+              g_seed = seed;
+              g_defended = defenses;
+              g_healthy = healthy;
+              g_degraded = degraded;
+              g_p99_ratio = ratio;
+              g_p99_limit = p99_limit;
+              g_demotions = !demotions;
+              g_readmissions = !readmissions;
+              g_mirror_active = !mirror_active;
+              g_monitor_probes = !probes;
+              g_slow_suspects = !suspects;
+              g_hedged_reads = !hedged;
+              g_hedge_wins = !hedge_wins;
+              g_single_copy_writes = !single_copy;
+            })
 
 (* --- Cluster partition drill --- *)
 

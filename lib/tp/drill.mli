@@ -126,6 +126,27 @@ val corruption_plan : Faultplan.t
     Offsets assume {!default_params}-scale load under
     {!corruption_config}. *)
 
+val gray_config : System.config
+(** {!System.pm_config} armed for the gray-failure drill: 2 MiB trail
+    regions, the PMM mirror-health monitor, client latency-health
+    tracking (150 us SLO budget), hedged reads, and adaptive data-path
+    backoff. *)
+
+val gray_no_defense_config : System.config
+(** {!gray_config} with every fail-slow defense off — the negative
+    control platform. *)
+
+val gray_params : params
+(** {!default_params} scaled to 600 commits, so the detection window's
+    slow commits stay below the p99 index in a defended run. *)
+
+val gray_plan : Faultplan.t
+(** The staged fail-slow schedule: the mirror NPMU degrades 200x
+    mid-load, then a rail congests 2x and a data spindle drags 3x, then
+    everything restores — so one run proves detection, demotion, bounded
+    latency, and re-admission.  Offsets assume {!gray_params}-scale load
+    under {!gray_config}. *)
+
 val plan_names : System.log_mode -> string list
 (** The fault-schedule names [odsbench drill --plan] accepts for a
     mode, canonical first. *)
@@ -140,6 +161,7 @@ val run :
   ?sample_interval:Time.span ->
   ?params:params ->
   ?crash_decay:(int * int * int) list ->
+  ?inspect:(System.t -> unit) ->
   mode:System.log_mode ->
   plan:Faultplan.t ->
   unit ->
@@ -152,7 +174,9 @@ val run :
     [(device, off, bits)] flips bits on that NPMU at the crash itself —
     after the scrubber is stopped, before recovery — so only a verified
     read can catch it; entries with out-of-range device indices are
-    ignored. *)
+    ignored.  [inspect] runs against the live system after recovery
+    succeeds, before the simulation is torn down — the hook gray drills
+    use to harvest counters the report does not carry. *)
 
 val run_corruption :
   ?seed:int64 ->
@@ -170,6 +194,48 @@ val run_corruption :
     scrubber and verified reads disabled, which loses rows and leaves
     divergence behind — evidence the injection is real, and what silent
     corruption costs without the defenses. *)
+
+(** Result of a gray-failure drill: the healthy-baseline and degraded
+    runs side by side, plus the demotion/re-admission evidence. *)
+type gray_report = {
+  g_seed : int64;
+  g_defended : bool;
+  g_healthy : report;  (** same platform and seed, empty fault plan *)
+  g_degraded : report;  (** under {!gray_plan} *)
+  g_p99_ratio : float;  (** degraded p99 commit latency / healthy p99 *)
+  g_p99_limit : float;  (** the gate the ratio is judged against *)
+  g_demotions : int;  (** slow-mirror demotions the PMM performed *)
+  g_readmissions : int;  (** demoted mirrors resynced back in *)
+  g_mirror_active : bool;  (** mirror re-admitted by the end *)
+  g_monitor_probes : int;
+  g_slow_suspects : int;  (** client-side SLO-breach transitions *)
+  g_hedged_reads : int;
+  g_hedge_wins : int;
+  g_single_copy_writes : int;
+      (** writes under the degraded-durability contract *)
+}
+
+val gray_pass : gray_report -> bool
+(** The acceptance gate: zero acked-but-lost rows in both runs and the
+    p99 ratio within [g_p99_limit]; a defended run must additionally
+    show at least one demotion, one re-admission, the mirror active
+    again, and at least one client-side slow-suspect transition.  An
+    undefended run fails the ratio gate — the negative control. *)
+
+val run_gray :
+  ?seed:int64 ->
+  ?obs:Obs.t ->
+  ?sample_interval:Time.span ->
+  ?params:params ->
+  ?defenses:bool ->
+  ?p99_limit:float ->
+  unit ->
+  (gray_report, string) result
+(** The end-to-end gray-failure drill: a healthy baseline run (same
+    seed, no faults), then {!gray_plan} under {!gray_config} — or
+    {!gray_no_defense_config} with [~defenses:false], the negative
+    control whose commit p99 collapses to the slow mirror's latency.
+    [obs] / [sample_interval] instrument the degraded run only. *)
 
 (** Result of a cluster drill: the per-node durability audit plus the
     partition-specific invariants. *)

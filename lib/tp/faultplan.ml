@@ -15,6 +15,10 @@ type action =
   | Wan_partition
   | Wan_heal
   | Fence_check
+  | Slow_device of { device : int; factor : float; jitter : Time.span }
+  | Slow_rail of { rail : int; factor : float }
+  | Slow_disk of { volume : int; factor : float; jitter : Time.span }
+  | Restore_speed
 
 type event = { after : Time.span; action : action }
 
@@ -37,6 +41,10 @@ let action_name = function
   | Wan_partition -> "wan_partition"
   | Wan_heal -> "wan_heal"
   | Fence_check -> "fence_check"
+  | Slow_device _ -> "slow_device"
+  | Slow_rail _ -> "slow_rail"
+  | Slow_disk _ -> "slow_disk"
+  | Restore_speed -> "restore_speed"
 
 let describe = function
   | Kill_primary (Adp i) -> Printf.sprintf "kill ADP %d primary" i
@@ -56,6 +64,14 @@ let describe = function
   | Wan_partition -> "sever the inter-node link"
   | Wan_heal -> "heal the inter-node link"
   | Fence_check -> "verify the volume epoch fence is armed"
+  | Slow_device { device; factor; jitter } ->
+      Printf.sprintf "degrade NPMU %d to %.1fx (jitter %s)" device factor
+        (Time.to_string jitter)
+  | Slow_rail { rail; factor } -> Printf.sprintf "slow rail %d to %.1fx" rail factor
+  | Slow_disk { volume; factor; jitter } ->
+      Printf.sprintf "degrade data volume %d to %.1fx (jitter %s)" volume factor
+        (Time.to_string jitter)
+  | Restore_speed -> "restore every degraded component to full speed"
 
 let validate_scoped ~clustered system plan =
   let cfg = System.config system in
@@ -100,6 +116,23 @@ let validate_scoped ~clustered system plan =
     | (Wan_partition | Wan_heal) when not clustered ->
         reject "%s requires a cluster-scoped plan" (action_name ev.action)
     | Fence_check when not pm_mode -> pm_only "fence_check"
+    | Slow_device _ when not pm_mode -> pm_only "slow_device"
+    | Slow_device { device; _ } when device < 0 || device >= n_devices ->
+        reject "slow_device: device %d out of range (have %d)" device n_devices
+    | Slow_device { factor; _ } when factor < 1.0 ->
+        reject "slow_device: factor %.2f below 1.0" factor
+    | Slow_device { jitter; _ } when jitter < 0 -> reject "slow_device: negative jitter"
+    | Slow_rail { rail; _ } when rail < 0 || rail >= rails ->
+        reject "slow_rail: rail %d out of range (have %d)" rail rails
+    | Slow_rail { factor; _ } when factor < 1.0 ->
+        reject "slow_rail: factor %.2f below 1.0" factor
+    | Slow_disk { volume; _ }
+      when volume < 0 || volume >= Array.length (System.data_volumes system) ->
+        reject "slow_disk: volume %d out of range (have %d)" volume
+          (Array.length (System.data_volumes system))
+    | Slow_disk { factor; _ } when factor < 1.0 ->
+        reject "slow_disk: factor %.2f below 1.0" factor
+    | Slow_disk { jitter; _ } when jitter < 0 -> reject "slow_disk: negative jitter"
     | _ when ev.after < 0 -> reject "event offset must be non-negative"
     | _ -> Ok ()
   in
@@ -207,6 +240,25 @@ let inject run action =
       in
       Span.annotate sp ~key:"result" detail;
       record run ~detail action
+  | Slow_device { device; factor; jitter } ->
+      let d = List.nth (System.npmus system) device in
+      Pm.Npmu.degrade d ~factor ~jitter ();
+      record run action
+  | Slow_rail { rail; factor } ->
+      Servernet.Fabric.set_rail_slow (Node.fabric (System.node system)) rail factor;
+      record run action
+  | Slow_disk { volume; factor; jitter } ->
+      Diskio.Volume.degrade (System.data_volumes system).(volume) ~factor ~jitter ();
+      record run action
+  | Restore_speed ->
+      List.iter Pm.Npmu.restore_speed (System.npmus system);
+      let fabric = Node.fabric (System.node system) in
+      let rails = (Servernet.Fabric.config fabric).rails in
+      for r = 0 to rails - 1 do
+        Servernet.Fabric.set_rail_slow fabric r 1.0
+      done;
+      Array.iter Diskio.Volume.restore_speed (System.data_volumes system);
+      record run action
   | Wan_partition ->
       (match run.r_cluster with Some c -> Cluster.partition c | None -> ());
       record run action

@@ -57,6 +57,23 @@ type action =
       (** Run {!System.fence_check}: probe that a stale-epoch write is
           rejected.  Pass/fail lands in the injection log and the run's
           {!fence_checks} / {!fence_failures} counters.  PM mode only. *)
+  | Slow_device of { device : int; factor : float; jitter : Time.span }
+      (** Gray failure: multiply NPMU [device]'s fabric service latency
+          by [factor] (≥ 1) and add uniform jitter in [0, jitter] per
+          transfer — {!Pm.Npmu.degrade}.  The device keeps answering
+          correctly; it is merely slow, the fail-slow mode mirrored
+          writes are most exposed to.  PM mode only. *)
+  | Slow_rail of { rail : int; factor : float }
+      (** Multiply the service latency of every transfer routed over
+          fabric rail [rail] by [factor] (≥ 1) — a congested or
+          renegotiated-down link. *)
+  | Slow_disk of { volume : int; factor : float; jitter : Time.span }
+      (** Multiply data volume [volume]'s mechanical service times by
+          [factor] (≥ 1) with uniform extra jitter in [0, jitter] —
+          {!Diskio.Volume.degrade}. *)
+  | Restore_speed
+      (** Lift every fail-slow injection at once: all NPMUs, all rails
+          and all data volumes return to full speed. *)
 
 type event = { after : Time.span; action : action }
 (** [after] is the offset from {!launch}, not an absolute time. *)

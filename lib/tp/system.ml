@@ -19,6 +19,10 @@ type config = {
   pm_mirrored : bool;
   pm_verified_reads : bool;
   pm_scrub : Pm.Pmm.scrub_config option;
+  pm_health : Pm.Pmm.health_config option;
+  pm_slo_budget : Time.span;
+  pm_hedged_reads : bool;
+  pm_adaptive_backoff : bool;
   txn_state_in_pm : bool;
   fabric : Servernet.Fabric.config;
   adp : Adp.config;
@@ -41,6 +45,10 @@ let default_config =
     pm_mirrored = true;
     pm_verified_reads = false;
     pm_scrub = None;
+    pm_health = None;
+    pm_slo_budget = 0;
+    pm_hedged_reads = false;
+    pm_adaptive_backoff = false;
     txn_state_in_pm = false;
     fabric = Servernet.Fabric.default_config;
     adp = Adp.default_config;
@@ -85,6 +93,9 @@ let make_pm_client ?obs cfg node fabric pmm ~cpu =
       mirrored_writes = cfg.pm_mirrored;
       write_penalty = cfg.pm_write_penalty;
       verified_reads = cfg.pm_verified_reads;
+      slo_budget = cfg.pm_slo_budget;
+      hedged_reads = cfg.pm_hedged_reads;
+      adaptive_backoff = cfg.pm_adaptive_backoff;
     }
   in
   ignore node;
@@ -120,6 +131,14 @@ let build_pm ?obs cfg sim node =
   (match cfg.pm_scrub with
   | Some scrub_cfg ->
       Pm.Pmm.start_scrubber pmm ~cpu:(Node.cpu node 0) ~config:scrub_cfg
+        ?metrics:(Option.map Obs.metrics obs) ()
+  | None -> ());
+  (* The mirror-health monitor probes from the backup CPU: its endpoint
+     is already admitted to the metadata windows, and it keeps probing
+     through a primary takeover. *)
+  (match cfg.pm_health with
+  | Some health_cfg ->
+      Pm.Pmm.start_monitor pmm ~cpu:(Node.cpu node 1) ~config:health_cfg
         ?metrics:(Option.map Obs.metrics obs) ()
   | None -> ());
   (pmm, devices)
@@ -355,6 +374,21 @@ let pm_read_repairs t =
 
 let pm_verify_unrepaired t =
   List.fold_left (fun acc c -> acc + Pm.Pm_client.verify_unrepaired c) 0 (pm_clients t)
+
+let pm_slow_suspects t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.slow_suspects c) 0 (pm_clients t)
+
+let pm_hedged_reads t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.hedged_reads_fired c) 0 (pm_clients t)
+
+let pm_hedge_wins t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.hedge_wins c) 0 (pm_clients t)
+
+let pm_single_copy_writes t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.single_copy_writes c) 0 (pm_clients t)
+
+let pm_mgmt_retry_exhausted t =
+  List.fold_left (fun acc c -> acc + Pm.Pm_client.mgmt_retry_exhausted c) 0 (pm_clients t)
 
 (* Probe the epoch fence: a write stamped one epoch behind the volume
    must bounce off the NPMU's AVT with [Stale_epoch].  The probe uses a

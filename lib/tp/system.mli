@@ -36,6 +36,18 @@ type config = {
       (** run the PMM's background scrubber with this configuration
           ([None] — the default — leaves it off; whoever turns it on
           owns stopping it: {!Pm.Pmm.stop_scrubber}) *)
+  pm_health : Pm.Pmm.health_config option;
+      (** run the PMM's mirror-health monitor (slow-mirror demotion and
+          re-admission) with this configuration ([None] — the default —
+          leaves it off; whoever turns it on owns stopping it:
+          {!Pm.Pmm.stop_monitor}) *)
+  pm_slo_budget : Time.span;
+      (** per-op latency budget of the PM clients' own health tracking;
+          0 (the default) disables it *)
+  pm_hedged_reads : bool;
+      (** PM clients hedge slow plain reads with the mirror copy *)
+  pm_adaptive_backoff : bool;
+      (** PM clients scale data-path retry backoff to observed latency *)
   txn_state_in_pm : bool;  (** fine-grained txn table (PM mode only) *)
   fabric : Servernet.Fabric.config;
   adp : Adp.config;
@@ -116,6 +128,23 @@ val pm_read_repairs : t -> int
 val pm_verify_unrepaired : t -> int
 (** Divergent chunks verified reads could not arbitrate, across all
     clients. *)
+
+val pm_slow_suspects : t -> int
+(** Healthy-to-suspect latency transitions observed by PM clients. *)
+
+val pm_hedged_reads : t -> int
+(** Plain reads whose hedge timer fired the mirror copy, across all
+    clients. *)
+
+val pm_hedge_wins : t -> int
+(** Hedged reads the mirror answered first, across all clients. *)
+
+val pm_single_copy_writes : t -> int
+(** Writes persisted primary-only under the degraded-durability
+    contract (mirror demoted), across all clients. *)
+
+val pm_mgmt_retry_exhausted : t -> int
+(** Management calls that ran out of retries, across all clients. *)
 
 val fence_check : t -> (unit, string) result
 (** Verify the epoch fence is armed: issue a write stamped one epoch
