@@ -487,6 +487,8 @@ let drill_json (r : Tp.Drill.report) =
         | Some ts ->
             Json.Obj
               [
+                ("samples", Json.Int (Timeseries.sample_count ts));
+                ("evicted", Json.Int (Timeseries.evicted ts));
                 ("series", Timeseries.json ts);
                 ("bottlenecks", Timeseries.attribution_json ts);
               ]
@@ -496,8 +498,9 @@ let drill_json (r : Tp.Drill.report) =
 (* Event-aligned availability overlay: the sampled commit/failure gauges
    interleaved, in time order, with the fault injections as marks. *)
 let drill_overlay (ts : Timeseries.t) =
-  Printf.printf "availability overlay (sampled every %s):\n"
-    (Time.to_string (Timeseries.interval ts));
+  Printf.printf "availability overlay (sampled every %s, %d samples, %d evicted):\n"
+    (Time.to_string (Timeseries.interval ts))
+    (Timeseries.sample_count ts) (Timeseries.evicted ts);
   Printf.printf "%12s %10s %8s\n" "t(ms)" "committed" "failed";
   let value s key =
     match List.assoc_opt key s.Timeseries.s_values with Some v -> v | None -> 0.0
@@ -731,7 +734,7 @@ let drill_fail json e =
   prerr_endline ("odsbench drill: " ^ e);
   exit 1
 
-let cluster_drill plan_name drivers seed interval_ms json =
+let cluster_drill plan_name drivers seed interval_ms flight json =
   if interval_ms > 0 then begin
     prerr_endline "odsbench drill: --interval-ms is not supported in cluster mode";
     exit 2
@@ -746,7 +749,7 @@ let cluster_drill plan_name drivers seed interval_ms json =
         exit 2
   in
   let params = { Tp.Drill.cluster_params with Tp.Drill.drivers } in
-  match Tp.Drill.run_cluster ~seed:(Int64.of_int seed) ~params ~plan () with
+  match Tp.Drill.run_cluster ~seed:(Int64.of_int seed) ~params ?flight ~plan () with
   | Error e -> drill_fail json e
   | Ok r ->
       if json then print_endline (Json.to_string (cluster_drill_json r))
@@ -760,8 +763,8 @@ let cluster_drill plan_name drivers seed interval_ms json =
         exit 1
       end
 
-let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_defenses
-    json =
+let drill mode plan_name drivers boxcar records seed interval_ms flight list_plans
+    no_defenses json =
   if list_plans then
     let names =
       match mode with
@@ -770,7 +773,8 @@ let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_d
       | _ -> Tp.Drill.plan_names Tp.System.Pm_audit
     in
     List.iter print_endline names
-  else if mode = "cluster" then cluster_drill plan_name drivers seed interval_ms json
+  else if mode = "cluster" then
+    cluster_drill plan_name drivers seed interval_ms flight json
   else begin
     let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
     if no_defenses && plan_name <> "corruption" && plan_name <> "grayfail" then begin
@@ -802,7 +806,7 @@ let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_d
       let params = { Tp.Drill.gray_params with Tp.Drill.drivers } in
       match
         Tp.Drill.run_gray ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params
-          ~defenses:(not no_defenses) ()
+          ~defenses:(not no_defenses) ?flight ()
       with
       | Error e -> drill_fail json e
       | Ok g ->
@@ -828,7 +832,7 @@ let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_d
       end;
       match
         Tp.Drill.run_corruption ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params
-          ~defenses:(not no_defenses) ()
+          ~defenses:(not no_defenses) ?flight ()
       with
       | Error e -> drill_fail json e
       | Ok r ->
@@ -865,7 +869,8 @@ let drill mode plan_name drivers boxcar records seed interval_ms list_plans no_d
             exit 2
       in
       match
-        Tp.Drill.run ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params ~mode ~plan ()
+        Tp.Drill.run ~seed:(Int64.of_int seed) ?obs ?sample_interval ~params ?flight ~mode
+          ~plan ()
       with
       | Error e -> drill_fail json e
       | Ok r ->
@@ -939,6 +944,16 @@ let drill_cmd =
             "Record a telemetry timeline on this cadence and print the event-aligned \
              availability overlay (0 disables sampling).")
   in
+  let flight =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Arm the failure flight recorder: keep a bounded ring of the most recent \
+             commit-path spans plus every fault-injection mark, and dump it to $(docv) \
+             as JSON automatically if the drill's gate fails — the last moments before \
+             the failure, already collected.")
+  in
   Cmd.v
     (Cmd.info "drill"
        ~doc:
@@ -946,7 +961,7 @@ let drill_cmd =
           acknowledged commit was lost")
     Term.(
       const drill $ mode $ plan $ drivers $ boxcar $ records_arg 400 $ seed $ interval_ms
-      $ list_plans $ no_defenses $ json_arg)
+      $ flight $ list_plans $ no_defenses $ json_arg)
 
 (* --- timeline: continuous telemetry + bottleneck attribution --- *)
 
@@ -1074,6 +1089,154 @@ let timeline_cmd =
     Term.(
       const timeline $ mode $ device $ drivers $ boxcar $ records_arg 2_000 $ interval_ms
       $ csv $ json_arg)
+
+(* --- critpath: causal tracing + critical-path attribution --- *)
+
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let critpath_mode_json (r : Causal.mode_run) =
+  Json.Obj
+    [
+      ("mode", Json.String (mode_to_string r.Causal.cp_mode));
+      ("committed", Json.Int r.Causal.cp_committed);
+      ("elapsed_s", Json.Float (Time.to_sec r.Causal.cp_elapsed));
+      ("critpath", Critpath.to_json r.Causal.cp);
+    ]
+
+let critpath_mode_text (r : Causal.mode_run) =
+  Printf.printf
+    "critpath: mode=%s — causal commit tracing, critical-path attribution\n"
+    (mode_to_string r.Causal.cp_mode);
+  hr ();
+  Printf.printf "committed    %d txns in %.3f s\n" r.Causal.cp_committed
+    (Time.to_sec r.Causal.cp_elapsed);
+  Format.printf "%a@?" Critpath.pp r.Causal.cp;
+  hr ()
+
+let critpath_cluster_json (r : Causal.cluster_run) =
+  Json.Obj
+    [
+      ("mode", Json.String "cluster");
+      ("nodes", Json.Int r.Causal.cl_nodes);
+      ("committed", Json.Int r.Causal.cl_committed);
+      ("failed_txns", Json.Int r.Causal.cl_failed);
+      ("elapsed_s", Json.Float (Time.to_sec r.Causal.cl_elapsed));
+      ("critpath", Critpath.to_json r.Causal.cl_cp);
+    ]
+
+let critpath_cluster_text (r : Causal.cluster_run) =
+  Printf.printf
+    "critpath: mode=cluster nodes=%d — cross-node 2PC commit tracing\n"
+    r.Causal.cl_nodes;
+  hr ();
+  Printf.printf "committed    %d txns (%d failed) in %.3f s\n" r.Causal.cl_committed
+    r.Causal.cl_failed
+    (Time.to_sec r.Causal.cl_elapsed);
+  Format.printf "%a@?" Critpath.pp r.Causal.cl_cp;
+  hr ()
+
+let critpath mode_str drivers boxcar records nodes txns seed chrome json =
+  let chrome_path m =
+    match chrome with
+    | None -> None
+    | Some path -> Some (if mode_str = "both" then mode_csv_path path m else path)
+  in
+  let dump_chrome path_opt doc_opt =
+    match (path_opt, doc_opt) with
+    | Some p, Some doc ->
+        write_text_file p doc;
+        if not json then Printf.printf "wrote %s\n" p
+    | _ -> ()
+  in
+  let run_one mode =
+    let r =
+      Causal.run_mode ~seed:(Int64.of_int seed) ~drivers ~inserts_per_txn:boxcar
+        ~records_per_driver:records ~chrome:(chrome <> None) ~mode ()
+    in
+    dump_chrome (chrome_path (mode_to_string mode)) r.Causal.cp_chrome;
+    r
+  in
+  match mode_str with
+  | "cluster" ->
+      let r =
+        Causal.run_cluster ~seed:(Int64.of_int seed) ~nodes ~drivers ~txns_per_driver:txns
+          ~inserts_per_txn:boxcar ~chrome:(chrome <> None) ()
+      in
+      dump_chrome chrome r.Causal.cl_chrome;
+      if json then print_endline (Json.to_string (critpath_cluster_json r))
+      else critpath_cluster_text r
+  | "disk" | "pm" ->
+      let r = run_one (parse_mode mode_str) in
+      if json then print_endline (Json.to_string (critpath_mode_json r))
+      else critpath_mode_text r
+  | "both" ->
+      let d = run_one Tp.System.Disk_audit in
+      let p = run_one Tp.System.Pm_audit in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj [ ("disk", critpath_mode_json d); ("pm", critpath_mode_json p) ]))
+      else begin
+        critpath_mode_text d;
+        print_newline ();
+        critpath_mode_text p
+      end
+  | other ->
+      prerr_endline
+        ("odsbench critpath: unknown mode '" ^ other ^ "' (disk|pm|both|cluster)");
+      exit 2
+
+let critpath_cmd =
+  let mode =
+    Arg.(
+      value & opt string "both"
+      & info [ "mode" ] ~docv:"disk|pm|both|cluster"
+          ~doc:
+            "What to trace: a single-node hot-stock cell on the disk or PM audit \
+             backend ($(b,both) runs one of each for comparison), or $(b,cluster), a \
+             multi-node 2PC load whose prepare/decide hops cross the interconnect.")
+  in
+  let drivers = Arg.(value & opt int 2 & info [ "drivers" ] ~docv:"N" ~doc:"Driver count.") in
+  let boxcar =
+    Arg.(value & opt int 8 & info [ "boxcar" ] ~docv:"N" ~doc:"Inserts per transaction.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 2
+      & info [ "nodes" ] ~docv:"N" ~doc:"Cluster mode: node count (at least 2).")
+  in
+  let txns =
+    Arg.(
+      value & opt int 60
+      & info [ "txns" ] ~docv:"N" ~doc:"Cluster mode: transactions per driver.")
+  in
+  let seed =
+    Arg.(value & opt int 0xCA75A & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+  in
+  let chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also export the full span collection as a Chrome trace-event document \
+             (load it at chrome://tracing or ui.perfetto.dev; flow arrows link caller \
+             to callee across tracks).  With --mode both, the mode name is inserted \
+             before the extension (out.json -> out-disk.json, out-pm.json).")
+  in
+  Cmd.v
+    (Cmd.info "critpath"
+       ~doc:
+         "Trace every committed transaction's cross-node span DAG and print the \
+          critical-path report: per-hop queue/service attribution, ranked, with full \
+          DAGs kept for the slowest transactions (each exemplar's hop durations sum \
+          exactly to its measured ack latency)")
+    Term.(
+      const critpath $ mode $ drivers $ boxcar $ records_arg 500 $ nodes $ txns $ seed
+      $ chrome $ json_arg)
 
 (* --- domain workloads --- *)
 
@@ -1382,6 +1545,7 @@ let main_cmd =
       scale_adp_cmd;
       failover_cmd;
       drill_cmd;
+      critpath_cmd;
       perf_cmd;
       telco_cmd;
       orders_cmd;

@@ -413,7 +413,7 @@ let timed_read t region ~mirror ~addr ~len =
    answered within the hedge delay fire the mirror too — first response
    wins.  The losing read completes in its helper process and is simply
    discarded (RDMA reads have no side effects). *)
-let hedged_fetch t region ~addr ~len =
+let hedged_fetch ?(span = Span.null) t region ~addr ~len =
   let sim = Cpu.sim t.client_cpu in
   let mb = Mailbox.create ~name:"pm-hedge" () in
   let fetch ~mirror () = Mailbox.send mb (mirror, timed_read t region ~mirror ~addr ~len) in
@@ -427,11 +427,13 @@ let hedged_fetch t region ~addr ~len =
           if mirror then
             if hedged then begin
               t.hedge_won <- t.hedge_won + 1;
-              bump_counter t "pm.hedge_wins"
+              bump_counter t "pm.hedge_wins";
+              Span.annotate span ~key:"hedge_won" "1"
             end
             else begin
               t.read_failovers <- t.read_failovers + 1;
-              bump_counter t "pm.read_failovers"
+              bump_counter t "pm.read_failovers";
+              Span.annotate span ~key:"failover" "1"
             end;
           Ok data
       | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
@@ -449,10 +451,11 @@ let hedged_fetch t region ~addr ~len =
   | None ->
       t.hedged <- t.hedged + 1;
       bump_counter t "pm.hedged_reads";
+      Span.annotate span ~key:"hedged" "1";
       ignore (Sim.spawn sim ~name:"pm-read-hedge" (fetch ~mirror:true));
       collect ~hedged:true ~outstanding:2
 
-let read_plain t h ~off ~len =
+let read_plain ?(span = Span.null) t h ~off ~len =
   let region = h.region in
   if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
   else begin
@@ -465,7 +468,7 @@ let read_plain t h ~off ~len =
        A demoted mirror is skipped entirely — its contents are stale. *)
     let rec round attempt =
       let result =
-        if hedge then hedged_fetch t region ~addr ~len
+        if hedge then hedged_fetch ~span t region ~addr ~len
         else
           match timed_read t region ~mirror:false ~addr ~len with
           | Ok data -> Ok data
@@ -477,6 +480,7 @@ let read_plain t h ~off ~len =
               | Ok data ->
                   t.read_failovers <- t.read_failovers + 1;
                   bump_counter t "pm.read_failovers";
+                  Span.annotate span ~key:"failover" "1";
                   Ok data
               | Error (Servernet.Fabric.Avt_error Servernet.Avt.Access_denied) ->
                   Error Pm_types.Permission_denied
@@ -562,13 +566,13 @@ let verify_repair_range t h ~addr ~len =
   in
   sweep addr
 
-let read_verified t h ~off ~len =
+let read_verified_sp span t h ~off ~len =
   let region = h.region in
   if not (bounds_ok region ~off ~len) then Error (Pm_types.Bad_request "read out of bounds")
   else if not region.Pm_types.mirror_active then
     (* Demoted mirror: its contents are legitimately stale, so there is
        nothing meaningful to cross-check until re-admission resyncs it. *)
-    read_plain t h ~off ~len
+    read_plain ~span t h ~off ~len
   else begin
     let addr = region.Pm_types.net_base + off in
     let src = Cpu.endpoint t.client_cpu in
@@ -583,18 +587,38 @@ let read_verified t h ~off ~len =
     | Ok _, Ok _ ->
         t.verify_divergent <- t.verify_divergent + 1;
         bump_counter t "pm.verify_divergence";
+        Span.annotate span ~key:"divergent" "1";
         verify_repair_range t h ~addr ~len;
         (* Serve the post-repair contents; where repair was impossible
            this degrades to the plain read's primary-first answer. *)
-        read_plain t h ~off ~len
+        read_plain ~span t h ~off ~len
     | _ ->
         (* One copy unreachable: nothing to cross-check, and the plain
            path already owns failover and retry. *)
-        read_plain t h ~off ~len
+        read_plain ~span t h ~off ~len
   end
 
-let read t h ~off ~len =
-  if t.cfg.verified_reads then read_verified t h ~off ~len else read_plain t h ~off ~len
+let read_verified t h ~off ~len = read_verified_sp Span.null t h ~off ~len
+
+let read ?span t h ~off ~len =
+  let sp =
+    match t.obs with
+    | None -> Span.null
+    | Some o ->
+        let sp = Span.start (Obs.spans o) ~track:"pm" ?parent:span "pm.read" in
+        if not (Span.is_null sp) then begin
+          Span.annotate sp ~key:"region" h.region.Pm_types.region_name;
+          Span.annotate sp ~key:"len" (string_of_int len)
+        end;
+        sp
+  in
+  let r =
+    if t.cfg.verified_reads then read_verified_sp sp t h ~off ~len
+    else read_plain ~span:sp t h ~off ~len
+  in
+  (match r with Error _ -> Span.annotate sp ~key:"error" "1" | Ok _ -> ());
+  (match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ());
+  r
 
 let degraded_writes t = t.degraded
 

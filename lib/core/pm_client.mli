@@ -94,11 +94,15 @@ val write :
     region for a fresh grant and retries, failing with [Fenced] only when
     the refresh itself cannot be completed. *)
 
-val read : t -> handle -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
+val read :
+  ?span:Span.span -> t -> handle -> off:int -> len:int -> (Bytes.t, Pm_types.error) result
 (** Read from the primary device, failing over to the mirror; transient
     fabric errors on both devices are retried up to [data_retries]
     rounds with jittered backoff.  When the client was attached with
-    [verified_reads], this is {!read_verified}. *)
+    [verified_reads], this is {!read_verified}.  With [obs], the read
+    gets a ["pm.read"] span on track ["pm"] (child of [span] when
+    given), annotated [hedged]/[hedge_won]/[failover] as those paths
+    fire. *)
 
 val read_device :
   t -> handle -> mirror:bool -> off:int -> len:int -> (Bytes.t, Pm_types.error) result

@@ -11,6 +11,7 @@ type ('req, 'resp) envelope = {
   resp_bytes : int;
   reply : ('resp, error) result Ivar.t;
   env_span : Span.span;
+  env_sent : Time.t;  (** delivery into the inbox; dequeue minus this = queue wait *)
 }
 
 type ('req, 'resp) server = {
@@ -22,6 +23,7 @@ type ('req, 'resp) server = {
   mutable epoch : int;
   mutable extra_latency : Time.span;
   mutable last_span : Span.span;
+  mutable last_wait : Time.span;
   mutable hop_stat : Stat.t option;
   mutable req_counter : Stat.Counter.t option;
   mutable inbox_probe : Probe.t option;
@@ -37,6 +39,7 @@ let create_server fabric ~cpu ~name =
     epoch = 0;
     extra_latency = 0;
     last_span = Span.null;
+    last_wait = 0;
     hop_stat = None;
     req_counter = None;
     inbox_probe = None;
@@ -93,7 +96,8 @@ let call_async s ~from ?(req_bytes = 256) ?(resp_bytes = 256) ?span payload =
           s.outstanding <- reply :: s.outstanding;
           probe_enqueue s;
           Prof.bump_envelope ();
-          Mailbox.send s.inbox { payload; resp_bytes; reply; env_span }
+          Mailbox.send s.inbox
+            { payload; resp_bytes; reply; env_span; env_sent = Sim.now sim }
         end);
     Prof.section_end sect "msgsys"
   end;
@@ -112,10 +116,13 @@ let call s ~from ?req_bytes ?resp_bytes ?timeout ?span payload =
 
 let caller_span s = s.last_span
 
+let caller_wait s = s.last_wait
+
 let next_request s =
   let env = Mailbox.recv s.inbox in
   probe_dequeue s;
   s.last_span <- env.env_span;
+  s.last_wait <- Sim.now (Cpu.sim s.cpu) - env.env_sent;
   let epoch = s.epoch in
   let respond resp =
     if s.epoch = epoch then begin
@@ -136,6 +143,7 @@ let next_request_timeout s span =
   | Some env ->
       probe_dequeue s;
       s.last_span <- env.env_span;
+      s.last_wait <- Sim.now (Cpu.sim s.cpu) - env.env_sent;
       let epoch = s.epoch in
       let respond resp =
         if s.epoch = epoch then begin

@@ -38,6 +38,12 @@ val caller_span : ('req, 'resp) server -> Span.span
     {!next_request} returns — before blocking or spawning — to parent
     server-side spans under the client's. *)
 
+val caller_wait : ('req, 'resp) server -> Time.span
+(** Inbox residency of the most recently dequeued request: dequeue time
+    minus delivery time — the queue-wait half of the server's hop.  Same
+    read-synchronously caveat as {!caller_span}; feed it to
+    {!Simkit.Span.note_queue} on the server-side span. *)
+
 val call :
   ('req, 'resp) server ->
   from:Cpu.t ->

@@ -84,12 +84,19 @@ let state t =
       t.live <- Some s;
       s
 
-let satisfy_waiters t s =
+let satisfy_waiters ?(flush = Span.null) t s =
   let ready, pending = List.partition (fun w -> w.w_through <= s.durable) t.waiters in
   t.waiters <- pending;
   List.iter
     (fun w ->
       note_flush_wait t (now t - w.w_start);
+      if not (Span.is_null w.w_span) && not (Span.is_null flush) then begin
+        (* Group commit: this transaction's durability rode the batch
+           flush it piggybacked on — record the causal edge, and count
+           the parked stretch before the flush started as queue. *)
+        Span.link w.w_span flush;
+        Span.mark_queue w.w_span (Span.start_time flush - w.w_start)
+      end;
       finish_span t w.w_span;
       w.w_respond (Flushed { durable = s.durable }))
     ready
@@ -129,7 +136,7 @@ let flusher t ~epoch ~wakeup () =
           s.durable <- max s.durable last;
           finish_span t sp;
           Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_durable s.durable);
-          satisfy_waiters t s
+          satisfy_waiters ~flush:sp t s
       | Error e ->
           (* Put the batch back so a takeover can still flush it. *)
           if not (Span.is_null sp) then Span.annotate sp ~key:"error" e;
@@ -143,6 +150,7 @@ let handle t s req respond =
   match req with
   | Append records -> (
       let sp = start_span t ~parent:(Msgsys.caller_span t.srv) "adp.append" in
+      Span.note_queue sp (Msgsys.caller_wait t.srv);
       if not (Span.is_null sp) then
         Span.annotate sp ~key:"records" (string_of_int (List.length records));
       Cpu.execute (current_cpu t) (List.length records * t.cfg.append_cpu);
@@ -201,6 +209,7 @@ let handle t s req respond =
                 s.durable))
       else begin
         let sp = start_span t ~parent:(Msgsys.caller_span t.srv) "adp.flush_wait" in
+        Span.note_queue sp (Msgsys.caller_wait t.srv);
         if not (Span.is_null sp) then
           Span.annotate sp ~key:"through" (string_of_int through);
         t.waiters <-

@@ -1,14 +1,23 @@
 open Simkit
 open Nsk
 
-type t = { systems : System.t array; wan : Time.span; mutable wan_up : bool }
+type t = {
+  systems : System.t array;
+  wan : Time.span;
+  mutable wan_up : bool;
+  obs : Obs.t option;
+}
 
-let build sim ?(nodes = 2) ?(wan_latency = Time.us 100) config =
+let build sim ?(nodes = 2) ?(wan_latency = Time.us 100) ?obs config =
   if nodes < 1 then invalid_arg "Cluster.build: need at least one node";
   {
-    systems = Array.init nodes (fun _ -> System.build sim config);
+    (* One shared observability context across every node: a distributed
+       transaction's spans land in a single collector, so its causal DAG
+       crosses the interconnect intact. *)
+    systems = Array.init nodes (fun _ -> System.build ?obs sim config);
     wan = wan_latency;
     wan_up = true;
+    obs;
   }
 
 let node_count t = Array.length t.systems
@@ -37,7 +46,7 @@ let remote_session t ~from_node ~target ~cpu =
     ~routing:(System.routing remote)
     ~wan_latency:(if from_node = target then 0 else t.wan)
     ~link:(fun () -> t.wan_up || from_node = target)
-    ()
+    ?obs:t.obs ()
 
 let total_committed t =
   Array.fold_left (fun acc s -> acc + Tmf.committed (System.tmf s)) 0 t.systems

@@ -12,10 +12,13 @@ open Simkit
 
 type t
 
-val build : Sim.t -> ?nodes:int -> ?wan_latency:Time.span -> System.config -> t
+val build : Sim.t -> ?nodes:int -> ?wan_latency:Time.span -> ?obs:Obs.t -> System.config -> t
 (** [nodes] defaults to 2; [wan_latency] (one-way, default 100 µs) is the
-    inter-node interconnect.  Same process-context caveat as
-    {!System.build} in PM mode. *)
+    inter-node interconnect.  With [obs], every node and every
+    cross-node session reports into the same observability context, so a
+    distributed transaction's span DAG is collected whole — both sides
+    of a 2PC hop carry the coordinator's trace id.  Same process-context
+    caveat as {!System.build} in PM mode. *)
 
 val node_count : t -> int
 
@@ -39,7 +42,8 @@ val remote_session : t -> from_node:int -> target:int -> cpu:int -> Txclient.t
 (** A session hosted on [from_node]'s CPU [cpu] addressing [target]'s
     data tier across the interconnect.  Cross-node sessions observe
     {!partition}: while the link is down their calls fail with
-    timeouts. *)
+    timeouts.  Inherits the cluster's observability context, so remote
+    branches trace like local ones. *)
 
 val total_committed : t -> int
 (** Committed transactions across all nodes' monitors. *)

@@ -161,10 +161,11 @@ let emit_control_point t s =
   | Ok (Adp.Appended { last_asn }) -> t.cp_asn <- last_asn
   | Ok _ | Error _ -> ()
 
-let handle ?(caller = Span.null) t s req respond =
+let handle ?(caller = Span.null) ?(queued = 0) t s req respond =
   match req with
   | Insert { txn; file; key; len; crc; payload } -> (
       let isp = start_span t ~parent:caller "dp2.insert" in
+      Span.note_queue isp queued;
       if not (Span.is_null isp) then begin
         Span.annotate isp ~key:"txn" (string_of_int txn);
         Span.annotate isp ~key:"key" (string_of_int key)
@@ -179,7 +180,7 @@ let handle ?(caller = Span.null) t s req respond =
       Cpu.execute (current_cpu t) t.cfg.insert_cpu;
       let lsp = start_span t ~parent:isp "dp2.lock" in
       let lock_result =
-        Lockmgr.acquire t.locks ~owner:txn ~key:(file, key) Lockmgr.Exclusive
+        Lockmgr.acquire t.locks ~span:lsp ~owner:txn ~key:(file, key) Lockmgr.Exclusive
       in
       finish_span t lsp;
       match lock_result with
@@ -263,8 +264,9 @@ let serve t () =
   let s = state t in
   while true do
     let req, respond = Msgsys.next_request t.srv in
-    (* Read synchronously: the next dequeue overwrites it. *)
+    (* Read synchronously: the next dequeue overwrites them. *)
     let caller = Msgsys.caller_span t.srv in
+    let queued = Msgsys.caller_wait t.srv in
     match req with
     | Insert _ | Read _ ->
         (* Inserts and transactional reads may block on a key lock; they
@@ -273,8 +275,8 @@ let serve t () =
            request is waiting for. *)
         ignore
           (Cpu.spawn (current_cpu t) ~name:(t.dp2_name ^ ":worker") (fun () ->
-               handle ~caller t s req respond))
-    | Lookup _ | Scan _ | Finish _ | Control_point -> handle ~caller t s req respond
+               handle ~caller ~queued t s req respond))
+    | Lookup _ | Scan _ | Finish _ | Control_point -> handle ~caller ~queued t s req respond
   done
 
 let apply_ckpt t = function

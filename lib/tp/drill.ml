@@ -58,9 +58,36 @@ type report = {
   recovery : Recovery.report;
   integrity : integrity option;
   timeline : Timeseries.t option;
+  flight : Flightrec.t option;
 }
 
 let zero_loss r = r.lost_rows = 0
+
+(* The black-box dump a failed drill leaves behind: recent spans plus
+   the fault-injection marks, one JSON document. *)
+let dump_flight path fr =
+  let oc = open_out path in
+  output_string oc (Json.to_string (Flightrec.to_json fr));
+  output_char oc '\n';
+  close_out oc
+
+(* Arm a flight recorder: reuse the caller's observability context (or
+   grow a private one), make sure spans flow, and stream every finished
+   span into the recorder's ring. *)
+let arm_flight flight obs =
+  match flight with
+  | None -> (None, obs)
+  | Some _ ->
+      let o = match obs with Some o -> o | None -> Obs.create () in
+      let fr = Flightrec.create () in
+      Span.enable (Obs.spans o);
+      Flightrec.attach fr (Obs.spans o);
+      (Some fr, Some o)
+
+let mark_faults recorder faults =
+  match recorder with
+  | Some fr -> List.iter (fun (time, label) -> Flightrec.mark fr ~time label) faults
+  | None -> ()
 
 let integrity_clean r =
   zero_loss r
@@ -352,11 +379,13 @@ let availability_of system =
   }
 
 let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
-    ?(params = default_params) ?(crash_decay = []) ?inspect ~mode ~plan () =
+    ?(params = default_params) ?(crash_decay = []) ?inspect ?flight ?(gate = zero_loss)
+    ~mode ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run: need at least one driver";
   (match (sample_interval, obs) with
   | Some _, None -> invalid_arg "Drill.run: sample_interval requires obs"
   | _ -> ());
+  let recorder, obs = arm_flight flight obs in
   let base = Option.value config ~default:System.default_config in
   let cfg = config_for base mode in
   let cfg = { cfg with System.seed } in
@@ -416,6 +445,7 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
             Gate.await gate;
             let elapsed = Sim.now sim - started in
             Faultplan.await frun;
+            mark_faults recorder (Faultplan.injected frun);
             (match ts with
             | Some t ->
                 Timeseries.stop t;
@@ -442,6 +472,7 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
                   | None -> None)
                 crash_decay
             in
+            mark_faults recorder crash_faults;
             Array.iter (fun d -> Dp2.load_table d []) (System.dp2s system);
             match Recovery.run system with
             | Error e -> out := Error ("recovery failed: " ^ e)
@@ -503,10 +534,28 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
                       recovery;
                       integrity;
                       timeline = ts;
+                      flight = recorder;
                     })
   in
   Sim.run sim;
   (match prof with Some p -> Prof.uninstall p | None -> ());
+  (* The black box dumps itself whenever the drill's gate fails — or the
+     drill could not even produce a report. *)
+  (match (flight, recorder) with
+  | Some path, Some fr ->
+      let failed =
+        match !out with Ok r -> not (gate r) | Error _ -> true
+      in
+      if failed then begin
+        (match !out with
+        | Error e -> Flightrec.mark fr ~time:0 ("drill error: " ^ e)
+        | Ok r ->
+            Flightrec.mark fr ~time:0
+              (Printf.sprintf "gate failed: lost_rows=%d committed=%d" r.lost_rows
+                 r.committed));
+        dump_flight path fr
+      end
+  | _ -> ());
   !out
 
 (* The corruption drill proper: hot-stock load under [corruption_plan]
@@ -515,13 +564,13 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
    scrubber, no verified reads — which must visibly lose rows and leave
    divergence behind, proving the injection is real. *)
 let run_corruption ?seed ?obs ?sample_interval ?(params = default_params)
-    ?(defenses = true) () =
+    ?(defenses = true) ?flight () =
   let config =
     if defenses then corruption_config
     else { corruption_config with System.pm_scrub = None; pm_verified_reads = false }
   in
   run ?seed ~config ?obs ?sample_interval ~params ~crash_decay:corruption_crash_decay
-    ~mode:System.Pm_audit ~plan:corruption_plan ()
+    ?flight ~gate:integrity_clean ~mode:System.Pm_audit ~plan:corruption_plan ()
 
 (* --- Gray-failure drill --- *)
 
@@ -552,7 +601,7 @@ let gray_pass r =
         && r.g_slow_suspects >= 1)
 
 let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
-    ?(defenses = true) ?(p99_limit = 8.0) () =
+    ?(defenses = true) ?(p99_limit = 8.0) ?flight () =
   let config = if defenses then gray_config else gray_no_defense_config in
   (* Healthy baseline: identical platform, identical seed, no faults.
      Its p99 is the denominator of the latency gate. *)
@@ -581,8 +630,8 @@ let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
         single_copy := System.pm_single_copy_writes system
       in
       match
-        run ~seed ~config ?obs ?sample_interval ~params ~inspect ~mode:System.Pm_audit
-          ~plan:gray_plan ()
+        run ~seed ~config ?obs ?sample_interval ~params ~inspect ?flight
+          ~mode:System.Pm_audit ~plan:gray_plan ()
       with
       | Error e -> Error ("gray degraded: " ^ e)
       | Ok degraded ->
@@ -591,7 +640,7 @@ let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
               degraded.response.Stat.p99 /. healthy.response.Stat.p99
             else infinity
           in
-          Ok
+          let r =
             {
               g_seed = seed;
               g_defended = defenses;
@@ -607,7 +656,18 @@ let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
               g_hedged_reads = !hedged;
               g_hedge_wins = !hedge_wins;
               g_single_copy_writes = !single_copy;
-            })
+            }
+          in
+          (* The p99 gate (and the defended-evidence gates) only exist at
+             this level, so the degraded run's recorder dumps here too. *)
+          (match (flight, degraded.flight) with
+          | Some path, Some fr when not (gray_pass r) ->
+              Flightrec.mark fr ~time:0
+                (Printf.sprintf "gray gate failed: p99 ratio %.2f (limit %.2f)"
+                   r.g_p99_ratio r.g_p99_limit);
+              dump_flight path fr
+          | _ -> ());
+          Ok r)
 
 (* --- Cluster partition drill --- *)
 
@@ -690,10 +750,11 @@ let cluster_driver cluster params ~index ~acked ~response_stat ~committed ~faile
   done;
   on_done ()
 
-let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?(params = cluster_params) ~plan ()
-    =
+let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?obs ?(params = cluster_params)
+    ?flight ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run_cluster: need at least one driver";
   if nodes < 2 then invalid_arg "Drill.run_cluster: need at least two nodes";
+  let recorder, obs = arm_flight flight obs in
   let base = Option.value config ~default:System.pm_config in
   let cfg = { (config_for base System.Pm_audit) with System.seed } in
   let sim = Sim.create ~seed () in
@@ -703,7 +764,7 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?(params = cluster_params
         (* A fat interconnect latency widens the in-flight window of
            every cross-node call, so a partition pulse reliably catches
            prepares and decides mid-air. *)
-        let cluster = Cluster.build sim ~nodes ~wan_latency:(Time.us 500) cfg in
+        let cluster = Cluster.build sim ~nodes ~wan_latency:(Time.us 500) ?obs cfg in
         match Faultplan.validate_cluster cluster ~node:0 plan with
         | Error e -> out := Error ("fault plan: " ^ e)
         | Ok () ->
@@ -731,6 +792,7 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?(params = cluster_params
             Gate.await gate;
             let elapsed = Sim.now sim - started in
             Faultplan.await frun;
+            mark_faults recorder (Faultplan.injected frun);
             Sim.sleep params.settle;
             let sum_nodes f =
               let acc = ref 0 in
@@ -799,4 +861,20 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?(params = cluster_params
                     })
   in
   Sim.run sim;
+  (match (flight, recorder) with
+  | Some path, Some fr ->
+      let failed =
+        match !out with Ok r -> not (cluster_zero_loss r) | Error _ -> true
+      in
+      if failed then begin
+        (match !out with
+        | Error e -> Flightrec.mark fr ~time:0 ("cluster drill error: " ^ e)
+        | Ok r ->
+            Flightrec.mark fr ~time:0
+              (Printf.sprintf
+                 "cluster gate failed: lost=%d in_doubt=%d orphaned_locks=%d fence_failures=%d"
+                 r.c_lost_rows r.c_in_doubt_after r.c_orphaned_locks r.c_fence_failures));
+        dump_flight path fr
+      end
+  | _ -> ());
   !out

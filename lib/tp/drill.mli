@@ -89,6 +89,10 @@ type report = {
           was given: cumulative [drill.committed]/[drill.failed] gauges
           plus every layer probe, with fault injections as marks — the
           event-aligned availability overlay *)
+  flight : Flightrec.t option;
+      (** the armed flight recorder when [flight] was given: the bounded
+          ring of recent spans plus every fault mark, already dumped to
+          the given path if the drill's gate failed *)
 }
 
 val zero_loss : report -> bool
@@ -162,6 +166,8 @@ val run :
   ?params:params ->
   ?crash_decay:(int * int * int) list ->
   ?inspect:(System.t -> unit) ->
+  ?flight:string ->
+  ?gate:(report -> bool) ->
   mode:System.log_mode ->
   plan:Faultplan.t ->
   unit ->
@@ -176,7 +182,14 @@ val run :
     read can catch it; entries with out-of-range device indices are
     ignored.  [inspect] runs against the live system after recovery
     succeeds, before the simulation is torn down — the hook gray drills
-    use to harvest counters the report does not carry. *)
+    use to harvest counters the report does not carry.
+
+    [flight] arms a {!Simkit.Flightrec} on the drill's observability
+    context (growing a private one if no [obs] was passed, and raising
+    the global telemetry level to spans): recent spans and every fault
+    injection are ring-buffered, and whenever [gate] (default
+    {!zero_loss}) rejects the report — or the drill errors outright —
+    the black box dumps itself as JSON to that path. *)
 
 val run_corruption :
   ?seed:int64 ->
@@ -184,6 +197,7 @@ val run_corruption :
   ?sample_interval:Time.span ->
   ?params:params ->
   ?defenses:bool ->
+  ?flight:string ->
   unit ->
   (report, string) result
 (** The end-to-end storage-integrity drill: {!run} under
@@ -229,13 +243,16 @@ val run_gray :
   ?params:params ->
   ?defenses:bool ->
   ?p99_limit:float ->
+  ?flight:string ->
   unit ->
   (gray_report, string) result
 (** The end-to-end gray-failure drill: a healthy baseline run (same
     seed, no faults), then {!gray_plan} under {!gray_config} — or
     {!gray_no_defense_config} with [~defenses:false], the negative
     control whose commit p99 collapses to the slow mirror's latency.
-    [obs] / [sample_interval] instrument the degraded run only. *)
+    [obs] / [sample_interval] / [flight] instrument the degraded run
+    only; the recorder also dumps when {!gray_pass} rejects the combined
+    report (the p99 gate lives here, not in {!run}). *)
 
 (** Result of a cluster drill: the per-node durability audit plus the
     partition-specific invariants. *)
@@ -273,7 +290,9 @@ val run_cluster :
   ?seed:int64 ->
   ?nodes:int ->
   ?config:System.config ->
+  ?obs:Obs.t ->
   ?params:params ->
+  ?flight:string ->
   plan:Faultplan.t ->
   unit ->
   (cluster_report, string) result

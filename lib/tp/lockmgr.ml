@@ -16,6 +16,11 @@ type t = {
   timeout : Time.span;
   table : (key, entry) Hashtbl.t;
   by_owner : (Audit.txn_id, key list ref) Hashtbl.t;
+  (* Each holder's most recent acquire span, so a blocked waiter can
+     record a causal link to the transaction it waited behind.  Entries
+     live exactly as long as the owner's locks (cleared in
+     [release_all]); only span-carrying acquires register. *)
+  owner_spans : (Audit.txn_id, Span.span) Hashtbl.t;
   mutable blocked : int;
   mutable conflict_count : int;
   mutable timed_out : int;
@@ -29,6 +34,7 @@ let create sim ?(timeout = Time.sec 5) ?obs () =
       timeout;
       table = Hashtbl.create 256;
       by_owner = Hashtbl.create 64;
+      owner_spans = Hashtbl.create 64;
       blocked = 0;
       conflict_count = 0;
       timed_out = 0;
@@ -93,21 +99,40 @@ let grant t e ~owner ~key mode =
   e.lock_holders <- merged;
   note_owned t ~owner key
 
-let acquire t ~owner ~key mode =
+let acquire t ?(span = Span.null) ~owner ~key mode =
   let e = entry t key in
   let t0 = Sim.now t.sim in
   let deadline = t0 + t.timeout in
   let contended = not (compatible e ~owner mode) in
-  if contended then t.conflict_count <- t.conflict_count + 1;
+  if contended then begin
+    t.conflict_count <- t.conflict_count + 1;
+    (* Cross-transaction causality: the waiter's span links to each
+       current holder's registered span, so a trace shows *whose* work
+       this transaction queued behind. *)
+    if not (Span.is_null span) then
+      List.iter
+        (fun (holder, _) ->
+          match Hashtbl.find_opt t.owner_spans holder with
+          | Some hsp when holder <> owner -> Span.link span hsp
+          | _ -> ())
+        e.lock_holders
+  end;
   let record r =
     (* Only contended acquires contribute to the wait stat, so the mean
        reflects time actually spent blocked, not the fast-path volume. *)
-    if contended then Stat.add_span t.wait_stat (Sim.now t.sim - t0);
+    if contended then begin
+      let waited = Sim.now t.sim - t0 in
+      Stat.add_span t.wait_stat waited;
+      (* The span opened just before the acquire, so the whole blocked
+         stretch is a queue prefix of its recorded interval. *)
+      Span.mark_queue span waited
+    end;
     r
   in
   let rec attempt () =
     if compatible e ~owner mode then begin
       grant t e ~owner ~key mode;
+      if not (Span.is_null span) then Hashtbl.replace t.owner_spans owner span;
       record (Ok ())
     end
     else if Sim.now t.sim >= deadline then begin
@@ -131,6 +156,7 @@ let wake_waiters e =
   List.iter (fun w -> w ()) ws
 
 let release_all t ~owner =
+  Hashtbl.remove t.owner_spans owner;
   match Hashtbl.find_opt t.by_owner owner with
   | None -> ()
   | Some keys ->

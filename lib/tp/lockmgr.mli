@@ -21,9 +21,15 @@ val create : Sim.t -> ?timeout:Time.span -> ?obs:Obs.t -> unit -> t
     acquires feed the shared [lock.wait_ns] stat and conflict/timeout
     totals are exported as gauges. *)
 
-val acquire : t -> owner:Audit.txn_id -> key:key -> mode -> (unit, error) result
+val acquire :
+  t -> ?span:Span.span -> owner:Audit.txn_id -> key:key -> mode -> (unit, error) result
 (** Block until granted (re-entrant; a Shared holder may upgrade to
-    Exclusive if it is the only holder).  Process context only. *)
+    Exclusive if it is the only holder).  Process context only.  With
+    [span], a contended acquire records the blocked stretch as the
+    span's queue prefix and links it to each current holder's registered
+    span ({!Simkit.Span.link}) — the waiting transaction's causal edge
+    to the one it queued behind; on grant the span is registered as this
+    owner's, for future waiters, until {!release_all}. *)
 
 val release_all : t -> owner:Audit.txn_id -> unit
 (** Drop every lock the transaction holds and wake compatible waiters.

@@ -220,7 +220,7 @@ let recovery_read t =
          at the first corrupt frame. *)
       let region_read =
         if Pm_client.verified_reads_enabled p.client then Pm_client.read_verified
-        else Pm_client.read
+        else fun c h ~off ~len -> Pm_client.read c h ~off ~len
       in
       match region_read p.client p.handle ~off:0 ~len:header_size with
       | Error e -> Error (Pm_types.error_to_string e)

@@ -231,15 +231,17 @@ let handle t s req respond =
       Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_begin txn);
       respond (Began { txn })
   | Commit_txn { txn; flushes; involved } ->
-      (* The caller's span must be read before yielding to the next
-         request; the worker closure captures it. *)
+      (* The caller's span (and its inbox wait) must be read before
+         yielding to the next request; the worker closure captures it. *)
       let caller = Msgsys.caller_span t.srv in
+      let queued = Msgsys.caller_wait t.srv in
       (* Commits overlap: each runs in its own worker so one
          transaction's flush wait never delays another's (the monitor is
          multithreaded; the trails group-commit concurrent flushes). *)
       let commit_work () =
         let started = Sim.now (Cpu.sim (current_cpu t)) in
         let csp = start_span t ~parent:caller "tmf.commit" in
+        Span.note_queue csp queued;
         if not (Span.is_null csp) then
           Span.annotate csp ~key:"txn" (string_of_int txn);
         let finish_failed msg =
@@ -308,9 +310,13 @@ let handle t s req respond =
       end
   | Prepare_txn { txn; flushes; involved; gtid } ->
       let caller = Msgsys.caller_span t.srv in
+      let queued = Msgsys.caller_wait t.srv in
       (* Phase 1 runs in its own worker like a commit. *)
       let prepare_work () =
         let psp = start_span t ~parent:caller "tmf.prepare" in
+        Span.note_queue psp queued;
+        if not (Span.is_null psp) then
+          Span.annotate psp ~key:"txn" (string_of_int txn);
         let finish r =
           finish_span t psp;
           respond r
@@ -325,7 +331,7 @@ let handle t s req respond =
               match write_mat_record ~span:psp t (Audit.Prepared { txn }) with
               | Error e -> respond (T_failed ("prepared record: " ^ e))
               | Ok () -> (
-                  match record_state t txn 4 with
+                  match record_state ~span:psp t txn 4 with
                   | Error e -> respond (T_failed ("txn-state record: " ^ e))
                   | Ok () ->
                       Hashtbl.remove s.active txn;
@@ -339,13 +345,23 @@ let handle t s req respond =
       match Hashtbl.find_opt s.prepared txn with
       | None -> respond (T_failed "transaction is not prepared")
       | Some { pi_involved = involved; _ } ->
+          let caller = Msgsys.caller_span t.srv in
+          let queued = Msgsys.caller_wait t.srv in
           let decide_work () =
+            let dsp = start_span t ~parent:caller "tmf.decide" in
+            Span.note_queue dsp queued;
+            if not (Span.is_null dsp) then
+              Span.annotate dsp ~key:"txn" (string_of_int txn);
+            let respond r =
+              finish_span t dsp;
+              respond r
+            in
             Cpu.execute (current_cpu t) t.cfg.commit_cpu;
             let record = if commit then Audit.Commit { txn } else Audit.Abort { txn } in
-            match write_mat_record t record with
+            match write_mat_record ~span:dsp t record with
             | Error e -> respond (T_failed ("decision record: " ^ e))
             | Ok () ->
-            match record_state t txn (if commit then 2 else 3) with
+            match record_state ~span:dsp t txn (if commit then 2 else 3) with
             | Error e when commit -> respond (T_failed ("txn-state record: " ^ e))
             | Ok () | Error _ ->
                 Hashtbl.remove s.prepared txn;

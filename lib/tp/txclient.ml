@@ -87,6 +87,14 @@ let start_span t ?parent name =
   | Some o -> Span.start (Obs.spans o) ~track:"client" ?parent name
   | None -> Span.null
 
+(* The head of a transaction's causal DAG: a root span minting a fresh
+   trace id that every downstream hop — DP2, ADP, TMF, PM, volumes —
+   inherits through the envelope/parent chain. *)
+let root_span t name =
+  match t.obs with
+  | Some o -> Span.root (Obs.spans o) ~track:"client" name
+  | None -> Span.null
+
 let finish_span t sp =
   match t.obs with Some o -> Span.finish (Obs.spans o) sp | None -> ()
 
@@ -139,7 +147,7 @@ let cpu t = t.client_cpu
 let txn_id txn = txn.id
 
 let begin_txn t =
-  let root = start_span t "txn" in
+  let root = root_span t "txn" in
   let bsp = start_span t ~parent:root "txn.begin" in
   let fail msg =
     finish_span t bsp;
@@ -302,18 +310,25 @@ let prepare ?gtid t txn =
   match await_inserts t txn with
   | Error e -> Error e
   | Ok () -> (
-      match
-        wan_call t t.tmf
+      let psp = start_span t ~parent:txn.root "txn.prepare" in
+      let result =
+        wan_call t t.tmf ~span:psp
           (Tmf.Prepare_txn
              { txn = txn.id; flushes = flush_list txn; involved = involved_list txn; gtid })
-      with
+      in
+      finish_span t psp;
+      match result with
       | Ok Tmf.Prepared_ok -> Ok ()
       | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
       | Ok _ -> Error (Tx_failed "unexpected TMF reply")
       | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e)))
 
 let decide t txn ~commit =
-  let result = wan_call t t.tmf ~span:txn.root (Tmf.Decide_txn { txn = txn.id; commit }) in
+  let dsp = start_span t ~parent:txn.root "txn.decide" in
+  if not (Span.is_null dsp) then
+    Span.annotate dsp ~key:"commit" (if commit then "true" else "false");
+  let result = wan_call t t.tmf ~span:dsp (Tmf.Decide_txn { txn = txn.id; commit }) in
+  finish_span t dsp;
   finish_span t txn.root;
   match result with
   | Ok Tmf.Decided ->
