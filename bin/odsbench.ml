@@ -408,11 +408,14 @@ let failover_cmd =
 
 (* --- drill: fault schedule + durability audit --- *)
 
-let drill_json (r : Tp.Drill.report) =
+(* Every drill report names its seed and plan at top level so a CI
+   artifact is self-describing without knowing which command wrote it. *)
+let drill_json ~plan (r : Tp.Drill.report) =
   let a = r.Tp.Drill.availability in
   Json.Obj
     [
       ("mode", Json.String (mode_to_string r.Tp.Drill.mode));
+      ("plan", Json.String plan);
       ("seed", Json.String (Printf.sprintf "0x%Lx" r.Tp.Drill.seed));
       ("elapsed_s", Json.Float (Time.to_sec r.Tp.Drill.elapsed));
       ( "faults",
@@ -573,10 +576,11 @@ let drill_text (r : Tp.Drill.report) =
       hr ()
   | None -> ()
 
-let cluster_drill_json (r : Tp.Drill.cluster_report) =
+let cluster_drill_json ~plan (r : Tp.Drill.cluster_report) =
   Json.Obj
     [
       ("mode", Json.String "cluster");
+      ("plan", Json.String plan);
       ("seed", Json.String (Printf.sprintf "0x%Lx" r.Tp.Drill.c_seed));
       ("nodes", Json.Int r.Tp.Drill.c_nodes);
       ("elapsed_s", Json.Float (Time.to_sec r.Tp.Drill.c_elapsed));
@@ -687,8 +691,8 @@ let gray_drill_json (g : Tp.Drill.gray_report) =
           ] );
       ("zero_loss", Json.Bool (Tp.Drill.zero_loss g.Tp.Drill.g_degraded));
       ("pass", Json.Bool (Tp.Drill.gray_pass g));
-      ("healthy", drill_json g.Tp.Drill.g_healthy);
-      ("degraded", drill_json g.Tp.Drill.g_degraded);
+      ("healthy", drill_json ~plan:"grayfail" g.Tp.Drill.g_healthy);
+      ("degraded", drill_json ~plan:"grayfail" g.Tp.Drill.g_degraded);
     ]
 
 let gray_drill_text (g : Tp.Drill.gray_report) =
@@ -729,6 +733,136 @@ let gray_drill_text (g : Tp.Drill.gray_report) =
     (if Tp.Drill.gray_pass g then "PASS" else "FAIL");
   hr ()
 
+let overload_drill_json (r : Tp.Drill.overload_report) =
+  Json.Obj
+    [
+      ("mode", Json.String "pm");
+      ("plan", Json.String "overload");
+      ("seed", Json.String (Printf.sprintf "0x%Lx" r.Tp.Drill.v_seed));
+      ("defended", Json.Bool r.Tp.Drill.v_defended);
+      ("arrivals", Json.Int r.Tp.Drill.v_arrivals);
+      ("committed", Json.Int r.Tp.Drill.v_committed);
+      ("rejected", Json.Int r.Tp.Drill.v_rejected);
+      ("failed", Json.Int r.Tp.Drill.v_failed);
+      ("client_timeouts", Json.Int r.Tp.Drill.v_timeouts);
+      ( "admission",
+        Json.Obj
+          [
+            ("admitted", Json.Int r.Tp.Drill.v_admitted);
+            ("rejected", Json.Int r.Tp.Drill.v_tmf_rejected);
+            ("expired", Json.Int r.Tp.Drill.v_tmf_expired);
+            ("adp_shed_expired", Json.Int r.Tp.Drill.v_adp_shed);
+          ] );
+      ( "containment",
+        Json.Obj
+          [
+            ("retry_denied", Json.Int r.Tp.Drill.v_retry_denied);
+            ("breaker_trips", Json.Int r.Tp.Drill.v_breaker_trips);
+          ] );
+      ( "goodput_tps",
+        Json.Obj
+          [
+            ("warmup", Json.Float r.Tp.Drill.v_warmup_goodput);
+            ("spike", Json.Float r.Tp.Drill.v_spike_goodput);
+            ("cooldown", Json.Float r.Tp.Drill.v_cooldown_goodput);
+            ("spike_floor", Json.Float r.Tp.Drill.v_spike_floor);
+            ("recovery_frac", Json.Float r.Tp.Drill.v_recovery_frac);
+          ] );
+      ( "recovery_ms",
+        match r.Tp.Drill.v_recovery_time with
+        | Some t -> Json.Float (Time.to_ms t)
+        | None -> Json.Null );
+      ("recovery_limit_ms", Json.Float (Time.to_ms r.Tp.Drill.v_recovery_limit));
+      ( "goodput_windows",
+        Json.List
+          (List.map
+             (fun (t, d) ->
+               Json.Obj [ ("t_ms", Json.Float (Time.to_ms t)); ("committed", Json.Int d) ])
+             r.Tp.Drill.v_goodput) );
+      ("acked_rows", Json.Int r.Tp.Drill.v_acked_rows);
+      ("lost_rows", Json.Int r.Tp.Drill.v_lost_rows);
+      ("zero_loss", Json.Bool (r.Tp.Drill.v_lost_rows = 0));
+      ("elapsed_s", Json.Float (Time.to_sec r.Tp.Drill.v_elapsed));
+      ( "response_ms",
+        Json.Obj
+          [
+            ("mean", Json.Float (r.Tp.Drill.v_response.Stat.mean /. 1e6));
+            ("p50", Json.Float (r.Tp.Drill.v_response.Stat.p50 /. 1e6));
+            ("p99", Json.Float (r.Tp.Drill.v_response.Stat.p99 /. 1e6));
+          ] );
+      ( "faults",
+        Json.List
+          (List.map
+             (fun (t, desc) ->
+               Json.Obj [ ("at_ms", Json.Float (Time.to_ms t)); ("fault", Json.String desc) ])
+             r.Tp.Drill.v_faults) );
+      ( "recovery",
+        Json.Obj
+          [
+            ("mttr_ms", Json.Float (Time.to_ms r.Tp.Drill.v_recovery.Tp.Recovery.mttr));
+            ("committed_txns", Json.Int r.Tp.Drill.v_recovery.Tp.Recovery.committed_txns);
+            ("rows_rebuilt", Json.Int r.Tp.Drill.v_recovery.Tp.Recovery.rows_rebuilt);
+          ] );
+      ("pass", Json.Bool (Tp.Drill.overload_pass r));
+      ( "timeline",
+        match r.Tp.Drill.v_timeline with
+        | Some ts ->
+            Json.Obj
+              [
+                ("samples", Json.Int (Timeseries.sample_count ts));
+                ("evicted", Json.Int (Timeseries.evicted ts));
+                ("series", Timeseries.json ts);
+              ]
+        | None -> Json.Null );
+    ]
+
+let overload_drill_text (r : Tp.Drill.overload_report) =
+  Printf.printf
+    "drill: mode=pm plan=overload seed=0x%Lx defenses=%s — open-loop flash crowd \
+     against impatient clients\n"
+    r.Tp.Drill.v_seed
+    (if r.Tp.Drill.v_defended then "on" else "OFF (negative control)");
+  hr ();
+  List.iter
+    (fun (t, desc) -> Printf.printf "%10.1f ms  %s\n" (Time.to_ms t) desc)
+    r.Tp.Drill.v_faults;
+  hr ();
+  Printf.printf "offered load       %d arrivals over %.3f s\n" r.Tp.Drill.v_arrivals
+    (Time.to_sec r.Tp.Drill.v_elapsed);
+  Printf.printf "outcomes           %d committed, %d rejected (backpressure), %d failed\n"
+    r.Tp.Drill.v_committed r.Tp.Drill.v_rejected r.Tp.Drill.v_failed;
+  Printf.printf "client impatience  %d call timeouts\n" r.Tp.Drill.v_timeouts;
+  Printf.printf "admission          %d admitted, %d rejected at begin, %d expired at \
+                 commit, %d flush waits shed\n"
+    r.Tp.Drill.v_admitted r.Tp.Drill.v_tmf_rejected r.Tp.Drill.v_tmf_expired
+    r.Tp.Drill.v_adp_shed;
+  Printf.printf "containment        %d resends denied by budget, %d breaker trips\n"
+    r.Tp.Drill.v_retry_denied r.Tp.Drill.v_breaker_trips;
+  Printf.printf "response mean/p99  %.2f / %.2f ms\n"
+    (r.Tp.Drill.v_response.Stat.mean /. 1e6)
+    (r.Tp.Drill.v_response.Stat.p99 /. 1e6);
+  Printf.printf "goodput            warmup %.1f tps, spike %.1f tps (floor %.1f), \
+                 cooldown %.1f tps\n"
+    r.Tp.Drill.v_warmup_goodput r.Tp.Drill.v_spike_goodput
+    (r.Tp.Drill.v_spike_floor *. r.Tp.Drill.v_warmup_goodput)
+    r.Tp.Drill.v_cooldown_goodput;
+  Printf.printf "recovery           %s (limit %s after spike end)\n"
+    (match r.Tp.Drill.v_recovery_time with
+    | Some t -> Time.to_string t
+    | None -> "NEVER — stayed collapsed under base load (metastable)")
+    (Time.to_string r.Tp.Drill.v_recovery_limit);
+  Printf.printf "goodput over time (%d windows):\n" (List.length r.Tp.Drill.v_goodput);
+  Printf.printf "%12s %10s\n" "t(ms)" "committed";
+  List.iter
+    (fun (t, d) -> Printf.printf "%12.1f %10d\n" (Time.to_ms t) d)
+    r.Tp.Drill.v_goodput;
+  Printf.printf "durability         %d acked rows, %d LOST — %s\n" r.Tp.Drill.v_acked_rows
+    r.Tp.Drill.v_lost_rows
+    (if r.Tp.Drill.v_lost_rows = 0 then "rejected is not lost" else "DATA LOSS");
+  Printf.printf "verdict            %s\n"
+    (if Tp.Drill.overload_pass r then "PASS" else "FAIL");
+  hr ()
+
 let drill_fail json e =
   if json then print_endline (Json.to_string (Json.Obj [ ("error", Json.String e) ]));
   prerr_endline ("odsbench drill: " ^ e);
@@ -749,10 +883,11 @@ let cluster_drill plan_name drivers seed interval_ms flight json =
         exit 2
   in
   let params = { Tp.Drill.cluster_params with Tp.Drill.drivers } in
+  let plan_label = match plan_name with "standard" -> "partition" | other -> other in
   match Tp.Drill.run_cluster ~seed:(Int64.of_int seed) ~params ?flight ~plan () with
   | Error e -> drill_fail json e
   | Ok r ->
-      if json then print_endline (Json.to_string (cluster_drill_json r))
+      if json then print_endline (Json.to_string (cluster_drill_json ~plan:plan_label r))
       else cluster_drill_text r;
       if not (Tp.Drill.cluster_zero_loss r) then begin
         Printf.eprintf
@@ -777,9 +912,13 @@ let drill mode plan_name drivers boxcar records seed interval_ms flight list_pla
     cluster_drill plan_name drivers seed interval_ms flight json
   else begin
     let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
-    if no_defenses && plan_name <> "corruption" && plan_name <> "grayfail" then begin
+    if
+      no_defenses && plan_name <> "corruption" && plan_name <> "grayfail"
+      && plan_name <> "overload"
+    then begin
       prerr_endline
-        "odsbench drill: --no-defenses only applies to --plan corruption or grayfail";
+        "odsbench drill: --no-defenses only applies to --plan corruption, grayfail or \
+         overload";
       exit 2
     end;
     let params =
@@ -794,7 +933,38 @@ let drill mode plan_name drivers boxcar records seed interval_ms flight list_pla
       if interval_ms > 0 then (Some (Obs.create ()), Some (Time.ms interval_ms))
       else (None, None)
     in
-    if plan_name = "grayfail" then begin
+    if plan_name = "overload" then begin
+      (* The overload drill owns its load shape entirely — an open-loop
+         flash-crowd arrival schedule is the experiment — so it ignores
+         --records, --boxcar and --drivers and goes through its
+         dedicated entry point.  The gate is goodput under and after the
+         spike, not just row durability. *)
+      if mode <> Tp.System.Pm_audit then begin
+        prerr_endline "odsbench drill: plan 'overload' requires --mode pm";
+        exit 2
+      end;
+      match
+        Tp.Drill.run_overload ~seed:(Int64.of_int seed) ?obs ?sample_interval
+          ~defenses:(not no_defenses) ?flight ()
+      with
+      | Error e -> drill_fail json e
+      | Ok r ->
+          if json then print_endline (Json.to_string (overload_drill_json r))
+          else overload_drill_text r;
+          if not (Tp.Drill.overload_pass r) then begin
+            Printf.eprintf
+              "odsbench drill: overload gate violated (lost=%d warmup=%.1f tps \
+               spike=%.1f tps recovery=%s rejected=%d)\n"
+              r.Tp.Drill.v_lost_rows r.Tp.Drill.v_warmup_goodput
+              r.Tp.Drill.v_spike_goodput
+              (match r.Tp.Drill.v_recovery_time with
+              | Some t -> Time.to_string t
+              | None -> "never")
+              r.Tp.Drill.v_rejected;
+            exit 1
+          end
+    end
+    else if plan_name = "grayfail" then begin
       (* The gray-failure drill owns its load shape (the p99 gate needs
          a known sample count) and runs twice — healthy baseline, then
          the staged fail-slow schedule — so it ignores --records and
@@ -836,7 +1006,9 @@ let drill mode plan_name drivers boxcar records seed interval_ms flight list_pla
       with
       | Error e -> drill_fail json e
       | Ok r ->
-          if json then print_endline (Json.to_string (drill_json r)) else drill_text r;
+          if json then
+            print_endline (Json.to_string (drill_json ~plan:"corruption" r))
+          else drill_text r;
           if not (Tp.Drill.integrity_clean r) then begin
             let div =
               match r.Tp.Drill.integrity with
@@ -874,7 +1046,9 @@ let drill mode plan_name drivers boxcar records seed interval_ms flight list_pla
       with
       | Error e -> drill_fail json e
       | Ok r ->
-          if json then print_endline (Json.to_string (drill_json r)) else drill_text r;
+          if json then
+            print_endline (Json.to_string (drill_json ~plan:plan_name r))
+          else drill_text r;
           if not (Tp.Drill.zero_loss r) then begin
             Printf.eprintf "odsbench drill: %d acknowledged rows lost after recovery\n"
               r.Tp.Drill.lost_rows;
@@ -896,7 +1070,7 @@ let drill_cmd =
   let plan =
     Arg.(
       value & opt string "standard"
-      & info [ "plan" ] ~docv:"standard|kills|corruption|grayfail|none|partition"
+      & info [ "plan" ] ~docv:"standard|kills|corruption|grayfail|overload|none|partition"
           ~doc:
             "Fault schedule: $(b,standard) is the full drill (PM: PMM kill, NPMU \
              power-cycle, rail flap, CRC noise, resync), $(b,kills) keeps only the \
@@ -906,8 +1080,12 @@ let drill_cmd =
              fabric rail and a data spindle fail-slow with the latency health monitor, \
              hedged reads and slow-mirror demotion armed, gating on bounded commit p99 \
              and a completed demotion/re-admission cycle (it owns its load shape: \
-             --records and --boxcar are ignored), $(b,none) runs faultless.  In cluster \
-             mode, \
+             --records and --boxcar are ignored), $(b,overload) (PM mode) offers an \
+             open-loop flash crowd (5x the base rate) to impatient clients with \
+             admission control, deadlines, retry budgets and breakers armed, gating on \
+             spike goodput above a floor and bounded recovery after the spike (it owns \
+             its load shape: --records, --boxcar and --drivers are ignored), $(b,none) \
+             runs faultless.  In cluster mode, \
              $(b,partition) (the default) severs the inter-node link mid-2PC, kills the \
              coordinator, heals, takes over the PM manager and probes the epoch fence.  \
              $(b,--list-plans) prints the names valid for the selected mode.")
@@ -923,9 +1101,10 @@ let drill_cmd =
       value & flag
       & info [ "no-defenses" ]
           ~doc:
-            "Corruption and grayfail plans only: run the same fault schedule with the \
-             defenses disabled (corruption: scrubber and verified reads; grayfail: \
-             health monitor, hedged reads, demotion and adaptive backoff) — the \
+            "Corruption, grayfail and overload plans only: run the same fault schedule \
+             with the defenses disabled (corruption: scrubber and verified reads; \
+             grayfail: health monitor, hedged reads, demotion and adaptive backoff; \
+             overload: admission control, deadlines, retry budgets and breakers) — the \
              negative control that shows what the faults cost undefended (expect a \
              non-zero exit).")
   in

@@ -18,6 +18,10 @@ type config = {
   hedge_min : Time.span;
   hedge_max : Time.span;
   adaptive_backoff : bool;
+  mgmt_retry_budget : float;
+      (** token-bucket capacity for management-path retries, refilled by
+          successes; 0 disables the budget (retries bounded only by
+          [mgmt_retries]) *)
 }
 
 let default_config =
@@ -38,6 +42,7 @@ let default_config =
     hedge_min = Time.us 50;
     hedge_max = Time.ms 5;
     adaptive_backoff = false;
+    mgmt_retry_budget = 0.;
   }
 
 (* Per-device latency health: an EWMA plus a windowed p99, both compared
@@ -96,6 +101,8 @@ type t = {
   mutable hedge_won : int;  (** hedges whose mirror copy answered first *)
   mutable single_copy : int;  (** writes skipped on a demoted mirror *)
   mutable mgmt_exhausted : int;  (** mgmt calls that ran out of retries *)
+  retry_budget : Retry_budget.t option;
+      (** management-path retry containment; [None] when unbudgeted *)
   ph : health;  (** primary device data-path latency *)
   mh : health;  (** mirror device data-path latency *)
   latency : Stat.t;
@@ -127,6 +134,10 @@ let attach ~cpu ~fabric ~pmm ?(config = default_config) ?obs () =
     hedge_won = 0;
     single_copy = 0;
     mgmt_exhausted = 0;
+    retry_budget =
+      (if config.mgmt_retry_budget > 0. then
+         Some (Retry_budget.create ~capacity:config.mgmt_retry_budget ())
+       else None);
     ph = health_create config;
     mh = health_create config;
     latency =
@@ -213,11 +224,25 @@ let info h = h.region
 let mgmt_call t req =
   let rec go attempt =
     match Msgsys.call t.pmm ~from:t.client_cpu ~timeout:t.cfg.mgmt_timeout req with
-    | Ok resp -> Ok resp
+    | Ok resp ->
+        (* Successes refill the retry budget, so a healthy manager earns
+           back the headroom a takeover spent. *)
+        (match t.retry_budget with Some b -> Retry_budget.success b | None -> ());
+        Ok resp
     | Error (Msgsys.Server_down | Msgsys.Timed_out) ->
         if attempt >= t.cfg.mgmt_retries then begin
           t.mgmt_exhausted <- t.mgmt_exhausted + 1;
           bump_counter t "pm.mgmt_retry_exhausted";
+          Error Pm_types.Manager_down
+        end
+        else if
+          match t.retry_budget with
+          | Some b -> not (Retry_budget.try_spend b)
+          | None -> false
+        then begin
+          (* Out of tokens: the client tier as a whole is failing faster
+             than it succeeds — stop amplifying and surface the error. *)
+          bump_counter t "pm.retry_budget_denied";
           Error Pm_types.Manager_down
         end
         else begin
@@ -639,6 +664,8 @@ let fenced_writes t = t.fenced
 let mgmt_retries_used t = t.mgmt_retried
 
 let mgmt_retry_exhausted t = t.mgmt_exhausted
+
+let mgmt_retry_budget t = t.retry_budget
 
 let slow_suspects t = t.slow_suspects
 

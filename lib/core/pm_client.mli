@@ -47,6 +47,12 @@ type config = {
   adaptive_backoff : bool;
       (** scale the data-path retry backoff to the observed device EWMA
           instead of the fixed [data_backoff] (default [false]) *)
+  mgmt_retry_budget : float;
+      (** token-bucket capacity for management-path retries
+          ({!Simkit.Retry_budget}): each retry spends a token, each
+          success refills a fraction, and an empty bucket surfaces
+          [Manager_down] instead of amplifying the storm.  0 (the
+          default) disables the budget. *)
 }
 
 val default_config : config
@@ -153,6 +159,11 @@ val mgmt_retries_used : t -> int
 val mgmt_retry_exhausted : t -> int
 (** Management calls that ran out of retries and surfaced
     [Manager_down] (also the [pm.mgmt_retry_exhausted] counter). *)
+
+val mgmt_retry_budget : t -> Retry_budget.t option
+(** The management-path retry token bucket, when
+    {!config.mgmt_retry_budget} enabled one ([pm.retry_budget_denied]
+    counts the retries it refused). *)
 
 (** {1 Gray-failure telemetry}
 

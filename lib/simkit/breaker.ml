@@ -1,0 +1,73 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown : Time.span;
+  mutable st : state;
+  mutable failures : int;  (* consecutive, while Closed *)
+  mutable open_until : Time.t;
+  mutable probing : bool;  (* Half_open probe outstanding *)
+  mutable trips : int;
+  mutable rejected : int;
+}
+
+let create ?(failure_threshold = 5) ?(cooldown = Time.ms 100) () =
+  {
+    threshold = max 1 failure_threshold;
+    cooldown;
+    st = Closed;
+    failures = 0;
+    open_until = 0;
+    probing = false;
+    trips = 0;
+    rejected = 0;
+  }
+
+let trip t ~now =
+  t.st <- Open;
+  t.open_until <- now + t.cooldown;
+  t.probing <- false;
+  t.trips <- t.trips + 1
+
+let allow t ~now =
+  match t.st with
+  | Closed -> true
+  | Open ->
+      if now >= t.open_until then begin
+        t.st <- Half_open;
+        t.probing <- true;
+        true
+      end
+      else begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
+  | Half_open ->
+      if t.probing then begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
+      else begin
+        t.probing <- true;
+        true
+      end
+
+let record_success t =
+  t.failures <- 0;
+  match t.st with
+  | Half_open ->
+      t.st <- Closed;
+      t.probing <- false
+  | Closed | Open -> ()
+
+let record_failure t ~now =
+  match t.st with
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.threshold then trip t ~now
+  | Half_open -> trip t ~now
+  | Open -> ()
+
+let state t = t.st
+let trips t = t.trips
+let rejected t = t.rejected

@@ -1,0 +1,29 @@
+type t = {
+  cap : float;
+  refill : float;
+  mutable tokens : float;
+  mutable spent : int;
+  mutable denied : int;
+}
+
+let create ?(capacity = 10.) ?(refill = 0.1) () =
+  let cap = Float.max 0. capacity in
+  { cap; refill = Float.max 0. refill; tokens = cap; spent = 0; denied = 0 }
+
+let try_spend t =
+  if t.tokens >= 1. then begin
+    t.tokens <- t.tokens -. 1.;
+    t.spent <- t.spent + 1;
+    true
+  end
+  else begin
+    t.denied <- t.denied + 1;
+    false
+  end
+
+let success t = t.tokens <- Float.min t.cap (t.tokens +. t.refill)
+
+let tokens t = t.tokens
+let capacity t = t.cap
+let spent t = t.spent
+let denied t = t.denied

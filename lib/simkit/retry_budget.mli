@@ -1,0 +1,38 @@
+(** Retry budget: a token bucket refilled by successes.
+
+    Retries amplify overload — every failed request that retries adds
+    offered load exactly when the system has none to spare, the
+    positive feedback loop behind metastable failure.  A retry budget
+    breaks the loop: each retry spends a token, each success refills a
+    fraction of one, so a client whose requests keep failing runs out
+    of budget and stops retrying instead of storming.
+
+    Pure and deterministic — no clock, no randomness — so the
+    invariants (tokens never negative, never above capacity, refill
+    monotone) are directly property-testable. *)
+
+type t
+
+val create : ?capacity:float -> ?refill:float -> unit -> t
+(** [create ()] starts with a full bucket.  [capacity] (default 10.)
+    is the maximum token count; [refill] (default 0.1) is the fraction
+    of a token returned per success.  Both are clamped to be
+    non-negative. *)
+
+val try_spend : t -> bool
+(** Spend one token if at least one is available.  [false] means the
+    budget is exhausted and the retry must not be sent. *)
+
+val success : t -> unit
+(** Credit one success: adds [refill] tokens, capped at capacity. *)
+
+val tokens : t -> float
+(** Current token count — always in [\[0, capacity\]]. *)
+
+val capacity : t -> float
+
+val spent : t -> int
+(** Retries granted so far. *)
+
+val denied : t -> int
+(** Retries refused for lack of tokens. *)

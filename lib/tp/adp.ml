@@ -3,7 +3,9 @@ open Nsk
 
 type request =
   | Append of Audit.record list
-  | Flush of { through : Audit.asn }
+  | Flush of { through : Audit.asn; deadline : Time.t }
+      (** [deadline = 0] means none; a positive absolute sim time lets
+          the writer shed the wait once it can no longer matter *)
   | Trim of { through : Audit.asn }
 
 type response =
@@ -23,6 +25,7 @@ type waiter = {
   w_respond : response -> unit;
   w_start : Time.t;
   w_span : Span.span;
+  w_deadline : Time.t;  (** 0 = none *)
 }
 
 type state = {
@@ -49,6 +52,7 @@ type t = {
   mutable epoch : int;  (** bumped per serve incarnation; stale flushers exit *)
   mutable appended : int;
   mutable flush_reqs : int;
+  mutable shed : int;  (** expired flush waits dropped before batching *)
   mutable obs : Obs.t option;
   mutable flush_stat : Stat.t option;
 }
@@ -101,6 +105,25 @@ let satisfy_waiters ?(flush = Span.null) t s =
       w.w_respond (Flushed { durable = s.durable }))
     ready
 
+(* Admission control's back half: a flush wait whose transaction
+   deadline already passed can no longer turn into an acknowledged
+   commit, so answering it just spends write bandwidth the live work
+   needs.  Shed it before staging the next batch. *)
+let shed_expired t =
+  let now = now t in
+  let expired, live =
+    List.partition (fun w -> w.w_deadline > 0 && now >= w.w_deadline) t.waiters
+  in
+  t.waiters <- live;
+  List.iter
+    (fun w ->
+      t.shed <- t.shed + 1;
+      if not (Span.is_null w.w_span) then
+        Span.annotate w.w_span ~key:"error" "shed: deadline expired";
+      finish_span t w.w_span;
+      w.w_respond (A_failed "shed: deadline expired"))
+    expired
+
 let fail_waiters t msg =
   let ws = t.waiters in
   t.waiters <- [];
@@ -121,7 +144,9 @@ let flusher t ~epoch ~wakeup () =
        commits that arrive during a write are covered by the next one. *)
     Mailbox.recv wakeup;
     let s = state t in
+    shed_expired t;
     while t.epoch = epoch && t.waiters <> [] && s.buffer <> [] do
+      shed_expired t;
       let sect = Prof.section_begin () in
       let batch = List.rev s.buffer in
       let last = match s.buffer with (asn, _) :: _ -> asn | [] -> s.durable in
@@ -190,12 +215,18 @@ let handle t s req respond =
         finish_span t sp;
         respond (Appended { last_asn })
       end)
-  | Flush { through } ->
+  | Flush { through; deadline } ->
       t.flush_reqs <- t.flush_reqs + 1;
       if through <= s.durable then begin
         (* Already durable: a zero-wait flush, counted as such. *)
         note_flush_wait t 0;
         respond (Flushed { durable = s.durable })
+      end
+      else if deadline > 0 && now t >= deadline then begin
+        (* Dead on arrival: don't stage work the caller can no longer
+           acknowledge. *)
+        t.shed <- t.shed + 1;
+        respond (A_failed "shed: deadline expired")
       end
       else if Log_backend.synchronous t.backend then
         (* PM path: appends are durable at reply time, so an ASN above
@@ -213,7 +244,13 @@ let handle t s req respond =
         if not (Span.is_null sp) then
           Span.annotate sp ~key:"through" (string_of_int through);
         t.waiters <-
-          { w_through = through; w_respond = respond; w_start = now t; w_span = sp }
+          {
+            w_through = through;
+            w_respond = respond;
+            w_start = now t;
+            w_span = sp;
+            w_deadline = deadline;
+          }
           :: t.waiters;
         Mailbox.send t.wakeup ()
       end
@@ -259,6 +296,7 @@ let start ~fabric ~name ~primary ~backup ~backend ?(config = default_config) ?ob
       epoch = 0;
       appended = 0;
       flush_reqs = 0;
+      shed = 0;
       obs;
       flush_stat =
         (match obs with
@@ -277,7 +315,9 @@ let start ~fabric ~name ~primary ~backup ~backend ?(config = default_config) ?ob
           let s = match t.live with Some s -> s | None -> t.shadow in
           float_of_int (List.length s.buffer));
       Metrics.register_gauge m ("adp." ^ name ^ ".flush_backlog") (fun () ->
-          float_of_int (List.length t.waiters))
+          float_of_int (List.length t.waiters));
+      Metrics.register_gauge m ("adp." ^ name ^ ".shed_expired") (fun () ->
+          float_of_int t.shed)
   | None -> ());
   let pair =
     Procpair.start ~fabric ~name ~primary ~backup
@@ -310,6 +350,8 @@ let appended_records t = t.appended
 let flushes_performed t = Log_backend.writes t.backend
 
 let flush_requests t = t.flush_reqs
+
+let shed_expired_count t = t.shed
 
 let pair_takeovers t = Procpair.takeovers (pair_exn t)
 

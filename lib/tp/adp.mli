@@ -16,7 +16,11 @@ open Nsk
 
 type request =
   | Append of Audit.record list
-  | Flush of { through : Audit.asn }
+  | Flush of { through : Audit.asn; deadline : Time.t }
+      (** [deadline] is the requesting transaction's absolute deadline
+          ([0] = none): a flush wait that outlives it is shed —
+          answered [A_failed] without staging — since the caller can no
+          longer acknowledge the commit anyway *)
   | Trim of { through : Audit.asn }
       (** archive the trail prefix (only durable records may be trimmed) *)
 
@@ -67,6 +71,10 @@ val flushes_performed : t -> int
     requests share one. *)
 
 val flush_requests : t -> int
+
+val shed_expired_count : t -> int
+(** Flush waits dropped because their transaction deadline had already
+    passed (exported as the [adp.<name>.shed_expired] gauge). *)
 
 val pair_takeovers : t -> int
 

@@ -9,6 +9,7 @@ type request =
       len : int;
       crc : int;
       payload : Bytes.t option;
+      deadline : Time.t;  (** transaction deadline, 0 = none *)
     }
   | Lookup of { file : int; key : int }
   | Read of { txn : Audit.txn_id; file : int; key : int }
@@ -163,7 +164,7 @@ let emit_control_point t s =
 
 let handle ?(caller = Span.null) ?(queued = 0) t s req respond =
   match req with
-  | Insert { txn; file; key; len; crc; payload } -> (
+  | Insert { txn; file; key; len; crc; payload; deadline } -> (
       let isp = start_span t ~parent:caller "dp2.insert" in
       Span.note_queue isp queued;
       if not (Span.is_null isp) then begin
@@ -178,9 +179,14 @@ let handle ?(caller = Span.null) ?(queued = 0) t s req respond =
         respond r
       in
       Cpu.execute (current_cpu t) t.cfg.insert_cpu;
+      if deadline > 0 && Sim.now (Cpu.sim (current_cpu t)) >= deadline then
+        (* Expired before touching any resource: shed, don't lock. *)
+        respond (D_failed "shed: deadline expired")
+      else
       let lsp = start_span t ~parent:isp "dp2.lock" in
       let lock_result =
-        Lockmgr.acquire t.locks ~span:lsp ~owner:txn ~key:(file, key) Lockmgr.Exclusive
+        Lockmgr.acquire t.locks ~span:lsp ~deadline ~owner:txn ~key:(file, key)
+          Lockmgr.Exclusive
       in
       finish_span t lsp;
       match lock_result with

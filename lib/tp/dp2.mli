@@ -20,6 +20,10 @@ type request =
       len : int;
       crc : int;
       payload : Bytes.t option;  (** stored only with [store_payloads] *)
+      deadline : Time.t;
+          (** transaction deadline (absolute, 0 = none): an insert that
+              arrives expired is shed before taking its key lock, and
+              the lock wait itself is bounded by the deadline *)
     }
   | Lookup of { file : int; key : int }
       (** browse-access read: no lock, sees the latest applied state *)

@@ -288,7 +288,7 @@ let gray_plan =
     ]
 
 let plan_names = function
-  | System.Pm_audit -> [ "standard"; "kills"; "corruption"; "grayfail"; "none" ]
+  | System.Pm_audit -> [ "standard"; "kills"; "corruption"; "grayfail"; "overload"; "none" ]
   | System.Disk_audit -> [ "standard"; "kills"; "none" ]
 
 let cluster_plan_names = [ "partition"; "none" ]
@@ -668,6 +668,379 @@ let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
               dump_flight path fr
           | _ -> ());
           Ok r)
+
+(* --- Overload drill: flash crowd, open loop, metastability gate --- *)
+
+type overload_params = {
+  ov_record_bytes : int;
+  ov_inserts_per_txn : int;
+  ov_base_rate : float;
+  ov_spike : float;
+  ov_warmup : Time.span;
+  ov_spike_for : Time.span;
+  ov_cooldown : Time.span;
+  ov_window : Time.span;
+  ov_settle : Time.span;
+  ov_client_retries : int;
+  ov_spike_floor : float;
+  ov_recovery_frac : float;
+  ov_recovery_limit : Time.span;
+}
+
+(* Base rate ~0.6x of the platform's measured open-loop capacity, spike
+   5x base.  Small transactions keep per-arrival client CPU low enough
+   that the offered spike really exceeds service capacity at the servers
+   rather than serializing at the session pool. *)
+let overload_params =
+  {
+    ov_record_bytes = 1_024;
+    ov_inserts_per_txn = 4;
+    ov_base_rate = 400.0;
+    ov_spike = 5.0;
+    ov_warmup = Time.ms 500;
+    ov_spike_for = Time.ms 400;
+    ov_cooldown = Time.ms 1_500;
+    ov_window = Time.ms 100;
+    ov_settle = Time.ms 300;
+    ov_client_retries = 2;
+    ov_spike_floor = 0.5;
+    ov_recovery_frac = 0.7;
+    ov_recovery_limit = Time.ms 600;
+  }
+
+(* The defended platform: admission control at the monitor, deadlines
+   minted at arrival, budgeted retries and breakers at every client.
+   [client_op_timeout] is the environment, not a defense — clients are
+   impatient either way; that impatience is what makes overload
+   metastable when nothing contains it. *)
+let overload_config =
+  {
+    System.pm_config with
+    System.client_deadline = Time.ms 150;
+    client_op_timeout = Time.ms 300;
+    client_retry_budget = 12.0;
+    client_breakers = true;
+    pm_retry_budget = 12.0;
+    tmf = { Tmf.default_config with Tmf.admission = true };
+  }
+
+let overload_no_defense_config =
+  {
+    overload_config with
+    System.client_deadline = 0;
+    client_retry_budget = 0.0;
+    client_breakers = false;
+    pm_retry_budget = 0.0;
+    tmf = { overload_config.System.tmf with Tmf.admission = false };
+  }
+
+let overload_plan p =
+  Faultplan.
+    [ at p.ov_warmup (Flash_crowd { spike = p.ov_spike; spike_for = p.ov_spike_for }) ]
+
+let overload_schedule p =
+  Arrival.flash_crowd ~base:p.ov_base_rate ~spike:(p.ov_base_rate *. p.ov_spike)
+    ~cool:p.ov_base_rate ~warmup:p.ov_warmup ~spike_for:p.ov_spike_for
+    ~cooldown:p.ov_cooldown ()
+
+type overload_report = {
+  v_seed : int64;
+  v_defended : bool;
+  v_arrivals : int;
+  v_committed : int;
+  v_rejected : int;
+  v_failed : int;
+  v_timeouts : int;
+  v_admitted : int;
+  v_tmf_rejected : int;
+  v_tmf_expired : int;
+  v_adp_shed : int;
+  v_retry_denied : int;
+  v_breaker_trips : int;
+  v_acked_rows : int;
+  v_lost_rows : int;
+  v_elapsed : Time.span;
+  v_warmup_goodput : float;
+  v_spike_goodput : float;
+  v_cooldown_goodput : float;
+  v_recovery_time : Time.span option;
+  v_spike_floor : float;
+  v_recovery_frac : float;
+  v_recovery_limit : Time.span;
+  v_goodput : (Time.t * int) list;
+  v_response : Stat.summary;
+  v_faults : (Time.t * string) list;
+  v_recovery : Recovery.report;
+  v_timeline : Timeseries.t option;
+  v_flight : Flightrec.t option;
+}
+
+let overload_pass r =
+  r.v_lost_rows = 0
+  && r.v_warmup_goodput > 0.0
+  && r.v_spike_goodput >= r.v_spike_floor *. r.v_warmup_goodput
+  && (match r.v_recovery_time with
+     | Some t -> t <= r.v_recovery_limit
+     | None -> false)
+  && (not r.v_defended || r.v_rejected > 0)
+
+let run_overload ?(seed = 0xD5177L) ?obs ?sample_interval ?(params = overload_params)
+    ?(defenses = true) ?flight () =
+  (match (sample_interval, obs) with
+  | Some _, None -> invalid_arg "Drill.run_overload: sample_interval requires obs"
+  | _ -> ());
+  let recorder, obs = arm_flight flight obs in
+  let cfg = if defenses then overload_config else overload_no_defense_config in
+  let cfg = { cfg with System.seed } in
+  let sim = Sim.create ~seed () in
+  let out = ref (Error "overload drill: simulation did not complete") in
+  let (_ : Sim.pid) =
+    Sim.spawn sim ~name:"overload-main" (fun () ->
+        let system = System.build ?obs sim cfg in
+        let plan = overload_plan params in
+        match Faultplan.validate_overload system plan with
+        | Error e -> out := Error ("fault plan: " ^ e)
+        | Ok () ->
+            let node = System.node system in
+            let response_stat = Stat.create ~name:"overload-rt" () in
+            let acked = ref [] in
+            let committed = ref 0 in
+            let rejected = ref 0 in
+            let failed = ref 0 in
+            let outstanding = ref 0 in
+            let started = Sim.now sim in
+            let ts =
+              match (sample_interval, obs) with
+              | Some interval, Some o ->
+                  let m = Obs.metrics o in
+                  Metrics.register_gauge m "drill.committed" (fun () ->
+                      float_of_int !committed);
+                  Metrics.register_gauge m "drill.rejected" (fun () ->
+                      float_of_int !rejected);
+                  Metrics.register_gauge m "drill.failed" (fun () ->
+                      float_of_int !failed);
+                  let t = Timeseries.create ~sim ~metrics:m ~interval () in
+                  Timeseries.start t;
+                  Some t
+              | _ -> None
+            in
+            (* Cumulative committed count at each window boundary; the
+               goodput-over-time series and both phase gates derive
+               from it. *)
+            let windows = ref [] in
+            let sampling = ref true in
+            ignore
+              (Sim.spawn sim ~name:"goodput-sampler" (fun () ->
+                   while !sampling do
+                     Sim.sleep params.ov_window;
+                     windows := (Sim.now sim, !committed) :: !windows
+                   done));
+            let frun = Faultplan.launch_overload system plan in
+            let workers = cfg.System.worker_cpus in
+            let pool = Array.init workers (fun i -> System.session system ~cpu:i) in
+            let files = cfg.System.files in
+            let per_txn = params.ov_inserts_per_txn in
+            (* One arrival = one transaction attempt.  Rejection is
+               respected immediately (that is the contract the defended
+               system offers); failure is retried a bounded number of
+               times, because real clients do — the driver-level half of
+               the retry storm. *)
+            let worker index () =
+              let session = pool.(index mod workers) in
+              let keys =
+                List.init per_txn (fun i ->
+                    (i mod files, 900_000_000 + (index * per_txn) + i))
+              in
+              let rec attempt retries =
+                let t0 = Sim.now sim in
+                match Txclient.begin_txn session with
+                | Error e ->
+                    if Txclient.is_rejected e then incr rejected
+                    else if retries > 0 then begin
+                      Sim.sleep (Time.ms 100);
+                      attempt (retries - 1)
+                    end
+                    else incr failed
+                | Ok txn -> (
+                    List.iter
+                      (fun (file, key) ->
+                        Txclient.insert_async session txn ~file ~key
+                          ~len:params.ov_record_bytes ())
+                      keys;
+                    match Txclient.commit session txn with
+                    | Ok () ->
+                        incr committed;
+                        acked := List.rev_append keys !acked;
+                        Stat.add_span response_stat (Sim.now sim - t0)
+                    | Error e ->
+                        if Txclient.is_rejected e then incr rejected
+                        else if retries > 0 then begin
+                          Sim.sleep (Time.ms 100);
+                          attempt (retries - 1)
+                        end
+                        else incr failed)
+              in
+              attempt params.ov_client_retries;
+              decr outstanding
+            in
+            let rng = Rng.split (Sim.rng sim) in
+            let arrivals =
+              Arrival.run ~rng (overload_schedule params) ~f:(fun index ->
+                  incr outstanding;
+                  ignore
+                    (Cpu.spawn
+                       (Node.cpu node (index mod workers))
+                       ~name:(Printf.sprintf "ov%d" index)
+                       (worker index)))
+            in
+            (* Drain the stragglers — under collapse this tail is long,
+               which the windowed series records faithfully. *)
+            while !outstanding > 0 do
+              Sim.sleep (Time.ms 10)
+            done;
+            let elapsed = Sim.now sim - started in
+            sampling := false;
+            Faultplan.await frun;
+            mark_faults recorder (Faultplan.injected frun);
+            (match ts with
+            | Some t ->
+                Timeseries.stop t;
+                List.iter
+                  (fun (time, label) -> Timeseries.mark t ~time label)
+                  (Faultplan.injected frun)
+            | None -> ());
+            Sim.sleep params.ov_settle;
+            (* Harvest client and server counters before the crash wipes
+               the live processes' relevance. *)
+            let sum f = Array.fold_left (fun acc s -> acc + f s) 0 pool in
+            let timeouts = sum Txclient.timeouts in
+            let retry_denied =
+              sum (fun s ->
+                  match Txclient.retry_budget s with
+                  | Some b -> Retry_budget.denied b
+                  | None -> 0)
+            in
+            let breaker_trips = sum Txclient.breaker_trips in
+            let tmf = System.tmf system in
+            let admitted = Tmf.admitted tmf in
+            let tmf_rejected = Tmf.rejected tmf in
+            let tmf_expired = Tmf.expired tmf in
+            let adp_shed = System.adp_shed_expired system in
+            Array.iter (fun d -> Dp2.load_table d []) (System.dp2s system);
+            match Recovery.run system with
+            | Error e -> out := Error ("recovery failed: " ^ e)
+            | Ok recovery ->
+                let routing = System.routing system in
+                let dp2s = System.dp2s system in
+                let lost =
+                  List.filter
+                    (fun (file, key) ->
+                      let d = dp2s.(routing.Txclient.dp2_of ~file ~key) in
+                      Dp2.lookup_direct d ~file ~key = None)
+                    !acked
+                in
+                (* Per-window commit deltas, oldest first. *)
+                let goodput =
+                  let cumulative = List.rev !windows in
+                  let prev = ref 0 in
+                  List.map
+                    (fun (t, c) ->
+                      let d = c - !prev in
+                      prev := c;
+                      (t, d))
+                    cumulative
+                in
+                let spike_start = started + params.ov_warmup in
+                let spike_end = spike_start + params.ov_spike_for in
+                let sched_end = spike_end + params.ov_cooldown in
+                let phase_rate lo hi =
+                  let commits =
+                    List.fold_left
+                      (fun acc (t, d) -> if t > lo && t <= hi then acc + d else acc)
+                      0 goodput
+                  in
+                  let dt = Time.to_sec (hi - lo) in
+                  if dt > 0.0 then float_of_int commits /. dt else 0.0
+                in
+                let warmup_g = phase_rate started spike_start in
+                let spike_g = phase_rate spike_start spike_end in
+                let cool_g = phase_rate spike_end sched_end in
+                let window_sec = Time.to_sec params.ov_window in
+                (* Metastability gate: the first window inside the
+                   cooldown phase whose rate is back to the recovery
+                   fraction of the warmup rate.  Only windows while
+                   base-rate load is still arriving count — recovering
+                   after the offered load stops is exactly what a
+                   metastable system does, and it does not count. *)
+                let recovery_time =
+                  let threshold = params.ov_recovery_frac *. warmup_g in
+                  List.fold_left
+                    (fun acc (t, d) ->
+                      match acc with
+                      | Some _ -> acc
+                      | None ->
+                          if
+                            t > spike_end && t <= sched_end
+                            && float_of_int d /. window_sec >= threshold
+                          then Some (t - spike_end)
+                          else None)
+                    None goodput
+                in
+                out :=
+                  Ok
+                    {
+                      v_seed = seed;
+                      v_defended = defenses;
+                      v_arrivals = arrivals;
+                      v_committed = !committed;
+                      v_rejected = !rejected;
+                      v_failed = !failed;
+                      v_timeouts = timeouts;
+                      v_admitted = admitted;
+                      v_tmf_rejected = tmf_rejected;
+                      v_tmf_expired = tmf_expired;
+                      v_adp_shed = adp_shed;
+                      v_retry_denied = retry_denied;
+                      v_breaker_trips = breaker_trips;
+                      v_acked_rows = List.length !acked;
+                      v_lost_rows = List.length lost;
+                      v_elapsed = elapsed;
+                      v_warmup_goodput = warmup_g;
+                      v_spike_goodput = spike_g;
+                      v_cooldown_goodput = cool_g;
+                      v_recovery_time = recovery_time;
+                      v_spike_floor = params.ov_spike_floor;
+                      v_recovery_frac = params.ov_recovery_frac;
+                      v_recovery_limit = params.ov_recovery_limit;
+                      v_goodput = goodput;
+                      v_response = Stat.summary response_stat;
+                      v_faults = Faultplan.injected frun;
+                      v_recovery = recovery;
+                      v_timeline = ts;
+                      v_flight = recorder;
+                    })
+  in
+  Sim.run sim;
+  (match (flight, recorder) with
+  | Some path, Some fr ->
+      let gate_failed =
+        match !out with Ok r -> not (overload_pass r) | Error _ -> true
+      in
+      if gate_failed then begin
+        (match !out with
+        | Error e -> Flightrec.mark fr ~time:0 ("drill error: " ^ e)
+        | Ok r ->
+            Flightrec.mark fr ~time:0
+              (Printf.sprintf
+                 "overload gate failed: warmup %.1f tps, spike %.1f tps, recovery %s"
+                 r.v_warmup_goodput r.v_spike_goodput
+                 (match r.v_recovery_time with
+                 | Some t -> Time.to_string t
+                 | None -> "never")));
+        dump_flight path fr
+      end
+  | _ -> ());
+  !out
 
 (* --- Cluster partition drill --- *)
 

@@ -254,6 +254,117 @@ val run_gray :
     only; the recorder also dumps when {!gray_pass} rejects the combined
     report (the p99 gate lives here, not in {!run}). *)
 
+(** {1 Overload drill}
+
+    The metastable-failure drill: open-loop flash-crowd load against an
+    impatient client population, defended by admission control,
+    deadlines, retry budgets and breakers — or undefended, the negative
+    control that must stay collapsed after the spike ends. *)
+
+type overload_params = {
+  ov_record_bytes : int;
+  ov_inserts_per_txn : int;
+  ov_base_rate : float;  (** offered txns/s before and after the spike *)
+  ov_spike : float;  (** spike multiple of the base rate *)
+  ov_warmup : Time.span;
+  ov_spike_for : Time.span;
+  ov_cooldown : Time.span;
+  ov_window : Time.span;  (** goodput sampling window *)
+  ov_settle : Time.span;
+  ov_client_retries : int;
+      (** driver-level whole-transaction retries of a failed (not
+          rejected) attempt *)
+  ov_spike_floor : float;
+      (** gate: spike goodput ≥ floor × warmup goodput *)
+  ov_recovery_frac : float;
+      (** gate: recovered once a cooldown window's rate is back to this
+          fraction of the warmup rate *)
+  ov_recovery_limit : Time.span;
+      (** gate: recovery must happen within this span of the spike end *)
+}
+
+val overload_params : overload_params
+(** Base 400 txns/s (~0.6x measured open-loop capacity), 5x spike for
+    400 ms, 1.5 s of cooldown observation in 100 ms windows. *)
+
+val overload_config : System.config
+(** {!System.pm_config} armed with every overload defense: TMF
+    admission control, 150 ms transaction deadlines, budgeted client
+    retries (12-token buckets), per-destination breakers — plus the
+    300 ms client patience that is the storm's raw material. *)
+
+val overload_no_defense_config : System.config
+(** {!overload_config} with every defense off and the same impatient
+    clients — the negative-control platform that goes metastable. *)
+
+val overload_plan : overload_params -> Faultplan.t
+(** The [Flash_crowd] marker event at the spike's offset; validated with
+    {!Faultplan.validate_overload}. *)
+
+val overload_schedule : overload_params -> Arrival.schedule
+(** The open-loop flash-crowd schedule the drill offers. *)
+
+type overload_report = {
+  v_seed : int64;
+  v_defended : bool;
+  v_arrivals : int;  (** transactions the schedule offered *)
+  v_committed : int;  (** client-acknowledged commits *)
+  v_rejected : int;
+      (** attempts refused by admission or breakers — backpressure,
+          not loss *)
+  v_failed : int;  (** attempts that exhausted their retries *)
+  v_timeouts : int;  (** client calls abandoned after [op_timeout] *)
+  v_admitted : int;  (** TMF admission verdicts *)
+  v_tmf_rejected : int;
+  v_tmf_expired : int;  (** commits shed server-side past deadline *)
+  v_adp_shed : int;  (** flush waits shed past deadline *)
+  v_retry_denied : int;  (** resends the token buckets refused *)
+  v_breaker_trips : int;
+  v_acked_rows : int;
+  v_lost_rows : int;  (** acked rows missing after recovery: must be 0 *)
+  v_elapsed : Time.span;  (** schedule plus straggler drain *)
+  v_warmup_goodput : float;  (** committed/s during warmup *)
+  v_spike_goodput : float;
+  v_cooldown_goodput : float;
+  v_recovery_time : Time.span option;
+      (** spike end to the first cooldown window back at the recovery
+          fraction of warmup goodput; [None] = stayed collapsed while
+          load was still arriving — metastability *)
+  v_spike_floor : float;
+  v_recovery_frac : float;
+  v_recovery_limit : Time.span;
+  v_goodput : (Time.t * int) list;
+      (** commits per window (window end, count), oldest first — the
+          goodput-over-time series E17 tabulates *)
+  v_response : Stat.summary;
+  v_faults : (Time.t * string) list;
+  v_recovery : Recovery.report;
+  v_timeline : Timeseries.t option;
+  v_flight : Flightrec.t option;
+}
+
+val overload_pass : overload_report -> bool
+(** The acceptance gate: zero acked-lost rows, spike goodput at or above
+    the floor, recovery within the bound, and — defended runs only —
+    at least one rejection (proof the admission path actually fired).
+    The undefended run fails the goodput/recovery gates: it stays
+    collapsed after the load drops, which is the point. *)
+
+val run_overload :
+  ?seed:int64 ->
+  ?obs:Obs.t ->
+  ?sample_interval:Time.span ->
+  ?params:overload_params ->
+  ?defenses:bool ->
+  ?flight:string ->
+  unit ->
+  (overload_report, string) result
+(** Run the flash-crowd schedule open-loop against a fresh system, drain
+    the stragglers, crash, recover, and audit durability plus the
+    goodput gates.  Owns its simulation.  [~defenses:false] runs the
+    same schedule and seed on the undefended platform.  [flight] dumps
+    the black box when {!overload_pass} rejects the report. *)
+
 (** Result of a cluster drill: the per-node durability audit plus the
     partition-specific invariants. *)
 type cluster_report = {

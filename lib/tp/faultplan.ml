@@ -19,6 +19,7 @@ type action =
   | Slow_rail of { rail : int; factor : float }
   | Slow_disk of { volume : int; factor : float; jitter : Time.span }
   | Restore_speed
+  | Flash_crowd of { spike : float; spike_for : Time.span }
 
 type event = { after : Time.span; action : action }
 
@@ -45,6 +46,7 @@ let action_name = function
   | Slow_rail _ -> "slow_rail"
   | Slow_disk _ -> "slow_disk"
   | Restore_speed -> "restore_speed"
+  | Flash_crowd _ -> "flash_crowd"
 
 let describe = function
   | Kill_primary (Adp i) -> Printf.sprintf "kill ADP %d primary" i
@@ -72,8 +74,17 @@ let describe = function
       Printf.sprintf "degrade data volume %d to %.1fx (jitter %s)" volume factor
         (Time.to_string jitter)
   | Restore_speed -> "restore every degraded component to full speed"
+  | Flash_crowd { spike; spike_for } ->
+      Printf.sprintf "flash crowd: %.1fx offered load for %s" spike
+        (Time.to_string spike_for)
 
-let validate_scoped ~clustered system plan =
+(* Flash_crowd does not act on the system — the overload drill's open-loop
+   arrival engine is what actually raises the offered load; the event
+   exists so the spike lands in the injection log, the timeline marks and
+   the flight recorder like any other fault.  Outside the overload drill
+   the event would silently mark a spike that never happens, so plain
+   [validate] rejects it. *)
+let validate_scoped ?(overload = false) ~clustered system plan =
   let cfg = System.config system in
   let pm_mode = cfg.System.log_mode = System.Pm_audit in
   let n_adps = Array.length (System.adps system) in
@@ -133,6 +144,22 @@ let validate_scoped ~clustered system plan =
     | Slow_disk { factor; _ } when factor < 1.0 ->
         reject "slow_disk: factor %.2f below 1.0" factor
     | Slow_disk { jitter; _ } when jitter < 0 -> reject "slow_disk: negative jitter"
+    | Flash_crowd _ when not overload ->
+        (* Keep this list in step with Drill.plan_names (checked by
+           test_overload) — the same names odsbench's --list-plans
+           prints. *)
+        let plans =
+          if pm_mode then "standard, kills, corruption, grayfail, overload, none"
+          else "standard, kills, none"
+        in
+        reject
+          "flash_crowd is overload-drill-only: run it via --plan overload (valid plans: \
+           %s)"
+          plans
+    | Flash_crowd { spike; _ } when spike < 1.0 ->
+        reject "flash_crowd: spike %.2f below 1.0" spike
+    | Flash_crowd { spike_for; _ } when spike_for <= 0 ->
+        reject "flash_crowd: spike_for must be positive"
     | _ when ev.after < 0 -> reject "event offset must be non-negative"
     | _ -> Ok ()
   in
@@ -141,6 +168,9 @@ let validate_scoped ~clustered system plan =
     (Ok ()) plan
 
 let validate system plan = validate_scoped ~clustered:false system plan
+
+let validate_overload system plan =
+  validate_scoped ~overload:true ~clustered:false system plan
 
 let validate_cluster cluster ~node plan =
   validate_scoped ~clustered:true (Cluster.system cluster node) plan
@@ -259,6 +289,9 @@ let inject run action =
       done;
       Array.iter Diskio.Volume.restore_speed (System.data_volumes system);
       record run action
+  | Flash_crowd _ ->
+      (* The arrival engine raises the load; this only marks the spike. *)
+      record run action
   | Wan_partition ->
       (match run.r_cluster with Some c -> Cluster.partition c | None -> ());
       record run action
@@ -327,6 +360,12 @@ let launch system plan =
   (match validate system plan with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Faultplan.launch: " ^ msg));
+  start_run system plan
+
+let launch_overload system plan =
+  (match validate_overload system plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Faultplan.launch_overload: " ^ msg));
   start_run system plan
 
 let launch_cluster cluster ~node plan =

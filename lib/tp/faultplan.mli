@@ -74,6 +74,14 @@ type action =
   | Restore_speed
       (** Lift every fail-slow injection at once: all NPMUs, all rails
           and all data volumes return to full speed. *)
+  | Flash_crowd of { spike : float; spike_for : Time.span }
+      (** Overload-drill-only marker: the offered load spikes to
+          [spike]x for [spike_for].  The drill's open-loop arrival
+          engine is what actually raises the load; the event puts the
+          spike in the injection log, timeline marks and flight
+          recorder.  Plain {!validate} rejects it — only
+          {!validate_overload} (the [--plan overload] path) admits
+          it. *)
 
 type event = { after : Time.span; action : action }
 (** [after] is the offset from {!launch}, not an absolute time. *)
@@ -93,7 +101,12 @@ val validate : System.t -> t -> (unit, string) result
     range, rail indices within the fabric, CRC rates in [0, 1), no
     PM-only events (PMM kill, NPMU cycle, resync, fence check) against a
     disk-mode system, and no WAN events outside a cluster-scoped
-    launch. *)
+    launch.  [Flash_crowd] is rejected outright — it is meaningful only
+    under the overload drill, and the error names the valid plans. *)
+
+val validate_overload : System.t -> t -> (unit, string) result
+(** {!validate} with [Flash_crowd] permitted (spike ≥ 1, positive
+    window) — the overload drill's scope. *)
 
 val validate_cluster : Cluster.t -> node:int -> t -> (unit, string) result
 (** {!validate} against [node]'s system, with WAN events permitted. *)
@@ -105,6 +118,10 @@ val launch : System.t -> t -> run
 (** Validate and start executing the plan against the system.  Raises
     [Invalid_argument] if {!validate} rejects it.  Safe to call outside
     process context; the scheduler is its own process. *)
+
+val launch_overload : System.t -> t -> run
+(** Like {!launch}, but validated with {!validate_overload} so the plan
+    may carry [Flash_crowd] markers. *)
 
 val launch_cluster : Cluster.t -> node:int -> t -> run
 (** Like {!launch}, but scoped to a cluster: node-local events hit

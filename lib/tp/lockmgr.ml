@@ -99,10 +99,16 @@ let grant t e ~owner ~key mode =
   e.lock_holders <- merged;
   note_owned t ~owner key
 
-let acquire t ?(span = Span.null) ~owner ~key mode =
+let acquire t ?(span = Span.null) ?(deadline = 0) ~owner ~key mode =
   let e = entry t key in
   let t0 = Sim.now t.sim in
-  let deadline = t0 + t.timeout in
+  (* A transaction deadline tightens (never widens) the lock timeout:
+     a doomed waiter gives up and releases the serve slot instead of
+     camping on the queue for the full timeout. *)
+  let deadline =
+    let timeout_at = t0 + t.timeout in
+    if deadline > 0 then min timeout_at deadline else timeout_at
+  in
   let contended = not (compatible e ~owner mode) in
   if contended then begin
     t.conflict_count <- t.conflict_count + 1;

@@ -22,9 +22,19 @@ val create : Sim.t -> ?timeout:Time.span -> ?obs:Obs.t -> unit -> t
     totals are exported as gauges. *)
 
 val acquire :
-  t -> ?span:Span.span -> owner:Audit.txn_id -> key:key -> mode -> (unit, error) result
+  t ->
+  ?span:Span.span ->
+  ?deadline:Time.t ->
+  owner:Audit.txn_id ->
+  key:key ->
+  mode ->
+  (unit, error) result
 (** Block until granted (re-entrant; a Shared holder may upgrade to
-    Exclusive if it is the only holder).  Process context only.  With
+    Exclusive if it is the only holder).  Process context only.  A
+    positive [deadline] (absolute sim time) tightens the wait bound to
+    [min (now + timeout) deadline], so a transaction that cannot make
+    its deadline stops camping on the queue; [0] (the default) means
+    the lock timeout alone governs.  With
     [span], a contended acquire records the blocked stretch as the
     span's queue prefix and links it to each current holder's registered
     span ({!Simkit.Span.link}) — the waiting transaction's causal edge

@@ -24,6 +24,11 @@ type config = {
   pm_hedged_reads : bool;
   pm_adaptive_backoff : bool;
   txn_state_in_pm : bool;
+  client_deadline : Time.span;
+  client_op_timeout : Time.span;
+  client_retry_budget : float;
+  client_breakers : bool;
+  pm_retry_budget : float;
   fabric : Servernet.Fabric.config;
   adp : Adp.config;
   dp2 : Dp2.config;
@@ -50,6 +55,11 @@ let default_config =
     pm_hedged_reads = false;
     pm_adaptive_backoff = false;
     txn_state_in_pm = false;
+    client_deadline = 0;
+    client_op_timeout = 0;
+    client_retry_budget = 0.;
+    client_breakers = false;
+    pm_retry_budget = 0.;
     fabric = Servernet.Fabric.default_config;
     adp = Adp.default_config;
     dp2 = Dp2.default_config;
@@ -96,6 +106,7 @@ let make_pm_client ?obs cfg node fabric pmm ~cpu =
       slo_budget = cfg.pm_slo_budget;
       hedged_reads = cfg.pm_hedged_reads;
       adaptive_backoff = cfg.pm_adaptive_backoff;
+      mgmt_retry_budget = cfg.pm_retry_budget;
     }
   in
   ignore node;
@@ -431,8 +442,15 @@ let fence_check t =
 let obs t = t.sys_obs
 
 let session t ~cpu =
+  let retry_budget =
+    if t.cfg.client_retry_budget > 0. then
+      Some (Retry_budget.create ~capacity:t.cfg.client_retry_budget ())
+    else None
+  in
   Txclient.create ~cpu:(Node.cpu t.sys_node cpu) ~tmf:(Tmf.server t.sys_tmf)
-    ~dp2s:t.sys_dp2_servers ~routing:t.sys_routing ?obs:t.sys_obs ()
+    ~dp2s:t.sys_dp2_servers ~routing:t.sys_routing
+    ~deadline_budget:t.cfg.client_deadline ~op_timeout:t.cfg.client_op_timeout
+    ?retry_budget ~breakers:t.cfg.client_breakers ?obs:t.sys_obs ()
 
 let routing t = t.sys_routing
 
@@ -443,6 +461,10 @@ let total_audit_bytes t =
 let checkpoint_message_bytes t =
   Array.fold_left (fun acc adp -> acc + Adp.checkpoint_bytes adp) 0 t.sys_adps
   + Adp.checkpoint_bytes t.sys_mat
+
+let adp_shed_expired t =
+  Array.fold_left (fun acc adp -> acc + Adp.shed_expired_count adp) 0 t.sys_adps
+  + Adp.shed_expired_count t.sys_mat
 
 let report ppf t =
   let tmf = t.sys_tmf in

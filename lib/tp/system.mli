@@ -49,6 +49,21 @@ type config = {
   pm_adaptive_backoff : bool;
       (** PM clients scale data-path retry backoff to observed latency *)
   txn_state_in_pm : bool;  (** fine-grained txn table (PM mode only) *)
+  client_deadline : Time.span;
+      (** deadline budget stamped on each transaction by sessions from
+          {!session}; 0 (the default) disables deadlines *)
+  client_op_timeout : Time.span;
+      (** per-call patience of sessions from {!session}
+          ({!Txclient.create}'s [op_timeout]); 0 (the default) waits
+          forever *)
+  client_retry_budget : float;
+      (** per-session retry token-bucket capacity; 0 (the default)
+          leaves retries unbudgeted *)
+  client_breakers : bool;
+      (** per-destination circuit breakers in sessions *)
+  pm_retry_budget : float;
+      (** PM-client management-path retry token-bucket capacity; 0 (the
+          default) leaves those retries unbudgeted *)
   fabric : Servernet.Fabric.config;
   adp : Adp.config;
   dp2 : Dp2.config;
@@ -169,6 +184,10 @@ val total_audit_bytes : t -> int
 val checkpoint_message_bytes : t -> int
 (** Total process-pair checkpoint traffic (ADPs + MAT), the §2
     "check-point traffic between process pairs". *)
+
+val adp_shed_expired : t -> int
+(** Expired flush waits shed across every trail writer (data ADPs +
+    MAT) — admission control's back-pressure observable. *)
 
 val report : Format.formatter -> t -> unit
 (** Operator summary: per-subsystem counters (transactions, trails,

@@ -2,7 +2,7 @@ open Simkit
 open Nsk
 
 type request =
-  | Begin_txn
+  | Begin_txn of { deadline : Time.t }
   | Commit_txn of {
       txn : Audit.txn_id;
       flushes : (int * Audit.asn) list;
@@ -20,6 +20,9 @@ type request =
 
 type response =
   | Began of { txn : Audit.txn_id }
+  | Rejected of { reason : string }
+      (** admission control refused the begin — backpressure, not a
+          failure: nothing was acknowledged, nothing was lost *)
   | Committed
   | Aborted
   | Prepared_ok
@@ -29,9 +32,38 @@ type response =
 
 type server = (request, response) Msgsys.server
 
-type config = { begin_cpu : Time.span; commit_cpu : Time.span; state_entry_bytes : int }
+type config = {
+  begin_cpu : Time.span;
+  commit_cpu : Time.span;
+  state_entry_bytes : int;
+  admission : bool;
+      (** deadline-based admission control at [Begin_txn]: reject when
+          the estimated wait (active txns x commit-service EWMA) exceeds
+          the transaction's remaining deadline *)
+  ewma_alpha : float;  (** smoothing for the windowed service-time EWMA *)
+}
 
-let default_config = { begin_cpu = Time.us 30; commit_cpu = Time.us 60; state_entry_bytes = 32 }
+let default_config =
+  {
+    begin_cpu = Time.us 30;
+    commit_cpu = Time.us 60;
+    state_entry_bytes = 32;
+    admission = false;
+    ewma_alpha = 0.2;
+  }
+
+(* The admission decision, pure so its arithmetic is property-testable:
+   a transaction whose deadline has already passed is never admitted,
+   and neither is one whose estimated queueing wait (a conservative
+   [queue x svc_ewma] product) would blow the remaining deadline.
+   [deadline <= 0] means the client opted out of deadlines: admit. *)
+let admits ~now ~deadline ~queue ~svc_ewma_ns =
+  if deadline <= 0 then `Admit
+  else if now >= deadline then `Expired
+  else begin
+    let est_wait = float_of_int (max 0 queue) *. Float.max 0. svc_ewma_ns in
+    if float_of_int now +. est_wait > float_of_int deadline then `Reject else `Admit
+  end
 
 type ckpt =
   | Ck_begin of Audit.txn_id
@@ -47,7 +79,11 @@ type prepared_info = {
 
 type state = {
   mutable next_txn : Audit.txn_id;
-  active : (Audit.txn_id, unit) Hashtbl.t;
+  active : (Audit.txn_id, Time.t) Hashtbl.t;
+      (** value is the transaction's absolute deadline, [0] = none.
+          Deadlines are advisory after a takeover (the begin checkpoint
+          carries only the id), which merely disables shedding for
+          txns begun before the failover. *)
   prepared : (Audit.txn_id, prepared_info) Hashtbl.t;
 }
 
@@ -68,6 +104,10 @@ type t = {
   mutable n_begun : int;
   mutable n_committed : int;
   mutable n_aborted : int;
+  mutable n_admitted : int;
+  mutable n_rejected : int;  (** begins refused: estimated wait too long *)
+  mutable n_expired : int;  (** begins/commits shed: deadline already past *)
+  mutable svc_ewma : float;  (** commit service time EWMA, ns *)
   latency : Stat.t;
   obs : Obs.t option;
   flush_wait_stat : Stat.t option;
@@ -168,13 +208,13 @@ let query_outcome t s txn =
       else if Hashtbl.mem s.active txn then 1
       else (match t.outcome_probe with Some probe -> probe txn | None -> 0)
 
-let flush_trails ?span t flushes =
+let flush_trails ?span ?(deadline = 0) t flushes =
   let calls =
     List.map
       (fun (adp_idx, asn) ->
         (adp_idx, asn,
          Msgsys.call_async t.adps.(adp_idx) ~from:(current_cpu t) ?span
-           (Adp.Flush { through = asn })))
+           (Adp.Flush { through = asn; deadline })))
       flushes
   in
   (* Await the parallel flushes; a trail whose ADP died mid-flush is
@@ -188,7 +228,7 @@ let flush_trails ?span t flushes =
     | Ok (), Error _ -> (
         match
           Rpc.call_retry t.adps.(adp_idx) ~from:(current_cpu t) ?span
-            (Adp.Flush { through = asn })
+            (Adp.Flush { through = asn; deadline })
         with
         | Ok (Adp.Flushed _) -> Ok ()
         | Ok (Adp.A_failed e) -> Error e
@@ -207,7 +247,8 @@ let write_mat_record ?span t record =
   with
   | Ok (Adp.Appended { last_asn }) -> (
       match
-        Rpc.call_retry t.mat ~from:(current_cpu t) ?span (Adp.Flush { through = last_asn })
+        Rpc.call_retry t.mat ~from:(current_cpu t) ?span
+          (Adp.Flush { through = last_asn; deadline = 0 })
       with
       | Ok (Adp.Flushed _) -> Ok ()
       | Ok (Adp.A_failed e) -> Error e
@@ -221,15 +262,30 @@ let write_commit_record ?span t txn = write_mat_record ?span t (Audit.Commit { t
 
 let handle t s req respond =
   match req with
-  | Begin_txn ->
+  | Begin_txn { deadline } -> (
       Cpu.execute (current_cpu t) t.cfg.begin_cpu;
-      let txn = s.next_txn in
-      s.next_txn <- txn + 1;
-      Hashtbl.replace s.active txn ();
-      t.n_begun <- t.n_begun + 1;
-      record_state_advisory t txn 1;
-      Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_begin txn);
-      respond (Began { txn })
+      let verdict =
+        if not t.cfg.admission then `Admit
+        else
+          admits ~now:(now t) ~deadline ~queue:(Hashtbl.length s.active)
+            ~svc_ewma_ns:t.svc_ewma
+      in
+      match verdict with
+      | `Expired ->
+          t.n_expired <- t.n_expired + 1;
+          respond (Rejected { reason = "deadline already expired" })
+      | `Reject ->
+          t.n_rejected <- t.n_rejected + 1;
+          respond (Rejected { reason = "estimated wait exceeds deadline" })
+      | `Admit ->
+          t.n_admitted <- t.n_admitted + 1;
+          let txn = s.next_txn in
+          s.next_txn <- txn + 1;
+          Hashtbl.replace s.active txn deadline;
+          t.n_begun <- t.n_begun + 1;
+          record_state_advisory t txn 1;
+          Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_begin txn);
+          respond (Began { txn }))
   | Commit_txn { txn; flushes; involved } ->
       (* The caller's span (and its inbox wait) must be read before
          yielding to the next request; the worker closure captures it. *)
@@ -250,11 +306,26 @@ let handle t s req respond =
           respond (T_failed msg)
         in
         Cpu.execute (current_cpu t) t.cfg.commit_cpu;
-        if not (Hashtbl.mem s.active txn) then finish_failed "unknown transaction"
-        else begin
+        match Hashtbl.find_opt s.active txn with
+        | None -> finish_failed "unknown transaction"
+        | Some deadline when deadline > 0 && now t >= deadline ->
+            (* Shed before flushing: the client has (or will) time out,
+               so durability work here only starves live commits.  The
+               transaction was never acknowledged — aborting it is the
+               degraded-service contract, not data loss. *)
+            t.n_expired <- t.n_expired + 1;
+            Hashtbl.remove s.active txn;
+            t.n_aborted <- t.n_aborted + 1;
+            record_state_advisory t txn 3;
+            Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, false));
+            finish_span t csp;
+            respond (T_failed "shed: deadline expired");
+            Mailbox.send t.finish_queue
+              { fj_txn = txn; fj_committed = false; fj_involved = involved }
+        | Some deadline -> begin
           let fsp = start_span t ~parent:csp "tmf.flush_trails" in
           let f0 = now t in
-          let flush_result = flush_trails ~span:fsp t flushes in
+          let flush_result = flush_trails ~span:fsp ~deadline t flushes in
           note t.flush_wait_stat (now t - f0);
           finish_span t fsp;
           match flush_result with
@@ -280,7 +351,14 @@ let handle t s req respond =
                   Hashtbl.remove s.active txn;
                   t.n_committed <- t.n_committed + 1;
                   Procpair.checkpoint (pair_exn t) ~bytes:16 (Ck_outcome (txn, true));
-                  Stat.add_span t.latency (Sim.now (Cpu.sim (current_cpu t)) - started);
+                  let svc = Sim.now (Cpu.sim (current_cpu t)) - started in
+                  (* The windowed service-time estimate admission uses. *)
+                  t.svc_ewma <-
+                    (if t.svc_ewma = 0. then float_of_int svc
+                     else
+                       (t.cfg.ewma_alpha *. float_of_int svc)
+                       +. ((1. -. t.cfg.ewma_alpha) *. t.svc_ewma));
+                  Stat.add_span t.latency svc;
                   finish_span t csp;
                   respond Committed;
                   (* Lock release happens behind the reply. *)
@@ -402,7 +480,7 @@ let finisher t () =
 
 let apply_ckpt t = function
   | Ck_begin txn ->
-      Hashtbl.replace t.shadow.active txn ();
+      Hashtbl.replace t.shadow.active txn 0;
       t.shadow.next_txn <- max t.shadow.next_txn (txn + 1)
   | Ck_outcome (txn, _) ->
       Hashtbl.remove t.shadow.active txn;
@@ -430,6 +508,10 @@ let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state ?outcome_pr
       n_begun = 0;
       n_committed = 0;
       n_aborted = 0;
+      n_admitted = 0;
+      n_rejected = 0;
+      n_expired = 0;
+      svc_ewma = 0.;
       latency =
         (match obs with
         | Some o -> Metrics.stat (Obs.metrics o) "tmf.commit_ns"
@@ -451,7 +533,13 @@ let start ~fabric ~name ~primary ~backup ~adps ~dp2s ~mat ?txn_state ?outcome_pr
       Msgsys.set_obs srv o;
       Metrics.register_gauge (Obs.metrics o) "tmf.active_txns" (fun () ->
           let s = match t.live with Some s -> s | None -> t.shadow in
-          float_of_int (Hashtbl.length s.active))
+          float_of_int (Hashtbl.length s.active));
+      Metrics.register_gauge (Obs.metrics o) "tmf.admitted" (fun () ->
+          float_of_int t.n_admitted);
+      Metrics.register_gauge (Obs.metrics o) "tmf.rejected" (fun () ->
+          float_of_int t.n_rejected);
+      Metrics.register_gauge (Obs.metrics o) "tmf.expired" (fun () ->
+          float_of_int t.n_expired)
   | None -> ());
   let spawn_helpers cpu =
     ignore (Cpu.spawn cpu ~name:(name ^ ":finisher") (fun () -> finisher t ()))
@@ -480,7 +568,7 @@ let aborted t = t.n_aborted
 
 let active_txns t =
   let s = match t.live with Some s -> s | None -> t.shadow in
-  Hashtbl.fold (fun txn () acc -> txn :: acc) s.active []
+  Hashtbl.fold (fun txn _ acc -> txn :: acc) s.active []
 
 let prepared_txns t =
   let s = match t.live with Some s -> s | None -> t.shadow in
@@ -489,6 +577,14 @@ let prepared_txns t =
 let in_doubt t =
   let s = match t.live with Some s -> s | None -> t.shadow in
   Hashtbl.fold (fun txn info acc -> (txn, info.pi_involved, info.pi_gtid) :: acc) s.prepared []
+
+let admitted t = t.n_admitted
+
+let rejected t = t.n_rejected
+
+let expired t = t.n_expired
+
+let service_ewma_ns t = t.svc_ewma
 
 let commit_latency t = t.latency
 

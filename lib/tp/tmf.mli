@@ -20,7 +20,14 @@ open Nsk
     without heuristically searching the audit trail. *)
 
 type request =
-  | Begin_txn
+  | Begin_txn of { deadline : Time.t }
+      (** [deadline] is an absolute sim time minted by the client at
+          arrival ([0] = none).  With {!config.admission} on, the
+          monitor rejects the begin when the estimated wait — active
+          transactions times the commit-service EWMA — exceeds the
+          remaining deadline, and the deadline rides every downstream
+          hop (DP2 insert, lock wait, trail flush) so doomed work is
+          shed instead of queued. *)
   | Commit_txn of {
       txn : Audit.txn_id;
       flushes : (int * Audit.asn) list;  (** (ADP index, highest ASN) *)
@@ -47,6 +54,10 @@ type request =
 
 type response =
   | Began of { txn : Audit.txn_id }
+  | Rejected of { reason : string }
+      (** admission control refused the begin.  Backpressure, not
+          failure: nothing was started, acknowledged, or lost, and the
+          client should back off rather than retry immediately. *)
   | Committed
   | Aborted
   | Prepared_ok
@@ -62,9 +73,27 @@ type config = {
   begin_cpu : Time.span;
   commit_cpu : Time.span;
   state_entry_bytes : int;  (** size of a txn-state table entry in PM *)
+  admission : bool;
+      (** enable deadline-based admission control at [Begin_txn]
+          (default off — closed-loop workloads never need it) *)
+  ewma_alpha : float;
+      (** smoothing factor for the commit service-time EWMA the
+          admission estimate uses (default 0.2) *)
 }
 
 val default_config : config
+
+val admits :
+  now:Time.t ->
+  deadline:Time.t ->
+  queue:int ->
+  svc_ewma_ns:float ->
+  [ `Admit | `Reject | `Expired ]
+(** The pure admission decision: [`Expired] when [now >= deadline],
+    [`Reject] when [now + queue * svc_ewma_ns] overshoots the deadline,
+    [`Admit] otherwise (and always when [deadline <= 0], meaning the
+    client opted out).  Exposed for property tests: it must never admit
+    a transaction whose deadline has already passed. *)
 
 type t
 
@@ -105,6 +134,21 @@ val in_doubt : t -> (Audit.txn_id * int list * (int * Audit.txn_id) option) list
 (** The prepared window with resolution context: each entry is
     [(txn, involved DP2 indices, gtid)].  Recovery's resolver walks this
     list, asks the gtid's coordinator for the outcome, and decides. *)
+
+val admitted : t -> int
+(** Begins accepted while admission control was on. *)
+
+val rejected : t -> int
+(** Begins refused because the estimated wait exceeded the deadline
+    (the [tmf.rejected] gauge). *)
+
+val expired : t -> int
+(** Work shed because its deadline had already passed: begins arriving
+    expired plus commits shed before flushing (the [tmf.expired]
+    gauge). *)
+
+val service_ewma_ns : t -> float
+(** Current commit service-time estimate feeding admission. *)
 
 val commit_latency : t -> Stat.t
 (** Time from commit request dequeue to reply, the monitor-side view of

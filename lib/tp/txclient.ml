@@ -1,9 +1,17 @@
 open Simkit
 open Nsk
 
-type error = Tx_failed of string
+type error =
+  | Tx_failed of string
+  | Tx_rejected of string
+      (** admission backpressure (server reject or local circuit open):
+          nothing was started or lost; back off, don't hammer *)
 
-let error_to_string (Tx_failed msg) = msg
+let error_to_string = function
+  | Tx_failed msg -> msg
+  | Tx_rejected msg -> "rejected: " ^ msg
+
+let is_rejected = function Tx_rejected _ -> true | Tx_failed _ -> false
 
 type routing = {
   files : int;
@@ -32,6 +40,16 @@ type t = {
   obs : Obs.t option;
   insert_wait_stat : Stat.t option;
   commit_call_stat : Stat.t option;
+  deadline_budget : Time.span;  (** 0 = transactions carry no deadline *)
+  op_timeout : Time.span;
+      (** client patience per synchronous call; 0 = wait forever.  An
+          impatient client is what turns overload into a retry storm —
+          the budget and breakers below exist to contain it. *)
+  budget : Retry_budget.t option;
+  breakers : Breaker.t array option;
+      (** one per destination: indices [0..n-1] the DP2s, [n] the TMF *)
+  mutable n_rejected : int;  (** begins refused (server or circuit) *)
+  mutable n_timeouts : int;  (** calls abandoned after [op_timeout] *)
 }
 
 type pending_insert = {
@@ -47,6 +65,7 @@ type pending_insert = {
 type txn = {
   id : Audit.txn_id;
   started : Time.t;
+  deadline : Time.t;  (** absolute, minted at begin; 0 = none *)
   root : Span.span;  (** the whole-transaction span; inserts and commit parent under it *)
   mutable pending : pending_insert list;
   high_water : (int, Audit.asn) Hashtbl.t;  (** ADP index -> max ASN *)
@@ -55,7 +74,8 @@ type txn = {
 }
 
 let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0)
-    ?(link = fun () -> true) ?obs () =
+    ?(link = fun () -> true) ?(deadline_budget = 0) ?(op_timeout = 0) ?retry_budget
+    ?(breakers = false) ?obs () =
   {
     client_cpu = cpu;
     tmf;
@@ -78,9 +98,41 @@ let create ~cpu ~tmf ~dp2s ~routing ?(issue_cpu = Time.us 500) ?(wan_latency = 0
       (match obs with
       | Some o -> Some (Metrics.stat (Obs.metrics o) "txn.commit_call_ns")
       | None -> None);
+    deadline_budget;
+    op_timeout;
+    budget = retry_budget;
+    breakers =
+      (if breakers then
+         Some (Array.init (Array.length dp2s + 1) (fun _ -> Breaker.create ()))
+       else None);
+    n_rejected = 0;
+    n_timeouts = 0;
   }
 
 let now t = Sim.now (Cpu.sim t.client_cpu)
+
+(* Client-side containment: the retry budget and per-destination
+   breakers that keep rejected/failed work from amplifying into a
+   retry storm. *)
+let tmf_breaker t =
+  match t.breakers with Some b -> Some b.(Array.length b - 1) | None -> None
+
+let dp2_breaker t i = match t.breakers with Some b -> Some b.(i) | None -> None
+
+let breaker_allow t br =
+  match br with None -> true | Some b -> Breaker.allow b ~now:(now t)
+
+let breaker_success br =
+  match br with None -> () | Some b -> Breaker.record_success b
+
+let breaker_failure t br =
+  match br with None -> () | Some b -> Breaker.record_failure b ~now:(now t)
+
+let spend_retry t =
+  match t.budget with None -> true | Some b -> Retry_budget.try_spend b
+
+let budget_success t =
+  match t.budget with None -> () | Some b -> Retry_budget.success b
 
 let start_span t ?parent name =
   match t.obs with
@@ -105,15 +157,27 @@ let note stat dt = match stat with Some st -> Stat.add_span st dt | None -> ()
    partition lands mid-call): the caller sees a timeout, and when the
    reply leg was the one lost the server has already acted — the window
    that creates in-doubt transactions. *)
-let wan_call t server ?req_bytes ?resp_bytes ?span req =
-  if t.wan = 0 then Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req
+let wan_call t server ?req_bytes ?resp_bytes ?span ?timeout req =
+  let timeout =
+    match timeout with
+    | Some _ as s -> s
+    | None -> if t.op_timeout > 0 then Some t.op_timeout else None
+  in
+  let counted_call () =
+    let r = Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span ?timeout req in
+    (match (r, timeout) with
+    | Error Msgsys.Timed_out, Some _ -> t.n_timeouts <- t.n_timeouts + 1
+    | _ -> ());
+    r
+  in
+  if t.wan = 0 then counted_call ()
   else if not (t.link ()) then begin
     Sim.sleep t.wan;
     Error Msgsys.Timed_out
   end
   else begin
     Sim.sleep t.wan;
-    let result = Msgsys.call server ~from:t.client_cpu ?req_bytes ?resp_bytes ?span req in
+    let result = counted_call () in
     Sim.sleep t.wan;
     if t.link () then result else Error Msgsys.Timed_out
   end
@@ -147,35 +211,62 @@ let cpu t = t.client_cpu
 let txn_id txn = txn.id
 
 let begin_txn t =
-  let root = root_span t "txn" in
-  let bsp = start_span t ~parent:root "txn.begin" in
-  let fail msg =
-    finish_span t bsp;
-    finish_span t root;
-    Error (Tx_failed msg)
-  in
-  match wan_call t t.tmf ~span:bsp Tmf.Begin_txn with
-  | Ok (Tmf.Began { txn }) ->
+  let br = tmf_breaker t in
+  if not (breaker_allow t br) then begin
+    t.n_rejected <- t.n_rejected + 1;
+    Error (Tx_rejected "circuit open: tmf")
+  end
+  else begin
+    let root = root_span t "txn" in
+    let bsp = start_span t ~parent:root "txn.begin" in
+    let fail msg =
       finish_span t bsp;
-      if not (Span.is_null root) then
-        Span.annotate root ~key:"txn" (string_of_int txn);
-      Ok
-        {
-          id = txn;
-          started = Sim.now (Cpu.sim t.client_cpu);
-          root;
-          pending = [];
-          high_water = Hashtbl.create 8;
-          involved = Hashtbl.create 8;
-          failed = None;
-        }
-  | Ok (Tmf.T_failed e) -> fail e
-  | Ok _ -> fail "unexpected TMF reply"
-  | Error e -> fail (Format.asprintf "%a" Msgsys.pp_error e)
+      finish_span t root;
+      Error (Tx_failed msg)
+    in
+    (* The deadline is minted at arrival and propagates — in the begin
+       request, on every insert, and through the monitor to lock waits
+       and trail flushes. *)
+    let deadline = if t.deadline_budget > 0 then now t + t.deadline_budget else 0 in
+    match wan_call t t.tmf ~span:bsp (Tmf.Begin_txn { deadline }) with
+    | Ok (Tmf.Began { txn }) ->
+        breaker_success br;
+        finish_span t bsp;
+        if not (Span.is_null root) then
+          Span.annotate root ~key:"txn" (string_of_int txn);
+        Ok
+          {
+            id = txn;
+            started = Sim.now (Cpu.sim t.client_cpu);
+            deadline;
+            root;
+            pending = [];
+            high_water = Hashtbl.create 8;
+            involved = Hashtbl.create 8;
+            failed = None;
+          }
+    | Ok (Tmf.Rejected { reason }) ->
+        (* The server is alive and answered — no breaker failure. *)
+        breaker_success br;
+        t.n_rejected <- t.n_rejected + 1;
+        finish_span t bsp;
+        finish_span t root;
+        Error (Tx_rejected reason)
+    | Ok (Tmf.T_failed e) ->
+        breaker_success br;
+        fail e
+    | Ok _ -> fail "unexpected TMF reply"
+    | Error e ->
+        breaker_failure t br;
+        fail (Format.asprintf "%a" Msgsys.pp_error e)
+  end
 
 let note_insert_reply t txn p result =
+  let br = dp2_breaker t p.p_dp2 in
   let rec note ?(retries = 6) = function
     | Ok (Dp2.Inserted { asn; adp }) ->
+        breaker_success br;
+        budget_success t;
         let prev = Option.value (Hashtbl.find_opt txn.high_water adp) ~default:0 in
         Hashtbl.replace txn.high_water adp (max prev asn);
         Hashtbl.replace txn.involved p.p_dp2 ()
@@ -183,22 +274,37 @@ let note_insert_reply t txn p result =
     | Ok _ -> if txn.failed = None then txn.failed <- Some "unexpected DP2 reply"
     | Error (Msgsys.Server_down | Msgsys.Timed_out) when retries > 0 ->
         (* The writer is failing over: wait out the takeover and re-issue.
-           Inserts are idempotent overwrites, so at-least-once is safe. *)
-        Sim.sleep (Time.ms 200);
-        let resend =
-          wan_call t t.dp2s.(p.p_dp2) ~req_bytes:(p.p_len + 128)
-            (Dp2.Insert
-               {
-                 txn = txn.id;
-                 file = p.p_file;
-                 key = p.p_key;
-                 len = p.p_len;
-                 crc = p.p_crc;
-                 payload = p.p_payload;
-               })
-        in
-        note ~retries:(retries - 1) resend
+           Inserts are idempotent overwrites, so at-least-once is safe.
+           This loop is the retry-storm amplifier under overload — which
+           is why each resend must clear the token bucket and the
+           destination's breaker first. *)
+        breaker_failure t br;
+        if not (spend_retry t) then begin
+          if txn.failed = None then txn.failed <- Some "retry budget exhausted"
+        end
+        else if not (breaker_allow t br) then begin
+          if txn.failed = None then
+            txn.failed <- Some (Printf.sprintf "circuit open: dp2 %d" p.p_dp2)
+        end
+        else begin
+          Sim.sleep (Time.ms 200);
+          let resend =
+            wan_call t t.dp2s.(p.p_dp2) ~req_bytes:(p.p_len + 128)
+              (Dp2.Insert
+                 {
+                   txn = txn.id;
+                   file = p.p_file;
+                   key = p.p_key;
+                   len = p.p_len;
+                   crc = p.p_crc;
+                   payload = p.p_payload;
+                   deadline = txn.deadline;
+                 })
+          in
+          note ~retries:(retries - 1) resend
+        end
     | Error e ->
+        breaker_failure t br;
         if txn.failed = None then txn.failed <- Some (Format.asprintf "%a" Msgsys.pp_error e)
   in
   note result
@@ -216,7 +322,8 @@ let insert_async t txn ?payload ~file ~key ~len () =
   in
   let reply =
     wan_call_async t t.dp2s.(dp2_idx) ~req_bytes:(len + 128) ~span:txn.root
-      (Dp2.Insert { txn = txn.id; file; key; len; crc; payload })
+      (Dp2.Insert
+         { txn = txn.id; file; key; len; crc; payload; deadline = txn.deadline })
   in
   txn.pending <-
     {
@@ -240,7 +347,16 @@ let await_inserts t txn =
       if not (Span.is_null sp) then
         Span.annotate sp ~key:"inserts" (string_of_int (List.length outstanding));
       let t0 = now t in
-      List.iter (fun p -> note_insert_reply t txn p (Ivar.read p.p_reply)) outstanding;
+      let read_reply p =
+        if t.op_timeout = 0 then Ivar.read p.p_reply
+        else
+          match Ivar.read_timeout p.p_reply t.op_timeout with
+          | Some r -> r
+          | None ->
+              t.n_timeouts <- t.n_timeouts + 1;
+              Error Msgsys.Timed_out
+      in
+      List.iter (fun p -> note_insert_reply t txn p (read_reply p)) outstanding;
       note t.insert_wait_stat (now t - t0);
       finish_span t sp);
   match txn.failed with None -> Ok () | Some e -> Error (Tx_failed e)
@@ -271,11 +387,15 @@ let commit t txn =
       let out =
         match result with
         | Ok Tmf.Committed ->
+            breaker_success (tmf_breaker t);
+            budget_success t;
             Stat.add_span t.rt (Sim.now (Cpu.sim t.client_cpu) - txn.started);
             Ok ()
         | Ok (Tmf.T_failed e) -> Error (Tx_failed e)
         | Ok _ -> Error (Tx_failed "unexpected TMF reply")
-        | Error e -> Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
+        | Error e ->
+            breaker_failure t (tmf_breaker t);
+            Error (Tx_failed (Format.asprintf "%a" Msgsys.pp_error e))
       in
       finish_span t txn.root;
       out
@@ -386,3 +506,19 @@ let scan t ~file ~lo ~hi ?(limit = 0) () =
       Ok (List.sort (fun (a, _, _) (b, _, _) -> compare a b) (List.concat slices))
 
 let response_time t = t.rt
+
+let rejections t = t.n_rejected
+
+let timeouts t = t.n_timeouts
+
+let retry_budget t = t.budget
+
+let breaker_trips t =
+  match t.breakers with
+  | None -> 0
+  | Some bs -> Array.fold_left (fun acc b -> acc + Breaker.trips b) 0 bs
+
+let breaker_rejected t =
+  match t.breakers with
+  | None -> 0
+  | Some bs -> Array.fold_left (fun acc b -> acc + Breaker.rejected b) 0 bs

@@ -9,9 +9,17 @@ open Nsk
     outstanding acknowledgements, then asks the monitor to commit with
     the audit-flush horizon the inserts reported. *)
 
-type error = Tx_failed of string
+type error =
+  | Tx_failed of string
+  | Tx_rejected of string
+      (** admission backpressure — the monitor refused the begin (its
+          estimated wait exceeded the deadline) or a local circuit
+          breaker is open.  Nothing was started, acknowledged, or lost:
+          the right response is to back off, not retry immediately. *)
 
 val error_to_string : error -> string
+
+val is_rejected : error -> bool
 
 (** Static routing: which DP2 owns a [(file, key)] pair. *)
 type routing = {
@@ -35,6 +43,10 @@ val create :
   ?issue_cpu:Time.span ->
   ?wan_latency:Time.span ->
   ?link:(unit -> bool) ->
+  ?deadline_budget:Time.span ->
+  ?op_timeout:Time.span ->
+  ?retry_budget:Retry_budget.t ->
+  ?breakers:bool ->
   ?obs:Obs.t ->
   unit ->
   t
@@ -51,7 +63,22 @@ val create :
     transaction gets a root span on track ["client"] that the servers it
     touches parent their spans under, and response times feed the
     registry's [txn.response_ns] stat (plus [txn.insert_wait_ns] and
-    [txn.commit_call_ns] for the two client-visible waits). *)
+    [txn.commit_call_ns] for the two client-visible waits).
+
+    Overload containment, all off by default: [deadline_budget] > 0
+    stamps each transaction with an absolute deadline ([begin] time +
+    budget) that propagates through the monitor to every downstream
+    queue; [op_timeout] > 0 bounds the client's patience per
+    synchronous call (begin, commit, insert replies) — an impatient
+    client abandons slow calls and may retry, which is what turns
+    overload into a retry storm, so arming it without the containment
+    below is the negative-control configuration; [retry_budget] is a
+    token bucket ({!Simkit.Retry_budget})
+    each insert resend must clear — share one bucket across sessions to
+    bound a whole client tier's retry volume; [breakers] enables a
+    per-destination circuit breaker ({!Simkit.Breaker}) in front of the
+    monitor and each writer, so a destination that keeps timing out is
+    rested and probed instead of hammered. *)
 
 val cpu : t -> Cpu.t
 
@@ -115,3 +142,21 @@ val scan : t -> file:int -> lo:int -> hi:int -> ?limit:int -> unit -> ((int * in
 
 val response_time : t -> Stat.t
 (** Begin-to-commit-reply times of completed transactions. *)
+
+val rejections : t -> int
+(** Begins refused — by the monitor's admission control or by the local
+    TMF breaker.  Rejected work was never acknowledged: it is the
+    degraded-service contract, not loss. *)
+
+val timeouts : t -> int
+(** Synchronous calls abandoned after [op_timeout] — each one left the
+    server still working on a request nobody is waiting for. *)
+
+val retry_budget : t -> Retry_budget.t option
+(** The session's token bucket, if one was supplied. *)
+
+val breaker_trips : t -> int
+(** Closed→Open transitions summed over this session's breakers. *)
+
+val breaker_rejected : t -> int
+(** Requests short-circuited locally by open breakers. *)

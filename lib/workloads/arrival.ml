@@ -1,0 +1,4 @@
+(* Re-export so workload code can say [Arrival.flash_crowd ...] without
+   reaching into Simkit; the engine itself lives in simkit so the drill
+   layer (lib/tp, which cannot depend on workloads) shares it. *)
+include Simkit.Arrival

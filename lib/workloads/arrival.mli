@@ -1,0 +1,7 @@
+(** Open-loop arrival schedules — alias of {!Simkit.Arrival}.
+
+    The engine lives in simkit (so the drill layer can share it); this
+    module re-exports it under the workloads namespace, where the
+    open-loop drivers consume it. *)
+
+include module type of Simkit.Arrival

@@ -26,7 +26,7 @@ let append_one adp ~from i =
   | _ -> Alcotest.fail "append failed"
 
 let flush_through adp ~from asn =
-  match Msgsys.call (Adp.server adp) ~from (Adp.Flush { through = asn }) with
+  match Msgsys.call (Adp.server adp) ~from (Adp.Flush { through = asn; deadline = 0 }) with
   | Ok (Adp.Flushed { durable }) -> durable
   | _ -> Alcotest.fail "flush failed"
 
@@ -99,7 +99,7 @@ let test_adp_takeover_preserves_buffer () =
         Sim.sleep (Time.sec 1);
         (* The promoted backup can still flush them. *)
         match
-          Rpc.call_retry (Adp.server adp) ~from (Adp.Flush { through = asn + 1 })
+          Rpc.call_retry (Adp.server adp) ~from (Adp.Flush { through = asn + 1; deadline = 0 })
         with
         | Ok (Adp.Flushed { durable }) -> result := durable
         | _ -> Alcotest.fail "post-takeover flush failed")
