@@ -17,6 +17,12 @@ let mode_to_string = function
 
 let hr () = print_endline (String.make 72 '-')
 
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let json_arg =
   let doc = "Emit the table as a JSON document on stdout instead of text." in
   Cmdliner.Arg.(value & flag & info [ "json" ] ~doc)
@@ -430,7 +436,12 @@ let drill_json ~plan (r : Tp.Drill.report) =
       ("acked_rows", Json.Int r.Tp.Drill.acked_rows);
       ("recovered_rows", Json.Int r.Tp.Drill.recovered_rows);
       ("lost_rows", Json.Int r.Tp.Drill.lost_rows);
+      ("in_doubt_after", Json.Int r.Tp.Drill.in_doubt_after);
+      ("orphaned_locks", Json.Int r.Tp.Drill.orphaned_locks);
+      ("fence_checks", Json.Int r.Tp.Drill.fence_checks);
+      ("fence_failures", Json.Int r.Tp.Drill.fence_failures);
       ("zero_loss", Json.Bool (Tp.Drill.zero_loss r));
+      ("oracle", Tp.Drill.Oracle.to_json (Tp.Drill.Oracle.of_report r));
       ( "integrity",
         match r.Tp.Drill.integrity with
         | None -> Json.Null
@@ -604,6 +615,7 @@ let cluster_drill_json ~plan (r : Tp.Drill.cluster_report) =
       ("fence_failures", Json.Int r.Tp.Drill.c_fence_failures);
       ("fenced_writes", Json.Int r.Tp.Drill.c_fenced_writes);
       ("zero_loss", Json.Bool (Tp.Drill.cluster_zero_loss r));
+      ("oracle", Tp.Drill.Oracle.to_json (Tp.Drill.Oracle.of_cluster r));
       ( "response_ms",
         Json.Obj
           [
@@ -691,6 +703,7 @@ let gray_drill_json (g : Tp.Drill.gray_report) =
           ] );
       ("zero_loss", Json.Bool (Tp.Drill.zero_loss g.Tp.Drill.g_degraded));
       ("pass", Json.Bool (Tp.Drill.gray_pass g));
+      ("oracle", Tp.Drill.Oracle.to_json (Tp.Drill.Oracle.of_gray g));
       ("healthy", drill_json ~plan:"grayfail" g.Tp.Drill.g_healthy);
       ("degraded", drill_json ~plan:"grayfail" g.Tp.Drill.g_degraded);
     ]
@@ -804,6 +817,7 @@ let overload_drill_json (r : Tp.Drill.overload_report) =
             ("rows_rebuilt", Json.Int r.Tp.Drill.v_recovery.Tp.Recovery.rows_rebuilt);
           ] );
       ("pass", Json.Bool (Tp.Drill.overload_pass r));
+      ("oracle", Tp.Drill.Oracle.to_json (Tp.Drill.Oracle.of_overload r));
       ( "timeline",
         match r.Tp.Drill.v_timeline with
         | Some ts ->
@@ -898,8 +912,83 @@ let cluster_drill plan_name drivers seed interval_ms flight json =
         exit 1
       end
 
-let drill mode plan_name drivers boxcar records seed interval_ms flight list_plans
-    no_defenses json =
+(* --plan-file: replay a schedule from disk.  A full repro document
+   (schema "odsbench-repro", as written by the explorer) pins the
+   platform, seed and defenses, so the replay is bit-for-bit; a bare
+   JSON array is just a fault plan, run under --mode with the
+   command-line seed and sizing. *)
+let drill_plan_file path mode_str drivers boxcar records seed flight json =
+  let doc =
+    match Json.parse (read_whole_file path) with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "odsbench drill: %s: %s\n" path e;
+        exit 2
+  in
+  match doc with
+  | Json.List _ -> (
+      match Tp.Faultplan.of_json doc with
+      | Error e ->
+          Printf.eprintf "odsbench drill: %s: %s\n" path e;
+          exit 2
+      | Ok plan -> (
+          if mode_str <> "disk" && mode_str <> "pm" then begin
+            prerr_endline
+              "odsbench drill: a bare plan array needs --mode disk or pm (wrap cluster \
+               or overload schedules in a repro document)";
+            exit 2
+          end;
+          let mode = parse_mode mode_str in
+          let params =
+            {
+              Tp.Drill.default_params with
+              Tp.Drill.drivers;
+              records_per_driver = records;
+              inserts_per_txn = boxcar;
+            }
+          in
+          match
+            Tp.Drill.run ~seed:(Int64.of_int seed) ~params ?flight ~mode ~plan ()
+          with
+          | Error e -> drill_fail json e
+          | Ok r ->
+              if json then print_endline (Json.to_string (drill_json ~plan:path r))
+              else drill_text r;
+              if not (Tp.Drill.zero_loss r) then begin
+                Printf.eprintf
+                  "odsbench drill: %d acknowledged rows lost after recovery\n"
+                  r.Tp.Drill.lost_rows;
+                exit 1
+              end))
+  | _ -> (
+      match Tp.Explorer.repro_of_json doc with
+      | Error e ->
+          Printf.eprintf "odsbench drill: %s: %s\n" path e;
+          exit 2
+      | Ok repro -> (
+          match Tp.Explorer.replay ?flight repro with
+          | Error e -> drill_fail json e
+          | Ok result ->
+              let verdict = Tp.Explorer.replay_verdict result in
+              (match result with
+              | Tp.Explorer.Single r ->
+                  if json then print_endline (Json.to_string (drill_json ~plan:path r))
+                  else drill_text r
+              | Tp.Explorer.Clustered r ->
+                  if json then
+                    print_endline (Json.to_string (cluster_drill_json ~plan:path r))
+                  else cluster_drill_text r
+              | Tp.Explorer.Overloaded r ->
+                  if json then print_endline (Json.to_string (overload_drill_json r))
+                  else overload_drill_text r);
+              if not (Tp.Drill.Oracle.pass verdict) then begin
+                Printf.eprintf "odsbench drill: oracle violated — %s\n"
+                  (Tp.Drill.Oracle.summary verdict);
+                exit 1
+              end))
+
+let drill mode plan_name plan_file drivers boxcar records seed interval_ms flight
+    list_plans no_defenses json =
   if list_plans then
     let names =
       match mode with
@@ -908,7 +997,11 @@ let drill mode plan_name drivers boxcar records seed interval_ms flight list_pla
       | _ -> Tp.Drill.plan_names Tp.System.Pm_audit
     in
     List.iter print_endline names
-  else if mode = "cluster" then
+  else
+    match plan_file with
+    | Some path -> drill_plan_file path mode drivers boxcar records seed flight json
+    | None ->
+  if mode = "cluster" then
     cluster_drill plan_name drivers seed interval_ms flight json
   else begin
     let mode = if mode = "disk" then Tp.System.Disk_audit else Tp.System.Pm_audit in
@@ -1096,6 +1189,17 @@ let drill_cmd =
       & info [ "list-plans" ]
           ~doc:"Print the $(b,--plan) names valid for the selected mode and exit.")
   in
+  let plan_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan-file" ] ~docv:"FILE"
+          ~doc:
+            "Replay a schedule from $(docv) instead of a named $(b,--plan).  A repro \
+             document written by $(b,odsbench explore) pins the platform, seed and \
+             defenses, so the drill replays bit-for-bit and is gated by the shared \
+             invariant oracle; a bare JSON array of actions runs under $(b,--mode) with \
+             the command-line seed and sizing.")
+  in
   let no_defenses =
     Arg.(
       value & flag
@@ -1139,8 +1243,162 @@ let drill_cmd =
          "Run hot-stock load under a fault schedule, crash, recover, and audit that no \
           acknowledged commit was lost")
     Term.(
-      const drill $ mode $ plan $ drivers $ boxcar $ records_arg 400 $ seed $ interval_ms
-      $ flight $ list_plans $ no_defenses $ json_arg)
+      const drill $ mode $ plan $ plan_file $ drivers $ boxcar $ records_arg 400 $ seed
+      $ interval_ms $ flight $ list_plans $ no_defenses $ json_arg)
+
+(* --- explore: adversarial fault-schedule search --- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let explore_text (r : Tp.Explorer.report) =
+  Printf.printf "explore: budget=%d seed=%d defenses=%s\n" r.Tp.Explorer.x_budget
+    r.Tp.Explorer.x_seed
+    (if r.Tp.Explorer.x_defenses then "on" else "OFF (weakened platform)");
+  hr ();
+  let count k =
+    List.length (List.filter (fun s -> s.Tp.Explorer.s_kind = k) r.Tp.Explorer.x_schedules)
+  in
+  Printf.printf "schedules   %d (pm %d, disk %d, cluster %d, overload %d)\n"
+    (List.length r.Tp.Explorer.x_schedules)
+    (count Tp.Explorer.Pm) (count Tp.Explorer.Disk) (count Tp.Explorer.Cluster)
+    (count Tp.Explorer.Overload);
+  Printf.printf "drills      %d (shrink replays included)\n" r.Tp.Explorer.x_drills;
+  let uniq f =
+    List.length (List.sort_uniq compare (List.map f r.Tp.Explorer.x_coverage))
+  in
+  Printf.printf "coverage    %d families x %d phases x %d layers (%d cells hit)\n"
+    (uniq (fun ((f, _, _), _) -> f))
+    (uniq (fun ((_, p, _), _) -> p))
+    (uniq (fun ((_, _, l), _) -> l))
+    (List.length r.Tp.Explorer.x_coverage);
+  hr ();
+  Printf.printf "%-18s %-9s %-10s %6s\n" "family" "phase" "layer" "events";
+  List.iter
+    (fun ((family, phase, layer), n) ->
+      Printf.printf "%-18s %-9s %-10s %6d\n" family phase layer n)
+    r.Tp.Explorer.x_coverage;
+  hr ();
+  if r.Tp.Explorer.x_violations = [] then
+    Printf.printf "violations  none — every schedule satisfied the oracle\n"
+  else
+    List.iter
+      (fun (v : Tp.Explorer.violation) ->
+        Printf.printf
+          "VIOLATION   schedule %d (%s, seed 0x%Lx): %d actions shrunk to %d in %d \
+           replays\n"
+          v.Tp.Explorer.vi_index
+          (Tp.Explorer.kind_name v.Tp.Explorer.vi_kind)
+          v.Tp.Explorer.vi_seed v.Tp.Explorer.vi_actions v.Tp.Explorer.vi_shrunk_actions
+          v.Tp.Explorer.vi_replays;
+        List.iter
+          (fun ev ->
+            Printf.printf "              +%s %s\n"
+              (Time.to_string ev.Tp.Faultplan.after)
+              (Tp.Faultplan.describe ev.Tp.Faultplan.action))
+          v.Tp.Explorer.vi_schedule.Tp.Explorer.s_plan;
+        List.iter
+          (fun ev ->
+            Printf.printf "              recovery+%s %s\n"
+              (Time.to_string ev.Tp.Faultplan.after)
+              (Tp.Faultplan.describe ev.Tp.Faultplan.action))
+          v.Tp.Explorer.vi_schedule.Tp.Explorer.s_recovery;
+        (match v.Tp.Explorer.vi_verdict with
+        | Tp.Explorer.Verdict verdict ->
+            Printf.printf "              oracle: %s\n" (Tp.Drill.Oracle.summary verdict)
+        | Tp.Explorer.Harness_error e -> Printf.printf "              error: %s\n" e);
+        (match v.Tp.Explorer.vi_repro with
+        | Some p -> Printf.printf "              repro: %s\n" p
+        | None -> ());
+        match v.Tp.Explorer.vi_flight with
+        | Some p -> Printf.printf "              flight: %s\n" p
+        | None -> ())
+      r.Tp.Explorer.x_violations;
+  hr ()
+
+let explore budget seed out_dir max_replays no_defenses corpus_only json =
+  if corpus_only then
+    print_endline (Json.to_string (Tp.Explorer.corpus_json ~seed ~budget))
+  else begin
+    Option.iter mkdir_p out_dir;
+    let progress index violated =
+      if violated then
+        Printf.eprintf "odsbench explore: schedule %d violated the oracle — shrinking\n%!"
+          index
+    in
+    let r =
+      Tp.Explorer.run ~defenses:(not no_defenses) ?out_dir ~max_replays ~progress
+        ~budget ~seed ()
+    in
+    if json then print_endline (Json.to_string (Tp.Explorer.to_json r))
+    else explore_text r;
+    if Tp.Explorer.found r then begin
+      Printf.eprintf "odsbench explore: %d schedule(s) violated the invariant oracle\n"
+        (List.length r.Tp.Explorer.x_violations);
+      exit 1
+    end
+  end
+
+let explore_cmd =
+  let budget =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N" ~doc:"Schedules to generate and run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0xE5EED
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Corpus seed.  The whole corpus is a pure function of the seed: the same \
+             seed generates byte-identical schedules.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a replayable repro_NNNN.json (for $(b,odsbench drill --plan-file)) \
+             and a flight_NNNN.json black-box dump for every violation (created if \
+             missing).")
+  in
+  let max_replays =
+    Arg.(
+      value & opt int 150
+      & info [ "max-replays" ] ~docv:"N"
+          ~doc:"Drill replays the shrinker may spend per violation.")
+  in
+  let no_defenses =
+    Arg.(
+      value & flag
+      & info [ "no-defenses" ]
+          ~doc:
+            "Run the same corpus on the weakened platform (PM integrity and overload \
+             defenses off) — the negative control: the explorer must find the known \
+             failures and shrink them (expect a non-zero exit).")
+  in
+  let corpus_only =
+    Arg.(
+      value & flag
+      & info [ "corpus-only" ]
+          ~doc:
+            "Generate and print the schedule corpus as JSON without running any drill — \
+             the determinism witness.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Adversarial fault-schedule search: generate seeded composite chaos schedules \
+          over the whole fault vocabulary (phase-aware: during load, mid-2PC, during \
+          recovery, mid-resync), run each as a drill judged by the shared invariant \
+          oracle, and delta-debug any violation to a minimal schedule emitted as a \
+          bit-for-bit replayable repro file")
+    Term.(
+      const explore $ budget $ seed $ out_dir $ max_replays $ no_defenses $ corpus_only
+      $ json_arg)
 
 (* --- timeline: continuous telemetry + bottleneck attribution --- *)
 
@@ -1565,12 +1823,6 @@ let bank_cmd =
 
 (* --- perf: the simulator performance observatory --- *)
 
-let read_whole_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let perf_text (r : Perf.report) =
   Printf.printf "perf: self-profiled workload matrix (%d records/driver, schema v%d)\n"
     r.Perf.p_records Perf.schema_version;
@@ -1724,6 +1976,7 @@ let main_cmd =
       scale_adp_cmd;
       failover_cmd;
       drill_cmd;
+      explore_cmd;
       critpath_cmd;
       perf_cmd;
       telco_cmd;

@@ -9,6 +9,7 @@ type device = {
   dev_peek : off:int -> len:int -> Bytes.t;
   dev_poke : off:int -> data:Bytes.t -> unit;
   dev_power_cycles : unit -> int;
+  dev_alive : unit -> bool;
 }
 
 let device_of_npmu npmu =
@@ -20,6 +21,7 @@ let device_of_npmu npmu =
     dev_peek = (fun ~off ~len -> Npmu.peek npmu ~off ~len);
     dev_poke = (fun ~off ~data -> Npmu.poke npmu ~off ~data);
     dev_power_cycles = (fun () -> Npmu.power_cycles npmu);
+    dev_alive = (fun () -> Npmu.is_powered npmu);
   }
 
 let device_of_pmp pmp =
@@ -33,6 +35,7 @@ let device_of_pmp pmp =
     (* A PMP's power loss is terminal; "has it ever died" is the whole
        cycle history. *)
     dev_power_cycles = (fun () -> if Pmp.is_alive pmp then 0 else 1);
+    dev_alive = (fun () -> Pmp.is_alive pmp);
   }
 
 type request =
@@ -188,6 +191,15 @@ type scrub = {
   s_cfg : scrub_config;
   s_cpu : Cpu.t;
   s_table : (int, int32) Hashtbl.t;
+  s_clean_cycles : (int, int * int) Hashtbl.t;
+      (** chunk offset -> (primary, mirror) power-cycle counts when the
+          entry was last marked clean.  A copy that matches the table but
+          whose device has power-cycled since may have {e rolled back} to
+          the blessed contents — the match no longer proves integrity, so
+          arbitration must not repair the peer from it.  Deliberately not
+          persisted: after a manager restart the history is unknown, and
+          an absent snapshot disables arbitration (strike, never repair)
+          until the next clean scan re-records it. *)
   s_strikes : (int, int) Hashtbl.t;  (** consecutive unresolvable passes *)
   s_quar : (int, int) Hashtbl.t;  (** chunk offset -> chunk length *)
   mutable s_generation : int;
@@ -906,13 +918,26 @@ let scrub_strike st ~addr ~len =
   if n >= st.s_cfg.scrub_quarantine_after then begin
     Hashtbl.replace st.s_quar addr len;
     Hashtbl.remove st.s_table addr;
+    Hashtbl.remove st.s_clean_cycles addr;
     Hashtbl.remove st.s_strikes addr;
     st.s_quarantined <- st.s_quarantined + 1
   end
   else Hashtbl.replace st.s_strikes addr n
 
-let scrub_mark_clean st ~addr crc =
-  Hashtbl.replace st.s_table addr crc;
+(* Record a chunk whose copies compared equal.  The entry only feeds
+   future arbitration when both devices are reachable at mark time: a
+   chunk read can straddle a power-off — the first copy snapshotted just
+   before the device went dark, the second just after — and blessing
+   that straddled state would later let the dark device's (unchanged)
+   copy win an arbitration against acked single-copy writes the survivor
+   absorbed during the outage.  Strikes still reset either way: the
+   copies did agree. *)
+let scrub_mark_clean t st ~addr crc =
+  if t.prim_dev.dev_alive () && t.mirr_dev.dev_alive () then begin
+    Hashtbl.replace st.s_table addr crc;
+    Hashtbl.replace st.s_clean_cycles addr
+      (t.prim_dev.dev_power_cycles (), t.mirr_dev.dev_power_cycles ())
+  end;
   Hashtbl.remove st.s_strikes addr
 
 let scrub_repair t st ~dst_dev ~addr ~data ~crc ~len =
@@ -921,7 +946,7 @@ let scrub_repair t st ~dst_dev ~addr ~data ~crc ~len =
       ~dst:dst_dev.dev_id ~addr ~data
   with
   | Ok () ->
-      scrub_mark_clean st ~addr crc;
+      scrub_mark_clean t st ~addr crc;
       st.s_repairs <- st.s_repairs + 1
   | Error _ -> scrub_strike st ~addr ~len
 
@@ -937,7 +962,7 @@ let scrub_chunk t st ~addr ~len =
   with
   | Some (p, cp), Some (m, _) when Bytes.equal p m ->
       st.s_chunks <- st.s_chunks + 1;
-      scrub_mark_clean st ~addr cp
+      scrub_mark_clean t st ~addr cp
   | Some _, Some _ -> (
       st.s_chunks <- st.s_chunks + 1;
       Sim.sleep st.s_cfg.scrub_recheck;
@@ -945,12 +970,23 @@ let scrub_chunk t st ~addr ~len =
         ( scrub_read_chunk t st t.prim_dev ~addr ~len,
           scrub_read_chunk t st t.mirr_dev ~addr ~len )
       with
-      | Some (p, cp), Some (m, _) when Bytes.equal p m -> scrub_mark_clean st ~addr cp
+      | Some (p, cp), Some (m, _) when Bytes.equal p m -> scrub_mark_clean t st ~addr cp
       | Some (p, cp), Some (m, cm) -> (
+          (* A table match only arbitrates if the matching device has not
+             power-cycled since the entry was recorded: a cycle can roll
+             the chunk back to exactly the blessed contents, and repairing
+             the peer from the rollback would destroy the only copy of
+             writes acked since the last clean scan. *)
+          let snap = Hashtbl.find_opt st.s_clean_cycles addr in
+          let steady dev since =
+            match since with
+            | Some c -> dev.dev_power_cycles () = c
+            | None -> false
+          in
           match Hashtbl.find_opt st.s_table addr with
-          | Some e when Int32.equal e cp ->
+          | Some e when Int32.equal e cp && steady t.prim_dev (Option.map fst snap) ->
               scrub_repair t st ~dst_dev:t.mirr_dev ~addr ~data:p ~crc:cp ~len
-          | Some e when Int32.equal e cm ->
+          | Some e when Int32.equal e cm && steady t.mirr_dev (Option.map snd snap) ->
               scrub_repair t st ~dst_dev:t.prim_dev ~addr ~data:m ~crc:cm ~len
           | _ -> scrub_strike st ~addr ~len)
       | _ -> ())
@@ -1007,6 +1043,7 @@ let start_scrubber t ~cpu ?(config = default_scrub_config) ?metrics () =
       s_cfg = config;
       s_cpu = cpu;
       s_table = Hashtbl.create 64;
+      s_clean_cycles = Hashtbl.create 64;
       s_strikes = Hashtbl.create 8;
       s_quar = Hashtbl.create 8;
       s_generation = 0;

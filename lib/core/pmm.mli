@@ -27,6 +27,9 @@ type device = {
   dev_power_cycles : unit -> int;
       (** monotone count of power-loss events; the resync path compares
           it across the copy to catch blips invisible to RDMA *)
+  dev_alive : unit -> bool;
+      (** currently powered and reachable; the scrubber refuses to bless
+          a clean scan taken while either copy was dark *)
 }
 
 val device_of_npmu : Npmu.t -> device

@@ -53,6 +53,10 @@ type report = {
   acked_rows : int;
   recovered_rows : int;
   lost_rows : int;
+  in_doubt_after : int;
+  orphaned_locks : int;
+  fence_checks : int;
+  fence_failures : int;
   response : Stat.summary;
   availability : availability;
   recovery : Recovery.report;
@@ -92,6 +96,248 @@ let mark_faults recorder faults =
 let integrity_clean r =
   zero_loss r
   && match r.integrity with Some i -> i.unrepaired_divergence = 0 | None -> false
+
+(* --- Report records for the composite drills --- *)
+(* Declared here, ahead of the entry points that fill them, so the
+   oracle below can pass judgement on any drill family from one place. *)
+
+type gray_report = {
+  g_seed : int64;
+  g_defended : bool;
+  g_healthy : report;
+  g_degraded : report;
+  g_p99_ratio : float;
+  g_p99_limit : float;
+  g_demotions : int;
+  g_readmissions : int;
+  g_mirror_active : bool;
+  g_monitor_probes : int;
+  g_slow_suspects : int;
+  g_hedged_reads : int;
+  g_hedge_wins : int;
+  g_single_copy_writes : int;
+}
+
+type overload_report = {
+  v_seed : int64;
+  v_defended : bool;
+  v_arrivals : int;
+  v_committed : int;
+  v_rejected : int;
+  v_failed : int;
+  v_timeouts : int;
+  v_admitted : int;
+  v_tmf_rejected : int;
+  v_tmf_expired : int;
+  v_adp_shed : int;
+  v_retry_denied : int;
+  v_breaker_trips : int;
+  v_acked_rows : int;
+  v_lost_rows : int;
+  v_elapsed : Time.span;
+  v_warmup_goodput : float;
+  v_spike_goodput : float;
+  v_cooldown_goodput : float;
+  v_recovery_time : Time.span option;
+  v_spike_floor : float;
+  v_recovery_frac : float;
+  v_recovery_limit : Time.span;
+  v_goodput : (Time.t * int) list;
+  v_response : Stat.summary;
+  v_faults : (Time.t * string) list;
+  v_recovery : Recovery.report;
+  v_timeline : Timeseries.t option;
+  v_flight : Flightrec.t option;
+}
+
+type cluster_report = {
+  c_seed : int64;
+  c_nodes : int;
+  c_elapsed : Time.span;
+  c_faults : (Time.t * string) list;
+  c_attempted : int;
+  c_committed : int;
+  c_failed : int;
+  c_acked_rows : int;
+  c_lost_rows : int;
+  c_in_doubt_before : int;
+  c_resolved_commit : int;
+  c_resolved_abort : int;
+  c_in_doubt_after : int;
+  c_orphaned_locks : int;
+  c_fence_checks : int;
+  c_fence_failures : int;
+  c_fenced_writes : int;
+  c_recoveries : Recovery.report list;
+  c_response : Stat.summary;
+}
+
+(* --- The shared invariant oracle --- *)
+
+(* Every drill family used to restate its own acceptance conjunction
+   inline; the oracle states each invariant once, as a named check with
+   a human-readable detail, and the per-family gates below are just
+   [pass] of the relevant verdict.  The explorer leans on the same
+   verdicts, so a violation it reports is by construction the same
+   judgement the drills and CI apply. *)
+module Oracle = struct
+  type check = { ck_name : string; ck_ok : bool; ck_detail : string }
+
+  type verdict = { ok : bool; checks : check list }
+
+  let check ck_name ck_ok ck_detail = { ck_name; ck_ok; ck_detail }
+
+  let make checks = { ok = List.for_all (fun c -> c.ck_ok) checks; checks }
+
+  let pass v = v.ok
+
+  let failures v = List.filter (fun c -> not c.ck_ok) v.checks
+
+  let summary v =
+    if v.ok then "all invariants hold"
+    else
+      String.concat "; "
+        (List.map
+           (fun c -> Printf.sprintf "%s: %s" c.ck_name c.ck_detail)
+           (failures v))
+
+  let to_json v =
+    Json.Obj
+      [
+        ("pass", Json.Bool v.ok);
+        ( "checks",
+          Json.List
+            (List.map
+               (fun c ->
+                 Json.Obj
+                   [
+                     ("name", Json.String c.ck_name);
+                     ("ok", Json.Bool c.ck_ok);
+                     ("detail", Json.String c.ck_detail);
+                   ])
+               v.checks) );
+      ]
+
+  let of_report ?max_outage r =
+    let base =
+      [
+        check "acked_durable" (r.lost_rows = 0)
+          (Printf.sprintf "%d of %d acked rows missing after recovery" r.lost_rows
+             r.acked_rows);
+        check "in_doubt_drained" (r.in_doubt_after = 0)
+          (Printf.sprintf "%d branches still in doubt" r.in_doubt_after);
+        check "no_orphaned_locks" (r.orphaned_locks = 0)
+          (Printf.sprintf "%d locks still held after recovery" r.orphaned_locks);
+        check "no_fence_failures" (r.fence_failures = 0)
+          (Printf.sprintf "%d of %d fence probes saw a stale write land"
+             r.fence_failures r.fence_checks);
+        (match r.integrity with
+        | Some i ->
+            check "integrity_clean" (i.unrepaired_divergence = 0)
+              (Printf.sprintf "%d mirrored chunks still divergent"
+                 i.unrepaired_divergence)
+        | None -> check "integrity_clean" true "no integrity audit in this mode");
+      ]
+    in
+    let outage =
+      match max_outage with
+      | None -> []
+      | Some limit ->
+          [
+            check "bounded_unavailability"
+              (r.availability.outage <= limit)
+              (Printf.sprintf "summed outage %s (limit %s)"
+                 (Time.to_string r.availability.outage)
+                 (Time.to_string limit));
+          ]
+    in
+    make (base @ outage)
+
+  let of_cluster r =
+    make
+      [
+        check "acked_durable" (r.c_lost_rows = 0)
+          (Printf.sprintf "%d of %d acked rows missing after recovery" r.c_lost_rows
+             r.c_acked_rows);
+        check "in_doubt_drained" (r.c_in_doubt_after = 0)
+          (Printf.sprintf "%d branches still in doubt" r.c_in_doubt_after);
+        check "no_orphaned_locks" (r.c_orphaned_locks = 0)
+          (Printf.sprintf "%d locks still held after recovery" r.c_orphaned_locks);
+        check "no_fence_failures" (r.c_fence_failures = 0)
+          (Printf.sprintf "%d of %d fence probes saw a stale write land"
+             r.c_fence_failures r.c_fence_checks);
+      ]
+
+  let of_gray r =
+    let evidence =
+      if not r.g_defended then []
+      else
+        [
+          check "mirror_demoted" (r.g_demotions >= 1)
+            (Printf.sprintf "%d demotions (expected >= 1)" r.g_demotions);
+          check "mirror_readmitted" (r.g_readmissions >= 1)
+            (Printf.sprintf "%d readmissions (expected >= 1)" r.g_readmissions);
+          check "mirror_active" r.g_mirror_active "mirror not active at drill end";
+          check "slow_suspects_flagged" (r.g_slow_suspects >= 1)
+            (Printf.sprintf "%d slow suspects flagged (expected >= 1)"
+               r.g_slow_suspects);
+        ]
+    in
+    make
+      ([
+         check "baseline_durable"
+           (r.g_healthy.lost_rows = 0)
+           (Printf.sprintf "%d acked rows missing in the healthy baseline"
+              r.g_healthy.lost_rows);
+         check "acked_durable"
+           (r.g_degraded.lost_rows = 0)
+           (Printf.sprintf "%d acked rows missing in the degraded run"
+              r.g_degraded.lost_rows);
+         check "p99_bounded"
+           (r.g_p99_ratio <= r.g_p99_limit)
+           (Printf.sprintf "p99 ratio %.2f (limit %.2f)" r.g_p99_ratio r.g_p99_limit);
+       ]
+      @ evidence)
+
+  let of_overload r =
+    let shed =
+      if not r.v_defended then []
+      else
+        [
+          check "admission_shed" (r.v_rejected > 0)
+            "defended run never rejected an arrival";
+        ]
+    in
+    make
+      ([
+         check "acked_durable" (r.v_lost_rows = 0)
+           (Printf.sprintf "%d of %d acked rows missing after recovery" r.v_lost_rows
+              r.v_acked_rows);
+         check "warmup_progress"
+           (r.v_warmup_goodput > 0.0)
+           (Printf.sprintf "warmup goodput %.1f tps" r.v_warmup_goodput);
+         check "spike_goodput_floor"
+           (r.v_spike_goodput >= r.v_spike_floor *. r.v_warmup_goodput)
+           (Printf.sprintf "spike goodput %.1f tps (floor %.1f)" r.v_spike_goodput
+              (r.v_spike_floor *. r.v_warmup_goodput));
+         check "goodput_recovered"
+           (match r.v_recovery_time with
+           | Some t -> t <= r.v_recovery_limit
+           | None -> false)
+           (match r.v_recovery_time with
+           | Some t ->
+               Printf.sprintf "goodput back in %s (limit %s)" (Time.to_string t)
+                 (Time.to_string r.v_recovery_limit)
+           | None -> "goodput never recovered while load was still arriving");
+       ]
+      @ shed)
+end
+
+let gray_pass r = Oracle.pass (Oracle.of_gray r)
+
+let overload_pass r = Oracle.pass (Oracle.of_overload r)
+
+let cluster_zero_loss r = Oracle.pass (Oracle.of_cluster r)
 
 (* Offsets tuned so every fault lands while default-params load is still
    running (PM-mode load is an order of magnitude shorter than disk's,
@@ -379,8 +625,8 @@ let availability_of system =
   }
 
 let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
-    ?(params = default_params) ?(crash_decay = []) ?inspect ?flight ?(gate = zero_loss)
-    ~mode ~plan () =
+    ?(params = default_params) ?(crash_decay = []) ?horizon ?(recovery_plan = [])
+    ?inspect ?flight ?(gate = zero_loss) ~mode ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run: need at least one driver";
   (match (sample_interval, obs) with
   | Some _, None -> invalid_arg "Drill.run: sample_interval requires obs"
@@ -406,10 +652,18 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
               Pm.Pmm.stop_monitor p
           | None -> ()
         in
-        match Faultplan.validate system plan with
+        let validated =
+          match Faultplan.validate ?horizon system plan with
+          | Error e -> Error ("fault plan: " ^ e)
+          | Ok () -> (
+              match Faultplan.validate system recovery_plan with
+              | Error e -> Error ("recovery fault plan: " ^ e)
+              | Ok () -> Ok ())
+        in
+        match validated with
         | Error e ->
             stop_scrub ();
-            out := Error ("fault plan: " ^ e)
+            out := Error e
         | Ok () ->
             let node = System.node system in
             let response_stat = Stat.create ~name:"drill-rt" () in
@@ -474,7 +728,26 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
             in
             mark_faults recorder crash_faults;
             Array.iter (fun d -> Dp2.load_table d []) (System.dp2s system);
-            match Recovery.run system with
+            (* Recovery-phase injection: offsets in [recovery_plan] are
+               relative to the instant recovery starts, so its events
+               land while the replay and resolvers are still running —
+               the nested-failure window no hand-written drill reaches. *)
+            let rrun =
+              match recovery_plan with
+              | [] -> None
+              | p -> Some (Faultplan.launch system p)
+            in
+            let recovery_result = Recovery.run system in
+            let recovery_faults =
+              match rrun with
+              | None -> []
+              | Some r ->
+                  Faultplan.await r;
+                  let injected = Faultplan.injected r in
+                  mark_faults recorder injected;
+                  injected
+            in
+            match recovery_result with
             | Error e -> out := Error ("recovery failed: " ^ e)
             | Ok recovery ->
                 let routing = System.routing system in
@@ -516,19 +789,30 @@ let run ?(seed = 0xD5177L) ?config ?obs ?prof ?sample_interval
                         }
                 in
                 (match inspect with Some f -> f system | None -> ());
+                let fence_of fp_run =
+                  (Faultplan.fence_checks fp_run, Faultplan.fence_failures fp_run)
+                in
+                let fc0, ff0 = fence_of frun in
+                let fc1, ff1 =
+                  match rrun with Some r -> fence_of r | None -> (0, 0)
+                in
                 out :=
                   Ok
                     {
                       mode;
                       seed;
                       elapsed;
-                      faults = Faultplan.injected frun @ crash_faults;
+                      faults = Faultplan.injected frun @ crash_faults @ recovery_faults;
                       attempted_txns = !committed + !failed;
                       committed = !committed;
                       failed_txns = !failed;
                       acked_rows = List.length !acked;
                       recovered_rows = recovery.Recovery.rows_rebuilt;
                       lost_rows = List.length lost;
+                      in_doubt_after = List.length (Tmf.in_doubt (System.tmf system));
+                      orphaned_locks = Lockmgr.held_total (System.locks system);
+                      fence_checks = fc0 + fc1;
+                      fence_failures = ff0 + ff1;
                       response = Stat.summary response_stat;
                       availability = availability_of system;
                       recovery;
@@ -573,32 +857,6 @@ let run_corruption ?seed ?obs ?sample_interval ?(params = default_params)
     ?flight ~gate:integrity_clean ~mode:System.Pm_audit ~plan:corruption_plan ()
 
 (* --- Gray-failure drill --- *)
-
-type gray_report = {
-  g_seed : int64;
-  g_defended : bool;
-  g_healthy : report;
-  g_degraded : report;
-  g_p99_ratio : float;
-  g_p99_limit : float;
-  g_demotions : int;
-  g_readmissions : int;
-  g_mirror_active : bool;
-  g_monitor_probes : int;
-  g_slow_suspects : int;
-  g_hedged_reads : int;
-  g_hedge_wins : int;
-  g_single_copy_writes : int;
-}
-
-let gray_pass r =
-  zero_loss r.g_healthy && zero_loss r.g_degraded
-  && r.g_p99_ratio <= r.g_p99_limit
-  && (not r.g_defended
-     || r.g_demotions >= 1
-        && r.g_readmissions >= 1
-        && r.g_mirror_active
-        && r.g_slow_suspects >= 1)
 
 let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
     ?(defenses = true) ?(p99_limit = 8.0) ?flight () =
@@ -663,8 +921,7 @@ let run_gray ?(seed = 0x66A7L) ?obs ?sample_interval ?(params = gray_params)
           (match (flight, degraded.flight) with
           | Some path, Some fr when not (gray_pass r) ->
               Flightrec.mark fr ~time:0
-                (Printf.sprintf "gray gate failed: p99 ratio %.2f (limit %.2f)"
-                   r.g_p99_ratio r.g_p99_limit);
+                ("gray oracle: " ^ Oracle.summary (Oracle.of_gray r));
               dump_flight path fr
           | _ -> ());
           Ok r)
@@ -743,49 +1000,8 @@ let overload_schedule p =
     ~cool:p.ov_base_rate ~warmup:p.ov_warmup ~spike_for:p.ov_spike_for
     ~cooldown:p.ov_cooldown ()
 
-type overload_report = {
-  v_seed : int64;
-  v_defended : bool;
-  v_arrivals : int;
-  v_committed : int;
-  v_rejected : int;
-  v_failed : int;
-  v_timeouts : int;
-  v_admitted : int;
-  v_tmf_rejected : int;
-  v_tmf_expired : int;
-  v_adp_shed : int;
-  v_retry_denied : int;
-  v_breaker_trips : int;
-  v_acked_rows : int;
-  v_lost_rows : int;
-  v_elapsed : Time.span;
-  v_warmup_goodput : float;
-  v_spike_goodput : float;
-  v_cooldown_goodput : float;
-  v_recovery_time : Time.span option;
-  v_spike_floor : float;
-  v_recovery_frac : float;
-  v_recovery_limit : Time.span;
-  v_goodput : (Time.t * int) list;
-  v_response : Stat.summary;
-  v_faults : (Time.t * string) list;
-  v_recovery : Recovery.report;
-  v_timeline : Timeseries.t option;
-  v_flight : Flightrec.t option;
-}
-
-let overload_pass r =
-  r.v_lost_rows = 0
-  && r.v_warmup_goodput > 0.0
-  && r.v_spike_goodput >= r.v_spike_floor *. r.v_warmup_goodput
-  && (match r.v_recovery_time with
-     | Some t -> t <= r.v_recovery_limit
-     | None -> false)
-  && (not r.v_defended || r.v_rejected > 0)
-
 let run_overload ?(seed = 0xD5177L) ?obs ?sample_interval ?(params = overload_params)
-    ?(defenses = true) ?flight () =
+    ?(defenses = true) ?horizon ?flight () =
   (match (sample_interval, obs) with
   | Some _, None -> invalid_arg "Drill.run_overload: sample_interval requires obs"
   | _ -> ());
@@ -798,7 +1014,7 @@ let run_overload ?(seed = 0xD5177L) ?obs ?sample_interval ?(params = overload_pa
     Sim.spawn sim ~name:"overload-main" (fun () ->
         let system = System.build ?obs sim cfg in
         let plan = overload_plan params in
-        match Faultplan.validate_overload system plan with
+        match Faultplan.validate_overload ?horizon system plan with
         | Error e -> out := Error ("fault plan: " ^ e)
         | Ok () ->
             let node = System.node system in
@@ -1031,44 +1247,13 @@ let run_overload ?(seed = 0xD5177L) ?obs ?sample_interval ?(params = overload_pa
         | Error e -> Flightrec.mark fr ~time:0 ("drill error: " ^ e)
         | Ok r ->
             Flightrec.mark fr ~time:0
-              (Printf.sprintf
-                 "overload gate failed: warmup %.1f tps, spike %.1f tps, recovery %s"
-                 r.v_warmup_goodput r.v_spike_goodput
-                 (match r.v_recovery_time with
-                 | Some t -> Time.to_string t
-                 | None -> "never")));
+              ("overload oracle: " ^ Oracle.summary (Oracle.of_overload r)));
         dump_flight path fr
       end
   | _ -> ());
   !out
 
 (* --- Cluster partition drill --- *)
-
-type cluster_report = {
-  c_seed : int64;
-  c_nodes : int;
-  c_elapsed : Time.span;
-  c_faults : (Time.t * string) list;
-  c_attempted : int;
-  c_committed : int;
-  c_failed : int;
-  c_acked_rows : int;
-  c_lost_rows : int;
-  c_in_doubt_before : int;
-  c_resolved_commit : int;
-  c_resolved_abort : int;
-  c_in_doubt_after : int;
-  c_orphaned_locks : int;
-  c_fence_checks : int;
-  c_fence_failures : int;
-  c_fenced_writes : int;
-  c_recoveries : Recovery.report list;
-  c_response : Stat.summary;
-}
-
-let cluster_zero_loss r =
-  r.c_lost_rows = 0 && r.c_in_doubt_after = 0 && r.c_orphaned_locks = 0
-  && r.c_fence_failures = 0
 
 (* Distributed hot-stock mix: every transaction spreads its inserts
    across the nodes and commits two-phase.  Failures are data — during
@@ -1124,7 +1309,7 @@ let cluster_driver cluster params ~index ~acked ~response_stat ~committed ~faile
   on_done ()
 
 let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?obs ?(params = cluster_params)
-    ?flight ~plan () =
+    ?horizon ?(recovery_plan = []) ?flight ~plan () =
   if params.drivers < 1 then invalid_arg "Drill.run_cluster: need at least one driver";
   if nodes < 2 then invalid_arg "Drill.run_cluster: need at least two nodes";
   let recorder, obs = arm_flight flight obs in
@@ -1138,8 +1323,16 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?obs ?(params = cluster_p
            every cross-node call, so a partition pulse reliably catches
            prepares and decides mid-air. *)
         let cluster = Cluster.build sim ~nodes ~wan_latency:(Time.us 500) ?obs cfg in
-        match Faultplan.validate_cluster cluster ~node:0 plan with
-        | Error e -> out := Error ("fault plan: " ^ e)
+        let validated =
+          match Faultplan.validate_cluster ?horizon cluster ~node:0 plan with
+          | Error e -> Error ("fault plan: " ^ e)
+          | Ok () -> (
+              match Faultplan.validate_cluster cluster ~node:0 recovery_plan with
+              | Error e -> Error ("recovery fault plan: " ^ e)
+              | Ok () -> Ok ())
+        in
+        match validated with
+        | Error e -> out := Error e
         | Ok () ->
             let response_stat = Stat.create ~name:"cluster-drill-rt" () in
             let acked = ref [] in
@@ -1182,7 +1375,24 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?obs ?(params = cluster_p
             for i = 0 to nodes - 1 do
               Array.iter (fun d -> Dp2.load_table d []) (System.dp2s (Cluster.system cluster i))
             done;
-            match Cluster.recover cluster with
+            (* Recovery-phase injection, cluster flavour: the plan races
+               {!Cluster.recover}'s replay and in-doubt resolution. *)
+            let rrun =
+              match recovery_plan with
+              | [] -> None
+              | p -> Some (Faultplan.launch_cluster cluster ~node:0 p)
+            in
+            let recover_result = Cluster.recover cluster in
+            let recovery_faults =
+              match rrun with
+              | None -> []
+              | Some r ->
+                  Faultplan.await r;
+                  let injected = Faultplan.injected r in
+                  mark_faults recorder injected;
+                  injected
+            in
+            match recover_result with
             | Error e -> out := Error ("recovery failed: " ^ e)
             | Ok recoveries ->
                 (* Lock release rides the monitors' finish queues, which
@@ -1209,7 +1419,7 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?obs ?(params = cluster_p
                       c_seed = seed;
                       c_nodes = nodes;
                       c_elapsed = elapsed;
-                      c_faults = Faultplan.injected frun;
+                      c_faults = Faultplan.injected frun @ recovery_faults;
                       c_attempted = !committed + !failed;
                       c_committed = !committed;
                       c_failed = !failed;
@@ -1226,8 +1436,12 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?obs ?(params = cluster_p
                           0 recoveries;
                       c_in_doubt_after = sum_nodes in_doubt_count;
                       c_orphaned_locks = sum_nodes (fun s -> Lockmgr.held_total (System.locks s));
-                      c_fence_checks = Faultplan.fence_checks frun;
-                      c_fence_failures = Faultplan.fence_failures frun;
+                      c_fence_checks =
+                        (Faultplan.fence_checks frun
+                        + match rrun with Some r -> Faultplan.fence_checks r | None -> 0);
+                      c_fence_failures =
+                        (Faultplan.fence_failures frun
+                        + match rrun with Some r -> Faultplan.fence_failures r | None -> 0);
                       c_fenced_writes = fenced;
                       c_recoveries = recoveries;
                       c_response = Stat.summary response_stat;
@@ -1244,9 +1458,7 @@ let run_cluster ?(seed = 0xC1D5L) ?(nodes = 2) ?config ?obs ?(params = cluster_p
         | Error e -> Flightrec.mark fr ~time:0 ("cluster drill error: " ^ e)
         | Ok r ->
             Flightrec.mark fr ~time:0
-              (Printf.sprintf
-                 "cluster gate failed: lost=%d in_doubt=%d orphaned_locks=%d fence_failures=%d"
-                 r.c_lost_rows r.c_in_doubt_after r.c_orphaned_locks r.c_fence_failures));
+              ("cluster oracle: " ^ Oracle.summary (Oracle.of_cluster r)));
         dump_flight path fr
       end
   | _ -> ());

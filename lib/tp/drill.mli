@@ -77,6 +77,12 @@ type report = {
   acked_rows : int;  (** rows inside acknowledged transactions *)
   recovered_rows : int;  (** rows recovery rebuilt *)
   lost_rows : int;  (** acknowledged rows missing after recovery: must be 0 *)
+  in_doubt_after : int;
+      (** prepared branches still undecided after recovery: must be 0 *)
+  orphaned_locks : int;  (** locks still held after recovery: must be 0 *)
+  fence_checks : int;  (** epoch-fence probes executed (load + recovery) *)
+  fence_failures : int;
+      (** probes whose stale write was accepted: must be 0 *)
   response : Stat.summary;  (** response times of acknowledged commits *)
   availability : availability;
   recovery : Recovery.report;
@@ -122,6 +128,15 @@ val corruption_config : System.config
     regions, the background scrubber on a tight cadence, and verified
     reads on every PM client. *)
 
+val corruption_region_bytes : int
+(** Trail region size under {!corruption_config} (2 MiB). *)
+
+val corruption_trail_base : int -> int
+(** Device byte offset where trail region [i] starts under
+    {!corruption_config}'s first-fit layout — where a decay or torn
+    store must land to hit written frames.  The explorer aims its
+    media faults with this. *)
+
 val corruption_plan : Faultplan.t
 (** The silent-corruption schedule: mirror and primary media decay plus
     torn stores mid-load (landing in scrubber-unarbitratable active
@@ -165,6 +180,8 @@ val run :
   ?sample_interval:Time.span ->
   ?params:params ->
   ?crash_decay:(int * int * int) list ->
+  ?horizon:Time.span ->
+  ?recovery_plan:Faultplan.t ->
   ?inspect:(System.t -> unit) ->
   ?flight:string ->
   ?gate:(report -> bool) ->
@@ -183,6 +200,14 @@ val run :
     ignored.  [inspect] runs against the live system after recovery
     succeeds, before the simulation is torn down — the hook gray drills
     use to harvest counters the report does not carry.
+
+    [horizon] is forwarded to {!Faultplan.validate}: events offset past
+    it are rejected instead of silently never firing.  [recovery_plan]
+    is a second fault schedule whose offsets are relative to the start
+    of recovery — it is launched the instant {!Recovery.run} begins, so
+    its events land while replay and resolution are in flight, and it
+    is awaited (and folded into {!report.faults} and the fence
+    counters) before the durability audit runs.
 
     [flight] arms a {!Simkit.Flightrec} on the drill's observability
     context (growing a private one if no [obs] was passed, and raising
@@ -356,6 +381,7 @@ val run_overload :
   ?sample_interval:Time.span ->
   ?params:overload_params ->
   ?defenses:bool ->
+  ?horizon:Time.span ->
   ?flight:string ->
   unit ->
   (overload_report, string) result
@@ -403,6 +429,8 @@ val run_cluster :
   ?config:System.config ->
   ?obs:Obs.t ->
   ?params:params ->
+  ?horizon:Time.span ->
+  ?recovery_plan:Faultplan.t ->
   ?flight:string ->
   plan:Faultplan.t ->
   unit ->
@@ -413,4 +441,63 @@ val run_cluster :
     node's DP2 images, run {!Cluster.recover} — which resolves each
     node's in-doubt branches against their coordinators — and audit the
     {!cluster_zero_loss} invariants.  Always PM mode (the fence probe
-    requires it).  Owns its simulation. *)
+    requires it).  Owns its simulation.  [horizon] and [recovery_plan]
+    behave as in {!run}: past-horizon events are rejected at
+    validation, and the recovery plan races {!Cluster.recover}. *)
+
+(** {1 The shared invariant oracle}
+
+    One statement of the platform's safety invariants, applied
+    uniformly to every drill family.  Each invariant is a named check
+    with a pass flag and a human-readable detail; a verdict is the
+    conjunction.  {!gray_pass}, {!overload_pass} and
+    {!cluster_zero_loss} are defined as [pass] of the corresponding
+    verdict, and {!Explorer} judges every generated schedule with the
+    same verdicts — so an explorer violation is exactly a drill-gate
+    failure, never a third opinion. *)
+module Oracle : sig
+  type check = {
+    ck_name : string;  (** stable identifier, e.g. ["acked_durable"] *)
+    ck_ok : bool;
+    ck_detail : string;  (** human-readable evidence either way *)
+  }
+
+  type verdict = { ok : bool; checks : check list }
+
+  val check : string -> bool -> string -> check
+
+  val make : check list -> verdict
+  (** [ok] is the conjunction of the checks. *)
+
+  val pass : verdict -> bool
+
+  val failures : verdict -> check list
+
+  val summary : verdict -> string
+  (** One line: ["all invariants hold"] or the failed checks' details,
+      [";"]-joined — the flight-recorder mark a failing drill leaves. *)
+
+  val to_json : verdict -> Json.t
+  (** [{"pass": bool, "checks": [{"name", "ok", "detail"}, ...]}] — the
+      uniform schema every drill JSON report and explorer repro
+      embeds. *)
+
+  val of_report : ?max_outage:Time.span -> report -> verdict
+  (** Single-node invariants: zero acked-but-lost rows, in-doubt window
+      drained, no orphaned locks, no fence failures, integrity clean
+      (trivially true when the report carries no integrity audit —
+      unlike the stricter {!integrity_clean} corruption gate), plus
+      bounded unavailability when [max_outage] is given. *)
+
+  val of_cluster : cluster_report -> verdict
+  (** The {!cluster_zero_loss} conjunction, as named checks. *)
+
+  val of_gray : gray_report -> verdict
+  (** The {!gray_pass} conjunction: durability both runs, bounded p99
+      ratio, and (defended runs) the demotion/re-admission evidence. *)
+
+  val of_overload : overload_report -> verdict
+  (** The {!overload_pass} conjunction: durability, spike-goodput
+      floor, bounded recovery, and (defended runs) admission
+      evidence. *)
+end

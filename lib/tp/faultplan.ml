@@ -48,6 +48,14 @@ let action_name = function
   | Restore_speed -> "restore_speed"
   | Flash_crowd _ -> "flash_crowd"
 
+let action_kinds =
+  [
+    "kill_adp"; "kill_dp2"; "kill_tmf"; "kill_pmm"; "npmu_power_cycle";
+    "rail_down"; "rail_up"; "crc_noise_burst"; "media_decay"; "torn_write";
+    "pmm_resync"; "wan_partition"; "wan_heal"; "fence_check"; "slow_device";
+    "slow_rail"; "slow_disk"; "restore_speed"; "flash_crowd";
+  ]
+
 let describe = function
   | Kill_primary (Adp i) -> Printf.sprintf "kill ADP %d primary" i
   | Kill_primary (Dp2 i) -> Printf.sprintf "kill DP2 %d primary" i
@@ -78,13 +86,155 @@ let describe = function
       Printf.sprintf "flash crowd: %.1fx offered load for %s" spike
         (Time.to_string spike_for)
 
+(* Durations serialize as [*_ns] integer fields so a plan written to a
+   repro file and read back is structurally identical — no float
+   rounding on the time axis. *)
+let action_to_json action =
+  let kind = ("kind", Json.String (action_name action)) in
+  let fields =
+    match action with
+    | Kill_primary (Adp i) | Kill_primary (Dp2 i) -> [ ("index", Json.Int i) ]
+    | Kill_primary Tmf | Kill_primary Pmm -> []
+    | Npmu_power_cycle { device; off_for } ->
+        [ ("device", Json.Int device); ("off_for_ns", Json.Int off_for) ]
+    | Rail_down r | Rail_up r -> [ ("rail", Json.Int r) ]
+    | Crc_noise_burst { rate; duration } ->
+        [ ("rate", Json.Float rate); ("duration_ns", Json.Int duration) ]
+    | Media_decay { device; off; bits } ->
+        [ ("device", Json.Int device); ("off", Json.Int off); ("bits", Json.Int bits) ]
+    | Torn_write { device } -> [ ("device", Json.Int device) ]
+    | Pmm_resync | Wan_partition | Wan_heal | Fence_check | Restore_speed -> []
+    | Slow_device { device; factor; jitter } ->
+        [
+          ("device", Json.Int device);
+          ("factor", Json.Float factor);
+          ("jitter_ns", Json.Int jitter);
+        ]
+    | Slow_rail { rail; factor } ->
+        [ ("rail", Json.Int rail); ("factor", Json.Float factor) ]
+    | Slow_disk { volume; factor; jitter } ->
+        [
+          ("volume", Json.Int volume);
+          ("factor", Json.Float factor);
+          ("jitter_ns", Json.Int jitter);
+        ]
+    | Flash_crowd { spike; spike_for } ->
+        [ ("spike", Json.Float spike); ("spike_for_ns", Json.Int spike_for) ]
+  in
+  Json.Obj (kind :: fields)
+
+let to_json plan =
+  Json.List
+    (List.map
+       (fun ev ->
+         match action_to_json ev.action with
+         | Json.Obj fields -> Json.Obj (("after_ns", Json.Int ev.after) :: fields)
+         | j -> j)
+       plan)
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let action_of_json i j =
+    let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "action %d: %s" i m)) fmt in
+    let field name conv what =
+      match Option.bind (Json.member name j) conv with
+      | Some v -> Ok v
+      | None -> fail "missing or ill-typed field %S (expected %s)" name what
+    in
+    let int name = field name Json.to_int_opt "integer" in
+    let flt name = field name Json.to_float_opt "number" in
+    let* kind = field "kind" Json.to_string_opt "string" in
+    match kind with
+    | "kill_adp" ->
+        let* i = int "index" in
+        Ok (Kill_primary (Adp i))
+    | "kill_dp2" ->
+        let* i = int "index" in
+        Ok (Kill_primary (Dp2 i))
+    | "kill_tmf" -> Ok (Kill_primary Tmf)
+    | "kill_pmm" -> Ok (Kill_primary Pmm)
+    | "npmu_power_cycle" ->
+        let* device = int "device" in
+        let* off_for = int "off_for_ns" in
+        Ok (Npmu_power_cycle { device; off_for })
+    | "rail_down" ->
+        let* r = int "rail" in
+        Ok (Rail_down r)
+    | "rail_up" ->
+        let* r = int "rail" in
+        Ok (Rail_up r)
+    | "crc_noise_burst" ->
+        let* rate = flt "rate" in
+        let* duration = int "duration_ns" in
+        Ok (Crc_noise_burst { rate; duration })
+    | "media_decay" ->
+        let* device = int "device" in
+        let* off = int "off" in
+        let* bits = int "bits" in
+        Ok (Media_decay { device; off; bits })
+    | "torn_write" ->
+        let* device = int "device" in
+        Ok (Torn_write { device })
+    | "pmm_resync" -> Ok Pmm_resync
+    | "wan_partition" -> Ok Wan_partition
+    | "wan_heal" -> Ok Wan_heal
+    | "fence_check" -> Ok Fence_check
+    | "slow_device" ->
+        let* device = int "device" in
+        let* factor = flt "factor" in
+        let* jitter = int "jitter_ns" in
+        Ok (Slow_device { device; factor; jitter })
+    | "slow_rail" ->
+        let* rail = int "rail" in
+        let* factor = flt "factor" in
+        Ok (Slow_rail { rail; factor })
+    | "slow_disk" ->
+        let* volume = int "volume" in
+        let* factor = flt "factor" in
+        let* jitter = int "jitter_ns" in
+        Ok (Slow_disk { volume; factor; jitter })
+    | "restore_speed" -> Ok Restore_speed
+    | "flash_crowd" ->
+        let* spike = flt "spike" in
+        let* spike_for = int "spike_for_ns" in
+        Ok (Flash_crowd { spike; spike_for })
+    | other ->
+        fail "unknown kind %S (valid kinds: %s)" other (String.concat ", " action_kinds)
+  in
+  let event_of_json i j =
+    match j with
+    | Json.Obj _ ->
+        let* after =
+          match Option.bind (Json.member "after_ns" j) Json.to_int_opt with
+          | Some v -> Ok v
+          | None ->
+              Error
+                (Printf.sprintf
+                   "action %d: missing or ill-typed field \"after_ns\" (expected integer)"
+                   i)
+        in
+        let* action = action_of_json i j in
+        Ok { after; action }
+    | _ -> Error (Printf.sprintf "action %d: expected an object" i)
+  in
+  match json with
+  | Json.List items ->
+      let rec build i acc = function
+        | [] -> Ok (List.rev acc)
+        | j :: rest ->
+            let* ev = event_of_json i j in
+            build (i + 1) (ev :: acc) rest
+      in
+      build 0 [] items
+  | _ -> Error "fault plan must be a JSON array of action objects"
+
 (* Flash_crowd does not act on the system — the overload drill's open-loop
    arrival engine is what actually raises the offered load; the event
    exists so the spike lands in the injection log, the timeline marks and
    the flight recorder like any other fault.  Outside the overload drill
    the event would silently mark a spike that never happens, so plain
    [validate] rejects it. *)
-let validate_scoped ?(overload = false) ~clustered system plan =
+let validate_scoped ?(overload = false) ?horizon ~clustered system plan =
   let cfg = System.config system in
   let pm_mode = cfg.System.log_mode = System.Pm_audit in
   let n_adps = Array.length (System.adps system) in
@@ -161,19 +311,37 @@ let validate_scoped ?(overload = false) ~clustered system plan =
     | Flash_crowd { spike_for; _ } when spike_for <= 0 ->
         reject "flash_crowd: spike_for must be positive"
     | _ when ev.after < 0 -> reject "event offset must be non-negative"
-    | _ -> Ok ()
+    | _ -> (
+        (* A scheduler past the drill horizon would hold the offset but
+           the drill would already have crashed and audited — the event
+           silently never fires.  Surface that at validation time. *)
+        match horizon with
+        | Some h when ev.after > h ->
+            reject "%s at +%s is past the drill horizon (%s) and would never fire"
+              (action_name ev.action) (Time.to_string ev.after) (Time.to_string h)
+        | _ -> Ok ())
   in
-  List.fold_left
-    (fun acc ev -> match acc with Error _ -> acc | Ok () -> check ev)
-    (Ok ()) plan
+  let _, result =
+    List.fold_left
+      (fun (i, acc) ev ->
+        match acc with
+        | Error _ -> (i + 1, acc)
+        | Ok () -> (
+            ( i + 1,
+              match check ev with
+              | Ok () -> Ok ()
+              | Error m -> Error (Printf.sprintf "action %d: %s" i m) )))
+      (0, Ok ()) plan
+  in
+  result
 
-let validate system plan = validate_scoped ~clustered:false system plan
+let validate ?horizon system plan = validate_scoped ?horizon ~clustered:false system plan
 
-let validate_overload system plan =
-  validate_scoped ~overload:true ~clustered:false system plan
+let validate_overload ?horizon system plan =
+  validate_scoped ~overload:true ?horizon ~clustered:false system plan
 
-let validate_cluster cluster ~node plan =
-  validate_scoped ~clustered:true (Cluster.system cluster node) plan
+let validate_cluster ?horizon cluster ~node plan =
+  validate_scoped ~clustered:true ?horizon (Cluster.system cluster node) plan
 
 type run = {
   r_system : System.t;
@@ -315,15 +483,29 @@ let inject run action =
       | Some pmm ->
           (* The copy streams every region through the manager CPU, so
              give it a whole-device worth of patience; retries ride out
-             a takeover happening underneath the call. *)
+             a takeover happening underneath the call.  Direction: copy
+             away from the device that has lost power more often — while
+             it was dark, writes degraded to the survivor, so the
+             freshly-cycled device holds the stale image and resyncing
+             from it would overwrite acknowledged data with stale bytes.
+             Ties (no cycle on either side) keep the primary as source,
+             the historical default. *)
+          let from_primary =
+            match System.npmus system with
+            | prim :: mirr :: _ ->
+                Pm.Npmu.power_cycles prim <= Pm.Npmu.power_cycles mirr
+            | _ -> true
+          in
           let from = Node.cpu (System.node system) 0 in
           let detail =
             match
               Rpc.call_retry (Pm.Pmm.server pmm) ~from ~attempts:3
                 ~timeout:(Time.sec 120) ~span:sp
-                (Pm.Pmm.Resync { from_primary = true })
+                (Pm.Pmm.Resync { from_primary })
             with
-            | Ok (Pm.Pmm.R_resynced { bytes }) -> Printf.sprintf "copied %d bytes" bytes
+            | Ok (Pm.Pmm.R_resynced { bytes }) ->
+                Printf.sprintf "copied %d bytes from %s" bytes
+                  (if from_primary then "primary" else "mirror")
             | Ok (Pm.Pmm.R_error e) -> "failed: " ^ Pm.Pm_types.error_to_string e
             | Ok _ -> "failed: unexpected response"
             | Error _ -> "failed: manager unreachable"

@@ -93,22 +93,44 @@ val at : Time.span -> action -> event
 val action_name : action -> string
 (** Short kind tag: ["kill_adp"], ["rail_down"], ... *)
 
+val action_kinds : string list
+(** Every kind tag {!action_name} can produce, in declaration order —
+    the vocabulary {!of_json} accepts and names in its errors. *)
+
 val describe : action -> string
 (** Human-readable one-liner with parameters. *)
 
-val validate : System.t -> t -> (unit, string) result
+val to_json : t -> Json.t
+(** Serialize a plan as a JSON array of action objects.  Each event
+    carries its [kind] tag plus [after_ns] and per-action parameters;
+    durations are integer nanosecond fields ([off_for_ns],
+    [duration_ns], ...) so {!of_json} reads back a structurally
+    identical plan — the repro-file contract. *)
+
+val of_json : Json.t -> (t, string) result
+(** Parse a plan serialized by {!to_json} (or written by hand).  Errors
+    name the offending action index and, for an unknown [kind], list
+    every valid kind. *)
+
+val validate : ?horizon:Time.span -> System.t -> t -> (unit, string) result
 (** Check every event against the system: target and device indices in
     range, rail indices within the fabric, CRC rates in [0, 1), no
     PM-only events (PMM kill, NPMU cycle, resync, fence check) against a
     disk-mode system, and no WAN events outside a cluster-scoped
     launch.  [Flash_crowd] is rejected outright — it is meaningful only
-    under the overload drill, and the error names the valid plans. *)
+    under the overload drill, and the error names the valid plans.
+    When [horizon] is given, events offset past it are rejected too:
+    the drill would have crashed and audited before they fired, so they
+    would otherwise be silently dropped.  Errors name the offending
+    action index. *)
 
-val validate_overload : System.t -> t -> (unit, string) result
+val validate_overload :
+  ?horizon:Time.span -> System.t -> t -> (unit, string) result
 (** {!validate} with [Flash_crowd] permitted (spike ≥ 1, positive
     window) — the overload drill's scope. *)
 
-val validate_cluster : Cluster.t -> node:int -> t -> (unit, string) result
+val validate_cluster :
+  ?horizon:Time.span -> Cluster.t -> node:int -> t -> (unit, string) result
 (** {!validate} against [node]'s system, with WAN events permitted. *)
 
 (** A plan in flight. *)

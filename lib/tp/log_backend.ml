@@ -226,7 +226,7 @@ let recovery_read t =
       | Error e -> Error (Pm_types.error_to_string e)
       | Ok hdr ->
           let info = Pm_client.info p.handle in
-          let limit =
+          let routed_limit =
             (* A torn or decayed header cannot be trusted for the
                frontier: scan the whole data area and let the per-frame
                CRCs find the end of the valid prefix. *)
@@ -234,6 +234,24 @@ let recovery_read t =
             | Some frontier -> min frontier info.Pm_types.length
             | None -> info.Pm_types.length
           in
+          (* The routed header can also be STALE: appends that landed
+             while this device was dark advanced only the mirror's
+             frontier, and once the device powers back on its own
+             header parses clean at the old offset.  Read the mirror's
+             header too and scan out to the further of the two — the
+             tail past the routed frontier exists only on the mirror. *)
+          let mirror_limit =
+            match
+              Pm_client.read_device p.client p.handle ~mirror:true ~off:0
+                ~len:header_size
+            with
+            | Error _ -> 0
+            | Ok mhdr -> (
+                match parse_pm_header mhdr with
+                | Some frontier -> min frontier info.Pm_types.length
+                | None -> 0)
+          in
+          let limit = max routed_limit mirror_limit in
           if limit <= header_size then Ok []
           else begin
             let chunk = 64 * 1024 in
@@ -241,8 +259,19 @@ let recovery_read t =
             Bytes.blit hdr 0 buf 0 header_size;
             let rec fetch off =
               if off >= limit then Ok ()
-              else
+              else if off >= routed_limit then begin
+                (* Mirror-only tail. *)
                 let len = min chunk (limit - off) in
+                match
+                  Pm_client.read_device p.client p.handle ~mirror:true ~off ~len
+                with
+                | Ok data ->
+                    Bytes.blit data 0 buf off len;
+                    fetch (off + len)
+                | Error e -> Error (Pm_types.error_to_string e)
+              end
+              else
+                let len = min chunk (min routed_limit limit - off) in
                 match region_read p.client p.handle ~off ~len with
                 | Ok data ->
                     Bytes.blit data 0 buf off len;

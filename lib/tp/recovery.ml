@@ -27,35 +27,57 @@ let pp_report ppf r =
 
 let apply_cpu_per_record = Time.ns 2_000
 
-(* Learn commit outcomes from the PM transaction-state table: read the
-   region back and parse the 32-byte slots. *)
+(* Learn commit outcomes from the PM transaction-state table.  A slot
+   written while one device of the mirror pair was dark exists on the
+   survivor only (the write acked under the degraded-durability
+   contract), so a single routed read can miss commits: read BOTH raw
+   copies and union the outcomes.  Commit status is write-once, so the
+   union cannot resurrect an aborted branch; a slot in doubt on a stale
+   copy but committed on the fresh one resolves to committed. *)
 let outcomes_from_pm_table (client, handle) =
   let info = Pm.Pm_client.info handle in
   let length = info.Pm.Pm_types.length in
   let committed = Hashtbl.create 1024 in
-  let in_doubt = ref 0 in
+  let in_doubt = Hashtbl.create 16 in
   let chunk = 64 * 1024 in
+  let parse data len =
+    let entry_bytes = 32 in
+    let entries = len / entry_bytes in
+    for i = 0 to entries - 1 do
+      try
+        let dec = Pm.Codec.Dec.of_sub data ~pos:(i * entry_bytes) ~len:9 in
+        let txn = Pm.Codec.Dec.u64 dec in
+        let status = Pm.Codec.Dec.u8 dec in
+        if txn > 0 && status = 2 then Hashtbl.replace committed txn ();
+        if txn > 0 && status = 4 then Hashtbl.replace in_doubt txn ()
+      with Pm.Codec.Dec.Truncated -> ()
+    done
+  in
   let rec fetch off =
     if off >= length then Ok ()
     else
       let len = min chunk (length - off) in
-      match Pm.Pm_client.read client handle ~off ~len with
-      | Error e -> Error (Pm.Pm_types.error_to_string e)
-      | Ok data ->
-          let entry_bytes = 32 in
-          let entries = len / entry_bytes in
-          for i = 0 to entries - 1 do
-            try
-              let dec = Pm.Codec.Dec.of_sub data ~pos:(i * entry_bytes) ~len:9 in
-              let txn = Pm.Codec.Dec.u64 dec in
-              let status = Pm.Codec.Dec.u8 dec in
-              if txn > 0 && status = 2 then Hashtbl.replace committed txn ();
-              if txn > 0 && status = 4 then incr in_doubt
-            with Pm.Codec.Dec.Truncated -> ()
-          done;
+      let prim = Pm.Pm_client.read_device client handle ~mirror:false ~off ~len in
+      let mirr = Pm.Pm_client.read_device client handle ~mirror:true ~off ~len in
+      match (prim, mirr) with
+      | Error e, Error _ -> Error (Pm.Pm_types.error_to_string e)
+      | Ok a, Ok b ->
+          parse a len;
+          parse b len;
+          fetch (off + len)
+      | Ok a, Error _ | Error _, Ok a ->
+          parse a len;
           fetch (off + len)
   in
-  match fetch 0 with Ok () -> Ok (committed, !in_doubt, length) | Error e -> Error e
+  match fetch 0 with
+  | Ok () ->
+      let unresolved =
+        Hashtbl.fold
+          (fun txn () acc -> if Hashtbl.mem committed txn then acc else acc + 1)
+          in_doubt 0
+      in
+      Ok (committed, unresolved, length)
+  | Error e -> Error e
 
 (* Learn commit outcomes by scanning the master audit trail. *)
 let outcomes_from_mat mat =

